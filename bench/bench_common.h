@@ -1,0 +1,34 @@
+// Shared helpers for the figure/table reproduction harnesses.
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/sim/closedloop.h"
+
+namespace kflex {
+
+inline void PrintHeader(const char* title, const char* paper_claim) {
+  std::printf("==========================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("  paper: %s\n", paper_claim);
+  std::printf("==========================================================================\n");
+}
+
+struct MixRow {
+  const char* label;
+  double get_fraction;
+};
+
+inline constexpr MixRow kMixes[] = {{"90:10", 0.9}, {"50:50", 0.5}, {"10:90", 0.1}};
+
+inline void PrintKvRow(const char* mix, const char* system, const ClosedLoopResult& r) {
+  std::printf("  %-6s %-12s thpt=%7.3f Mops/s   p50=%7llu ns   p99=%8llu ns\n", mix, system,
+              r.throughput_mops, static_cast<unsigned long long>(r.latency.Percentile(0.5)),
+              static_cast<unsigned long long>(r.latency.Percentile(0.99)));
+}
+
+}  // namespace kflex
+
+#endif  // BENCH_BENCH_COMMON_H_

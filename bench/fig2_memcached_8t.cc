@@ -1,0 +1,9 @@
+// Figure 2: Memcached (8 server threads) offloaded with KFlex vs eBPF (BMC)
+// vs user space — throughput and p99 latency across GET:SET mixes.
+#include "bench/fig_memcached.h"
+
+int main() {
+  return kflex::RunMemcachedFigure(
+      8, "Figure 2: Memcached, 8 server threads",
+      "KFlex 1.23-2.83x BMC and 2.33-3.01x user space; p99 1.41-1.95x / 1.95-9.35x lower");
+}

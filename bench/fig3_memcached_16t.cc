@@ -1,0 +1,9 @@
+// Figure 3: Memcached at 16 server threads — KFlex's benefits hold
+// irrespective of thread count.
+#include "bench/fig_memcached.h"
+
+int main() {
+  return kflex::RunMemcachedFigure(
+      16, "Figure 3: Memcached, 16 server threads",
+      "performance benefits are similar despite the change in thread count");
+}

@@ -1,0 +1,48 @@
+// Figure 4: Redis offloaded with KFlex (sk_skb hook) vs the parallel
+// user-space baseline (KeyDB) across GET:SET mixes.
+#include "bench/bench_common.h"
+#include "src/sim/kv_models.h"
+
+using namespace kflex;
+
+int main() {
+  PrintHeader("Figure 4: Redis (sk_skb) vs KeyDB",
+              "KFlex-Redis 1.61-2.14x throughput, 0.97-2.96x lower p99");
+  CostModel cost;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kKeySpace = 10'000;
+
+  ClosedLoopConfig config;
+  config.server_threads = kThreads;
+  config.clients = 1024;
+  config.total_requests = 120'000;
+  config.key_space = kKeySpace;
+
+  for (const MixRow& mix : kMixes) {
+    config.get_fraction = mix.get_fraction;
+
+    auto keydb = UserRedisSystem::Create(cost, kThreads);
+    if (!keydb.ok()) {
+      std::fprintf(stderr, "keydb: %s\n", keydb.status().ToString().c_str());
+      return 1;
+    }
+    (*keydb)->Prepopulate(kKeySpace);
+    ClosedLoopResult keydb_result = RunClosedLoop(**keydb, config);
+
+    auto kflex = KflexRedisSystem::Create(cost, kThreads);
+    if (!kflex.ok()) {
+      std::fprintf(stderr, "kflex: %s\n", kflex.status().ToString().c_str());
+      return 1;
+    }
+    (*kflex)->Prepopulate(kKeySpace);
+    ClosedLoopResult kflex_result = RunClosedLoop(**kflex, config);
+
+    PrintKvRow(mix.label, "KeyDB", keydb_result);
+    PrintKvRow(mix.label, "KFlex", kflex_result);
+    std::printf("  %-6s KFlex vs KeyDB: %.2fx thpt, %.2fx lower p99\n\n", mix.label,
+                kflex_result.throughput_mops / keydb_result.throughput_mops,
+                static_cast<double>(keydb_result.latency.Percentile(0.99)) /
+                    static_cast<double>(kflex_result.latency.Percentile(0.99)));
+  }
+  return 0;
+}

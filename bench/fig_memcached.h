@@ -1,0 +1,67 @@
+// Shared implementation for Figures 2 and 3 (Memcached at 8 / 16 threads).
+#ifndef BENCH_FIG_MEMCACHED_H_
+#define BENCH_FIG_MEMCACHED_H_
+
+#include "bench/bench_common.h"
+#include "src/sim/kv_models.h"
+
+namespace kflex {
+
+inline int RunMemcachedFigure(int server_threads, const char* figure,
+                              const char* paper_claim) {
+  PrintHeader(figure, paper_claim);
+  CostModel cost;
+  constexpr uint64_t kKeySpace = 10'000;
+
+  ClosedLoopConfig config;
+  config.server_threads = server_threads;
+  config.clients = 1024;
+  config.total_requests = 120'000;
+  config.key_space = kKeySpace;
+
+  for (const MixRow& mix : kMixes) {
+    config.get_fraction = mix.get_fraction;
+
+    auto user = UserMemcachedSystem::Create(cost, server_threads);
+    if (!user.ok()) {
+      std::fprintf(stderr, "user system: %s\n", user.status().ToString().c_str());
+      return 1;
+    }
+    (*user)->Prepopulate(kKeySpace);
+    ClosedLoopResult user_result = RunClosedLoop(**user, config);
+
+    auto bmc = BmcSystem::Create(cost, server_threads);
+    if (!bmc.ok()) {
+      std::fprintf(stderr, "bmc system: %s\n", bmc.status().ToString().c_str());
+      return 1;
+    }
+    (*bmc)->Prepopulate(kKeySpace);
+    ClosedLoopResult bmc_result = RunClosedLoop(**bmc, config);
+
+    auto kflex = KflexMemcachedSystem::Create(cost, server_threads);
+    if (!kflex.ok()) {
+      std::fprintf(stderr, "kflex system: %s\n", kflex.status().ToString().c_str());
+      return 1;
+    }
+    (*kflex)->Prepopulate(kKeySpace);
+    ClosedLoopResult kflex_result = RunClosedLoop(**kflex, config);
+
+    PrintKvRow(mix.label, "User space", user_result);
+    PrintKvRow(mix.label, "BMC", bmc_result);
+    PrintKvRow(mix.label, "KFlex", kflex_result);
+    std::printf(
+        "  %-6s KFlex vs BMC: %.2fx thpt, %.2fx lower p99 | vs user space: %.2fx thpt, "
+        "%.2fx lower p99\n\n",
+        mix.label, kflex_result.throughput_mops / bmc_result.throughput_mops,
+        static_cast<double>(bmc_result.latency.Percentile(0.99)) /
+            static_cast<double>(kflex_result.latency.Percentile(0.99)),
+        kflex_result.throughput_mops / user_result.throughput_mops,
+        static_cast<double>(user_result.latency.Percentile(0.99)) /
+            static_cast<double>(kflex_result.latency.Percentile(0.99)));
+  }
+  return 0;
+}
+
+}  // namespace kflex
+
+#endif  // BENCH_FIG_MEMCACHED_H_

@@ -1,0 +1,154 @@
+// Wall-clock microbenchmarks (google-benchmark) for the framework itself:
+// interpreter dispatch, SFI sanitization, verifier and Kie throughput,
+// allocator and spin-lock hot paths. These complement the simulated-time
+// figure harnesses with real host-time numbers for the substrate.
+#include <benchmark/benchmark.h>
+
+#include "src/apps/ds/ds.h"
+#include "src/apps/ds/harness.h"
+#include "src/apps/memcached.h"
+#include "src/base/rng.h"
+#include "src/ebpf/assembler.h"
+#include "src/runtime/allocator.h"
+#include "src/runtime/runtime.h"
+#include "src/runtime/spinlock.h"
+#include "src/verifier/verifier.h"
+
+namespace kflex {
+namespace {
+
+Program TightLoopProgram(int iters) {
+  Assembler a;
+  a.MovImm(R2, iters);
+  a.MovImm(R0, 0);
+  auto loop = a.LoopBegin();
+  a.LoopBreakIfImm(loop, BPF_JEQ, R2, 0);
+  a.AddImm(R0, 3);
+  a.XorImm(R0, 7);
+  a.SubImm(R2, 1);
+  a.LoopEnd(loop);
+  a.Exit();
+  auto p = a.Finish("tight", Hook::kTracepoint, ExtensionMode::kKflex, 0);
+  return std::move(p).value();
+}
+
+void BM_VmDispatch(benchmark::State& state) {
+  Program p = TightLoopProgram(1024);
+  VmEnv env;
+  uint8_t ctx[64] = {0};
+  env.ctx = ctx;
+  env.ctx_size = sizeof(ctx);
+  uint64_t insns = 0;
+  for (auto _ : state) {
+    VmResult r = VmRun(p.insns, env);
+    benchmark::DoNotOptimize(r.ret);
+    insns += r.insns_executed;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(insns));
+}
+BENCHMARK(BM_VmDispatch);
+
+void BM_SanitizedHeapStores(benchmark::State& state) {
+  Assembler a;
+  a.Ldx(BPF_DW, R3, R1, 0);
+  a.LoadHeapAddr(R2, 64);
+  a.Add(R2, R3);  // unknown offset: guarded store
+  a.MovImm(R4, 256);
+  a.MovImm(R0, 0);
+  auto loop = a.LoopBegin();
+  a.LoopBreakIfImm(loop, BPF_JEQ, R4, 0);
+  a.StImm(BPF_DW, R2, 0, 1);
+  a.SubImm(R4, 1);
+  a.LoopEnd(loop);
+  a.Exit();
+  auto p = a.Finish("stores", Hook::kTracepoint, ExtensionMode::kKflex, 1 << 20);
+
+  Runtime runtime{RuntimeOptions{1, 1'000'000'000ULL}};
+  LoadOptions lo;
+  lo.heap_static_bytes = 128;
+  auto id = runtime.Load(*p, lo);
+  uint8_t ctx[64] = {0};
+  uint64_t stores = 0;
+  for (auto _ : state) {
+    InvokeResult r = runtime.Invoke(*id, 0, ctx, sizeof(ctx));
+    benchmark::DoNotOptimize(r.verdict);
+    stores += 256;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(stores));
+}
+BENCHMARK(BM_SanitizedHeapStores);
+
+void BM_VerifierMemcached(benchmark::State& state) {
+  Program p = BuildMemcachedExtension({});
+  for (auto _ : state) {
+    auto analysis = Verify(p, VerifyOptions{});
+    benchmark::DoNotOptimize(analysis.ok());
+  }
+}
+BENCHMARK(BM_VerifierMemcached);
+
+void BM_KieInstrumentMemcached(benchmark::State& state) {
+  Program p = BuildMemcachedExtension({});
+  auto analysis = Verify(p, VerifyOptions{});
+  HeapLayout layout = HeapLayout::ForSize(p.heap_size);
+  for (auto _ : state) {
+    auto ip = Instrument(p, *analysis, layout, KieOptions{});
+    benchmark::DoNotOptimize(ip.ok());
+  }
+}
+BENCHMARK(BM_KieInstrumentMemcached);
+
+void BM_AllocatorAllocFree(benchmark::State& state) {
+  HeapSpec spec;
+  spec.size = 1 << 22;
+  auto heap = ExtensionHeap::Create(spec);
+  HeapAllocator alloc(heap.value().get(), 1);
+  for (auto _ : state) {
+    uint64_t off = alloc.Alloc(0, 96);
+    benchmark::DoNotOptimize(off);
+    alloc.Free(0, off);
+  }
+}
+BENCHMARK(BM_AllocatorAllocFree);
+
+void BM_SpinLockUncontended(benchmark::State& state) {
+  alignas(8) uint64_t word = 0;
+  for (auto _ : state) {
+    SpinLockOps::Acquire(&word, SpinLockOps::kKernelOwner, nullptr);
+    SpinLockOps::Release(&word);
+  }
+}
+BENCHMARK(BM_SpinLockUncontended);
+
+void BM_HashMapLookupWallTime(benchmark::State& state) {
+  Runtime runtime{RuntimeOptions{1, 1'000'000'000ULL}};
+  auto ds = DsInstance::Create(runtime, BuildHashMap);
+  for (uint64_t i = 1; i <= 4096; i++) {
+    ds->Update(i, i);
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    auto v = ds->Lookup(1 + rng.NextBounded(4096));
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_HashMapLookupWallTime);
+
+void BM_MemcachedGetWallTime(benchmark::State& state) {
+  MockKernel kernel;
+  auto driver = KflexMemcachedDriver::Create(kernel);
+  for (uint64_t i = 0; i < 1024; i++) {
+    driver->Set(0, i, "benchvalue");
+  }
+  Rng rng(2);
+  for (auto _ : state) {
+    auto r = driver->Get(0, rng.NextBounded(1024));
+    benchmark::DoNotOptimize(r.hit);
+  }
+}
+BENCHMARK(BM_MemcachedGetWallTime);
+
+}  // namespace
+}  // namespace kflex
+
+BENCHMARK_MAIN();

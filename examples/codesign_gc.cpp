@@ -1,0 +1,55 @@
+// Co-designing extensions with user-space code (§5.3): the Memcached fast
+// path runs in the kernel while a user-space garbage collector walks the
+// same hash table through the shared heap mapping, following the
+// translate-on-store pointers the extension published (§3.4).
+//
+//   $ ./build/examples/codesign_gc
+#include <cstdio>
+
+#include "src/apps/codesign.h"
+
+using namespace kflex;
+
+int main() {
+  MockKernel kernel;
+  auto app = CodesignMemcached::Create(kernel);
+  if (!app.ok()) {
+    std::fprintf(stderr, "codesign: %s\n", app.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("co-designed Memcached: fast path at XDP, GC in user space\n");
+
+  // Populate: epoch-10 entries expire at epoch 12; epoch-20 ones at 22.
+  for (uint64_t key = 0; key < 100; key++) {
+    app->Set(0, key, "short-lived", /*expiry_epoch=*/12);
+  }
+  for (uint64_t key = 100; key < 200; key++) {
+    app->Set(0, key, "long-lived", /*expiry_epoch=*/22);
+  }
+  std::printf("  populated %llu entries via the kernel fast path\n",
+              static_cast<unsigned long long>(app->Count()));
+
+  // The user-space collector wakes up (paper: every 1 s), takes the shared
+  // spin lock under a time-slice extension, and walks every bucket through
+  // the user-space heap mapping.
+  auto gc = app->RunGc(/*current_epoch=*/15, /*now_ns=*/0);
+  std::printf("  user-space GC: scanned %llu entries, evicted %llu expired ones\n",
+              static_cast<unsigned long long>(gc.scanned),
+              static_cast<unsigned long long>(gc.evicted));
+  std::printf("  live entries now: %llu\n", static_cast<unsigned long long>(app->Count()));
+
+  // The fast path keeps working over the GC-mutated table — including
+  // reusing the memory the collector returned to the allocator.
+  auto survivor = app->Get(0, 150);
+  std::printf("  GET key=150 (long-lived) -> hit=%d value=\"%s\"\n", survivor.hit,
+              survivor.value.c_str());
+  auto evicted = app->Get(0, 50);
+  std::printf("  GET key=50 (expired)     -> hit=%d\n", evicted.hit);
+  app->Set(0, 500, "recycled", 30);
+  std::printf("  SET key=500 reuses GC-freed heap memory -> hit=%d\n",
+              app->Get(0, 500).hit);
+
+  std::printf("\nwithout KFlex's shared pointers, Memcached would have to run entirely\n");
+  std::printf("in user space just to support this background functionality (SS5.3)\n");
+  return 0;
+}

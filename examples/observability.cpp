@@ -1,0 +1,67 @@
+// Observability + security extensions (§1's production use cases): a
+// syscall deny-list enforced at the LSM hook with live user-space policy
+// updates through the shared heap, and an in-kernel latency histogram read
+// directly by user space.
+//
+//   $ ./build/examples/observability
+#include <cstdio>
+
+#include "src/apps/tracer.h"
+#include "src/base/rng.h"
+
+using namespace kflex;
+
+int main() {
+  MockKernel kernel;
+
+  // ---- Syscall filter at the LSM hook ----
+  auto filter = SyscallFilter::Create(kernel);
+  if (!filter.ok()) {
+    std::fprintf(stderr, "filter: %s\n", filter.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("syscall filter attached at the LSM hook\n");
+  std::printf("  execve(59) before policy: verdict=%lld\n",
+              static_cast<long long>(filter->Check(0, 59)));
+  filter->Deny(59);  // user space flips a bit in the mapped heap — no reload
+  std::printf("  user space denies 59 via the shared heap\n");
+  std::printf("  execve(59) after policy:  verdict=%lld (denied)\n",
+              static_cast<long long>(filter->Check(0, 59)));
+  filter->Allow(59);
+  std::printf("  policy reverted live:     verdict=%lld\n\n",
+              static_cast<long long>(filter->Check(0, 59)));
+
+  // ---- Latency histogram at a tracepoint ----
+  auto tracer = LatencyTracer::Create(kernel);
+  if (!tracer.ok()) {
+    std::fprintf(stderr, "tracer: %s\n", tracer.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("latency tracer attached at a tracepoint (all accesses verified\n");
+  std::printf("statically: zero SFI guards, zero cancellation points)\n");
+  Rng rng(3);
+  for (int i = 0; i < 50000; i++) {
+    // Bimodal latencies: fast path ~1 us, slow tail ~1 ms.
+    uint64_t lat = rng.NextBounded(100) < 95 ? 800 + rng.NextBounded(600)
+                                             : 700'000 + rng.NextBounded(600'000);
+    tracer->Record(0, lat);
+  }
+  std::printf("  recorded %llu events, mean %.1f ns\n",
+              static_cast<unsigned long long>(tracer->TotalCount()),
+              static_cast<double>(tracer->TotalSum()) /
+                  static_cast<double>(tracer->TotalCount()));
+  std::printf("  log2 histogram (user space reads the extension heap directly):\n");
+  for (int b = 0; b < 64; b++) {
+    uint64_t count = tracer->BucketCount(b);
+    if (count == 0) {
+      continue;
+    }
+    int stars = static_cast<int>(1 + count * 40 / tracer->TotalCount());
+    std::printf("    2^%-2d ns %8llu ", b, static_cast<unsigned long long>(count));
+    for (int s = 0; s < stars; s++) {
+      std::printf("*");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

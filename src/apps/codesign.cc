@@ -1,0 +1,111 @@
+#include "src/apps/codesign.h"
+
+#include "src/base/logging.h"
+#include "src/runtime/spinlock.h"
+
+namespace kflex {
+
+namespace {
+using L = MemcachedLayout;
+}  // namespace
+
+StatusOr<CodesignMemcached> CodesignMemcached::Create(MockKernel& kernel,
+                                                      const KieOptions& kie) {
+  MemcachedBuildOptions build;
+  build.with_expiry = true;
+  KieOptions options = kie;
+  // Shared pointers: the collector must be able to follow stored node
+  // pointers from user space.
+  options.translate_on_store = true;
+  StatusOr<KflexMemcachedDriver> driver = KflexMemcachedDriver::Create(kernel, build, options);
+  if (!driver.ok()) {
+    return driver.status();
+  }
+  ExtensionHeap* heap = kernel.runtime().heap(driver->id());
+  HeapAllocator* allocator = kernel.runtime().allocator(driver->id());
+  return CodesignMemcached(std::move(driver).value(), heap, allocator);
+}
+
+KflexMemcachedDriver::OpResult CodesignMemcached::Set(int cpu, uint64_t key_id,
+                                                      std::string_view value,
+                                                      uint64_t expiry_epoch) {
+  return driver_.Set(cpu, key_id, value, expiry_epoch);
+}
+
+KflexMemcachedDriver::OpResult CodesignMemcached::Get(int cpu, uint64_t key_id) {
+  return driver_.Get(cpu, key_id);
+}
+
+KflexMemcachedDriver::OpResult CodesignMemcached::Del(int cpu, uint64_t key_id) {
+  return driver_.Del(cpu, key_id);
+}
+
+uint64_t CodesignMemcached::Count() {
+  uint64_t count = 0;
+  view_.Load(view_.AddrOf(L::kCountOff), count);
+  return count;
+}
+
+CodesignMemcached::GcResult CodesignMemcached::RunGc(uint64_t current_epoch,
+                                                     uint64_t now_ns) {
+  GcResult result;
+  ExtensionHeap* heap = view_.heap();
+  void* lock_word = heap->HostAt(L::kLockOff);
+
+  // User-space critical section under a time-slice extension (§3.4/§4.4):
+  // the fast path cannot sleep, so both sides use the shared spin lock.
+  slice_.EnterCritical(now_ns);
+  SpinLockOps::Acquire(lock_word, SpinLockOps::kUserOwner, nullptr);
+
+  for (int bucket = 0; bucket < L::kNumBuckets; bucket++) {
+    uint64_t slot_off = L::kBucketsOff + static_cast<uint64_t>(bucket) * 8;
+    uint64_t prev_user_va = 0;  // 0: the bucket slot itself
+    uint64_t node = view_.LoadPointerAt(slot_off);
+    while (node != 0) {
+      if (!view_.Contains(node)) {
+        // The store was made without translation (or corrupted); normalize
+        // through the shared-heap mask, the same sanitization the kernel
+        // side applies.
+        node = view_.base() + view_.OffsetOf(node);
+      }
+      result.scanned++;
+      uint64_t expiry = 0;
+      uint64_t next = 0;
+      view_.Load(node + L::kNodeExpiry, expiry);
+      view_.Load(node + L::kNodeNext, next);
+      if (expiry < current_epoch) {
+        // Unlink from user space; stores keep user VAs so later user-space
+        // walks still work, and the extension re-masks them on dereference.
+        if (prev_user_va == 0) {
+          view_.Store(view_.AddrOf(slot_off), next);
+        } else {
+          view_.Store(prev_user_va + L::kNodeNext, next);
+        }
+        // Return the node to the KFlex allocator (its user-space backend,
+        // §4.1).
+        allocator_->Free(/*cpu=*/0, view_.OffsetOf(node));
+        uint64_t count = 0;
+        view_.Load(view_.AddrOf(L::kCountOff), count);
+        view_.Store(view_.AddrOf(L::kCountOff), count - 1);
+        result.evicted++;
+      } else {
+        prev_user_va = node;
+      }
+      node = next;
+    }
+  }
+
+  // Virtual critical-section duration: ~20 ns per scanned entry plus the
+  // bucket sweep. If it exceeds the granted slice the scheduler would
+  // forcefully preempt the collector (§4.4).
+  uint64_t virtual_duration = result.scanned * 20 + L::kNumBuckets * 2;
+  if (slice_.ShouldPreempt(now_ns + virtual_duration)) {
+    slice_.MarkPreempted();
+    result.preempt_flagged = true;
+  }
+  SpinLockOps::Release(lock_word);
+  slice_.LeaveCritical();
+  return result;
+}
+
+}  // namespace kflex

@@ -1,0 +1,60 @@
+// Co-designed Memcached (§5.3): the GET/SET fast path runs as a KFlex
+// extension while a user-space thread performs garbage collection over the
+// same hash table through the shared heap mapping — the pattern that is
+// impossible without KFlex's shared pointers (§3.4).
+//
+// Entries carry an expiry epoch (SET stamps ctx.zscore); the collector walks
+// every bucket from user space, unlinks expired entries and returns them to
+// the allocator, holding the same spin lock as the extension under an
+// rseq-style time-slice extension.
+#ifndef SRC_APPS_CODESIGN_H_
+#define SRC_APPS_CODESIGN_H_
+
+#include <cstdint>
+
+#include "src/apps/memcached.h"
+#include "src/uapi/user_heap.h"
+
+namespace kflex {
+
+class CodesignMemcached {
+ public:
+  static StatusOr<CodesignMemcached> Create(MockKernel& kernel,
+                                            const KieOptions& kie = {});
+
+  // Fast path (extension).
+  KflexMemcachedDriver::OpResult Set(int cpu, uint64_t key_id, std::string_view value,
+                                     uint64_t expiry_epoch);
+  KflexMemcachedDriver::OpResult Get(int cpu, uint64_t key_id);
+  KflexMemcachedDriver::OpResult Del(int cpu, uint64_t key_id);
+
+  // Slow path (user space): evicts entries with expiry < current_epoch.
+  // Returns the number of evicted entries. `now_ns` drives the time-slice
+  // extension bookkeeping.
+  struct GcResult {
+    uint64_t scanned = 0;
+    uint64_t evicted = 0;
+    bool preempt_flagged = false;  // exceeded the 50 us slice
+  };
+  GcResult RunGc(uint64_t current_epoch, uint64_t now_ns = 0);
+
+  // Live entry count as maintained by the extension.
+  uint64_t Count();
+
+  KflexMemcachedDriver& driver() { return driver_; }
+  UserHeapView& view() { return view_; }
+
+ private:
+  CodesignMemcached(KflexMemcachedDriver driver, ExtensionHeap* heap,
+                    HeapAllocator* allocator)
+      : driver_(std::move(driver)), view_(heap), allocator_(allocator) {}
+
+  KflexMemcachedDriver driver_;
+  UserHeapView view_;
+  HeapAllocator* allocator_;
+  TimeSliceExtension slice_;
+};
+
+}  // namespace kflex
+
+#endif  // SRC_APPS_CODESIGN_H_

@@ -1,0 +1,61 @@
+// Extension-defined data structures (§5.2): hash table, linked list,
+// red-black tree, skip list, and two network sketches — each implemented
+// entirely inside extension bytecode, with nodes allocated from the
+// extension heap via kflex_malloc(). These are the workloads of Figure 5 and
+// Table 3.
+//
+// Each data structure ships one program per operation (update / lookup /
+// delete) so that guard statistics can be reported per operation as in
+// Table 3. All programs of one data structure share a heap
+// (LoadOptions::share_heap_with) and use the tracepoint DsCtx input
+// (src/kernel/packet.h):
+//
+//   ctx.op (unused: the program IS the op), ctx.key, ctx.value
+//   ctx.result <- 1 on hit/success, 0 otherwise; ctx.aux <- looked-up value
+//
+// Register conventions: R6 = saved ctx pointer; R7-R9 locals; loaded node
+// pointers are "laundered" to untrusted scalars so every node-field access
+// goes through a formation guard, exactly as loads from user-shared memory
+// must (§5.4).
+#ifndef SRC_APPS_DS_DS_H_
+#define SRC_APPS_DS_DS_H_
+
+#include <cstdint>
+
+#include "src/ebpf/program.h"
+
+namespace kflex {
+
+enum class DsOp { kUpdate = 0, kLookup = 1, kDelete = 2 };
+
+const char* DsOpName(DsOp op);
+
+struct DsBuild {
+  Program program;
+  uint64_t static_bytes = 0;  // heap bytes reserved for the DS's globals
+};
+
+// Default heap for the Fig. 5 workloads (64 K elements).
+inline constexpr uint64_t kDsHeapSize = 1ULL << 24;  // 16 MB
+
+// ---- Linked list (doubly linked; update pushes front, lookup/delete
+// traverse, as in Fig. 5's caption) ----
+DsBuild BuildLinkedList(DsOp op, uint64_t heap_size = kDsHeapSize);
+
+// ---- Chained hash map with a static bucket array (4096 buckets) ----
+DsBuild BuildHashMap(DsOp op, uint64_t heap_size = kDsHeapSize);
+
+// ---- Red-black tree (CLRS insert/delete with full fixups) ----
+DsBuild BuildRbTree(DsOp op, uint64_t heap_size = kDsHeapSize);
+
+// ---- Skip list (16 levels, xorshift level generator in the heap) ----
+DsBuild BuildSkipList(DsOp op, uint64_t heap_size = kDsHeapSize);
+
+// ---- Network sketches: update adds `value` for `key`; lookup estimates.
+// Delete is not meaningful and maps to a no-op program. ----
+DsBuild BuildCountMinSketch(DsOp op, uint64_t heap_size = kDsHeapSize);
+DsBuild BuildCountSketch(DsOp op, uint64_t heap_size = kDsHeapSize);
+
+}  // namespace kflex
+
+#endif  // SRC_APPS_DS_DS_H_

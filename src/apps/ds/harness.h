@@ -1,0 +1,53 @@
+// Host-side driver for a data-structure extension: loads the update /
+// lookup / delete programs against one shared heap and exposes typed ops.
+// Used by correctness tests, Figure 5 benchmarks, and Table 3 statistics.
+#ifndef SRC_APPS_DS_HARNESS_H_
+#define SRC_APPS_DS_HARNESS_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "src/apps/ds/ds.h"
+#include "src/kernel/packet.h"
+#include "src/runtime/runtime.h"
+
+namespace kflex {
+
+using DsBuilder = std::function<DsBuild(DsOp, uint64_t)>;
+
+class DsInstance {
+ public:
+  // Loads the three per-op programs into `runtime` with shared heap.
+  // `kie` selects the instrumentation flavour (KFlex / KFlex-PM / KMod).
+  static StatusOr<DsInstance> Create(Runtime& runtime, const DsBuilder& builder,
+                                     const KieOptions& kie = {},
+                                     uint64_t heap_size = kDsHeapSize);
+
+  bool Update(uint64_t key, uint64_t value);
+  std::optional<uint64_t> Lookup(uint64_t key);
+  bool Delete(uint64_t key);
+
+  // Executed-instruction count of the most recent operation.
+  uint64_t last_insns() const { return last_insns_; }
+  uint64_t last_instr_insns() const { return last_instr_insns_; }
+  bool last_cancelled() const { return last_cancelled_; }
+
+  ExtensionId id(DsOp op) const { return ids_[static_cast<size_t>(op)]; }
+  Runtime& runtime() { return *runtime_; }
+
+ private:
+  DsInstance(Runtime& runtime) : runtime_(&runtime) {}
+
+  InvokeResult Run(DsOp op, DsCtx& ctx);
+
+  Runtime* runtime_;
+  ExtensionId ids_[3] = {0, 0, 0};
+  uint64_t last_insns_ = 0;
+  uint64_t last_instr_insns_ = 0;
+  bool last_cancelled_ = false;
+};
+
+}  // namespace kflex
+
+#endif  // SRC_APPS_DS_HARNESS_H_

@@ -1,0 +1,156 @@
+// Chained hash map as a KFlex extension.
+//
+// Heap layout:
+//   @64            u64 element count
+//   @128           u64 buckets[4096]   (static, 32 KB)
+// Node (24 bytes, size class 32):
+//   @0 next  @8 key  @16 value
+//
+// The bucket-array access is the showcase for guard elision via range
+// analysis (§3.2): index = hash & 4095 is provably in bounds, so the bucket
+// load/store needs no guard. Chain-node accesses are formation guards.
+#include "src/apps/ds/ds.h"
+
+#include "src/base/logging.h"
+#include "src/dsl/emit.h"
+#include "src/ebpf/assembler.h"
+#include "src/ebpf/helper_ids.h"
+#include "src/kernel/packet.h"
+
+namespace kflex {
+
+namespace {
+
+constexpr uint64_t kCountOff = 64;
+constexpr uint64_t kBucketsOff = 128;
+constexpr int kNumBuckets = 4096;
+constexpr int16_t kNext = 0;
+constexpr int16_t kKey = 8;
+constexpr int16_t kValue = 16;
+constexpr int32_t kNodeSize = 24;
+
+constexpr uint64_t kStaticBytes = kBucketsOff - 64 + kNumBuckets * 8;
+
+void EmitFail(Assembler& a) {
+  a.StImm(BPF_DW, R6, kDsOffResult, 0);
+  a.MovImm(R0, 0);
+  a.Exit();
+}
+
+// R6 = ctx, R7 = key, R8 = bucket address (typed heap pointer, elided).
+void EmitBucketAddr(Assembler& a) {
+  a.Mov(R6, R1);
+  a.Ldx(BPF_DW, R7, R6, kDsOffKey);
+  a.Mov(R3, R7);
+  EmitHashFinalize(a, R3, R4);
+  a.AndImm(R3, kNumBuckets - 1);
+  a.LshImm(R3, 3);
+  a.LoadHeapAddr(R8, kBucketsOff);
+  a.Add(R8, R3);
+}
+
+// Walks the chain; on match R9 = node and fall-through, else jumps to miss.
+// R5 tracks the previous node (0 for bucket head) for delete.
+void EmitChainSearch(Assembler& a, Assembler::Label miss) {
+  a.Ldx(BPF_DW, R9, R8, 0);  // e = bucket head (elided: R8 provably in bounds)
+  a.MovImm(R5, 0);           // prev
+  auto found = a.NewLabel();
+  auto loop = a.LoopBegin();
+  a.LoopBreakIfImm(loop, BPF_JEQ, R9, 0);
+  a.Ldx(BPF_DW, R2, R9, kKey);
+  a.JmpReg(BPF_JEQ, R2, R7, found);
+  a.Mov(R5, R9);
+  a.Ldx(BPF_DW, R9, R9, kNext);
+  a.LoopEnd(loop);
+  a.Jmp(miss);
+  a.Bind(found);
+}
+
+void EmitUpdate(Assembler& a) {
+  EmitBucketAddr(a);
+  auto insert = a.NewLabel();
+  EmitChainSearch(a, insert);
+  // Key exists: update in place.
+  a.Ldx(BPF_DW, R2, R6, kDsOffValue);
+  a.Stx(BPF_DW, R9, kValue, R2);
+  a.StImm(BPF_DW, R6, kDsOffResult, 1);
+  a.MovImm(R0, 0);
+  a.Exit();
+
+  a.Bind(insert);
+  a.MovImm(R1, kNodeSize);
+  a.Call(kHelperKflexMalloc);
+  auto null = a.IfImm(BPF_JEQ, R0, 0);
+  EmitFail(a);
+  a.EndIf(null);
+  a.Stx(BPF_DW, R0, kKey, R7);
+  a.Ldx(BPF_DW, R2, R6, kDsOffValue);
+  a.Stx(BPF_DW, R0, kValue, R2);
+  a.Ldx(BPF_DW, R3, R8, 0);   // old chain head
+  a.Stx(BPF_DW, R0, kNext, R3);
+  a.Stx(BPF_DW, R8, 0, R0);   // bucket = node
+  a.LoadHeapAddr(R2, kCountOff);
+  a.MovImm(R3, 1);
+  a.AtomicAdd(BPF_DW, R2, 0, R3);
+  a.StImm(BPF_DW, R6, kDsOffResult, 1);
+  a.MovImm(R0, 0);
+  a.Exit();
+}
+
+void EmitLookup(Assembler& a) {
+  EmitBucketAddr(a);
+  auto miss = a.NewLabel();
+  EmitChainSearch(a, miss);
+  a.Ldx(BPF_DW, R2, R9, kValue);
+  a.Stx(BPF_DW, R6, kDsOffAux, R2);
+  a.StImm(BPF_DW, R6, kDsOffResult, 1);
+  a.MovImm(R0, 0);
+  a.Exit();
+  a.Bind(miss);
+  EmitFail(a);
+}
+
+void EmitDelete(Assembler& a) {
+  EmitBucketAddr(a);
+  auto miss = a.NewLabel();
+  EmitChainSearch(a, miss);
+  a.Ldx(BPF_DW, R2, R9, kNext);
+  auto had_prev = a.IfImm(BPF_JNE, R5, 0);
+  a.Stx(BPF_DW, R5, kNext, R2);  // prev->next = next
+  a.Else(had_prev);
+  a.Stx(BPF_DW, R8, 0, R2);      // bucket = next
+  a.EndIf(had_prev);
+  a.Mov(R1, R9);
+  a.Call(kHelperKflexFree);
+  a.LoadHeapAddr(R2, kCountOff);
+  a.LoadImm64(R3, static_cast<uint64_t>(-1));
+  a.AtomicAdd(BPF_DW, R2, 0, R3);
+  a.StImm(BPF_DW, R6, kDsOffResult, 1);
+  a.MovImm(R0, 0);
+  a.Exit();
+  a.Bind(miss);
+  EmitFail(a);
+}
+
+}  // namespace
+
+DsBuild BuildHashMap(DsOp op, uint64_t heap_size) {
+  Assembler a;
+  switch (op) {
+    case DsOp::kUpdate:
+      EmitUpdate(a);
+      break;
+    case DsOp::kLookup:
+      EmitLookup(a);
+      break;
+    case DsOp::kDelete:
+      EmitDelete(a);
+      break;
+  }
+  auto p = a.Finish(std::string("hashmap_") + DsOpName(op), Hook::kTracepoint,
+                    ExtensionMode::kKflex, heap_size);
+  KFLEX_CHECK(p.ok());
+  return DsBuild{std::move(p).value(), kStaticBytes};
+}
+
+}  // namespace kflex

@@ -1,0 +1,141 @@
+// Doubly linked list as a KFlex extension.
+//
+// Heap layout:
+//   @64  u64 head
+// Node (32 bytes, size class 32):
+//   @0 next  @8 prev  @16 key  @24 value
+#include "src/apps/ds/ds.h"
+
+#include "src/base/logging.h"
+#include "src/ebpf/assembler.h"
+#include "src/ebpf/helper_ids.h"
+#include "src/kernel/packet.h"
+
+namespace kflex {
+
+namespace {
+
+constexpr uint64_t kHeadOff = 64;
+constexpr int16_t kNext = 0;
+constexpr int16_t kPrev = 8;
+constexpr int16_t kKey = 16;
+constexpr int16_t kValue = 24;
+constexpr int32_t kNodeSize = 32;
+
+void EmitFail(Assembler& a) {
+  a.StImm(BPF_DW, R6, kDsOffResult, 0);
+  a.MovImm(R0, 0);
+  a.Exit();
+}
+
+void EmitUpdate(Assembler& a) {
+  a.Mov(R6, R1);
+  a.Ldx(BPF_DW, R7, R6, kDsOffKey);
+  a.MovImm(R1, kNodeSize);
+  a.Call(kHelperKflexMalloc);
+  auto null = a.IfImm(BPF_JEQ, R0, 0);
+  EmitFail(a);
+  a.EndIf(null);
+  // R0 is a typed heap pointer: field initialization is guard-elided.
+  a.Stx(BPF_DW, R0, kKey, R7);
+  a.Ldx(BPF_DW, R2, R6, kDsOffValue);
+  a.Stx(BPF_DW, R0, kValue, R2);
+  a.StImm(BPF_DW, R0, kPrev, 0);
+  a.LoadHeapAddr(R8, kHeadOff);
+  a.Ldx(BPF_DW, R3, R8, 0);       // old head (untrusted scalar)
+  a.Stx(BPF_DW, R0, kNext, R3);
+  auto nonempty = a.IfImm(BPF_JNE, R3, 0);
+  a.Stx(BPF_DW, R3, kPrev, R0);   // old->prev = node (formation guard)
+  a.EndIf(nonempty);
+  a.Stx(BPF_DW, R8, 0, R0);       // head = node (stores a heap pointer)
+  a.StImm(BPF_DW, R6, kDsOffResult, 1);
+  a.MovImm(R0, 0);
+  a.Exit();
+}
+
+// Emits the search loop: on exit-with-match, R9 holds the matching node and
+// control continues; on miss, control is at `miss` (caller binds).
+void EmitSearch(Assembler& a, Assembler::Label miss) {
+  a.Mov(R6, R1);
+  a.Ldx(BPF_DW, R7, R6, kDsOffKey);
+  a.LoadHeapAddr(R8, kHeadOff);
+  a.Ldx(BPF_DW, R9, R8, 0);  // e = head
+  auto found = a.NewLabel();
+  auto loop = a.LoopBegin();
+  a.LoopBreakIfImm(loop, BPF_JEQ, R9, 0);
+  a.Ldx(BPF_DW, R2, R9, kKey);
+  a.JmpReg(BPF_JEQ, R2, R7, found);
+  a.Ldx(BPF_DW, R9, R9, kNext);
+  a.LoopEnd(loop);
+  a.Jmp(miss);
+  a.Bind(found);
+}
+
+void EmitLookup(Assembler& a) {
+  auto miss = a.NewLabel();
+  EmitSearch(a, miss);
+  a.Ldx(BPF_DW, R2, R9, kValue);
+  a.Stx(BPF_DW, R6, kDsOffAux, R2);
+  a.StImm(BPF_DW, R6, kDsOffResult, 1);
+  a.MovImm(R0, 0);
+  a.Exit();
+  a.Bind(miss);
+  EmitFail(a);
+}
+
+void EmitDelete(Assembler& a) {
+  auto miss = a.NewLabel();
+  EmitSearch(a, miss);
+  a.Ldx(BPF_DW, R2, R9, kNext);
+  a.Ldx(BPF_DW, R3, R9, kPrev);
+  auto has_prev = a.IfImm(BPF_JNE, R3, 0);
+  a.Stx(BPF_DW, R3, kNext, R2);  // prev->next = next
+  a.Else(has_prev);
+  a.Stx(BPF_DW, R8, 0, R2);      // head = next
+  a.EndIf(has_prev);
+  auto has_next = a.IfImm(BPF_JNE, R2, 0);
+  a.Stx(BPF_DW, R2, kPrev, R3);  // next->prev = prev
+  a.EndIf(has_next);
+  a.Mov(R1, R9);
+  a.Call(kHelperKflexFree);
+  a.StImm(BPF_DW, R6, kDsOffResult, 1);
+  a.MovImm(R0, 0);
+  a.Exit();
+  a.Bind(miss);
+  EmitFail(a);
+}
+
+}  // namespace
+
+const char* DsOpName(DsOp op) {
+  switch (op) {
+    case DsOp::kUpdate:
+      return "update";
+    case DsOp::kLookup:
+      return "lookup";
+    case DsOp::kDelete:
+      return "delete";
+  }
+  return "?";
+}
+
+DsBuild BuildLinkedList(DsOp op, uint64_t heap_size) {
+  Assembler a;
+  switch (op) {
+    case DsOp::kUpdate:
+      EmitUpdate(a);
+      break;
+    case DsOp::kLookup:
+      EmitLookup(a);
+      break;
+    case DsOp::kDelete:
+      EmitDelete(a);
+      break;
+  }
+  auto p = a.Finish(std::string("list_") + DsOpName(op), Hook::kTracepoint,
+                    ExtensionMode::kKflex, heap_size);
+  KFLEX_CHECK(p.ok());
+  return DsBuild{std::move(p).value(), /*static_bytes=*/64};
+}
+
+}  // namespace kflex

@@ -1,0 +1,487 @@
+// Red-black tree as a KFlex extension: CLRS-style insert and delete with
+// full rebalancing fixups, entirely in extension bytecode. This is the data
+// structure eBPF cannot express without kernel support (§2.2 cites the
+// verifier-side rbtree effort [31]); KFlex runs it as plain extension code.
+//
+// Heap layout:
+//   @64  u64 root
+// Node (48 bytes, size class 64):
+//   @0 left  @8 right  @16 parent  @24 color (1=red, 0=black)
+//   @32 key  @40 value
+#include "src/apps/ds/ds.h"
+
+#include "src/base/logging.h"
+#include "src/ebpf/assembler.h"
+#include "src/ebpf/helper_ids.h"
+#include "src/kernel/packet.h"
+
+namespace kflex {
+
+namespace {
+
+constexpr uint64_t kRootOff = 64;
+constexpr int16_t kL = 0;
+constexpr int16_t kR = 8;
+constexpr int16_t kP = 16;
+constexpr int16_t kC = 24;
+constexpr int16_t kK = 32;
+constexpr int16_t kV = 40;
+constexpr int32_t kNodeSize = 48;
+
+void EmitFail(Assembler& a) {
+  a.StImm(BPF_DW, R6, kDsOffResult, 0);
+  a.MovImm(R0, 0);
+  a.Exit();
+}
+
+void EmitSuccess(Assembler& a) {
+  a.StImm(BPF_DW, R6, kDsOffResult, 1);
+  a.MovImm(R0, 0);
+  a.Exit();
+}
+
+// Rotates around the node in `x` (left rotation if `left`). Clobbers y, t, u.
+// x itself is preserved.
+void EmitRotate(Assembler& a, bool left, Reg x, Reg y, Reg t, Reg u) {
+  int16_t side = left ? kR : kL;     // the child that moves up
+  int16_t other = left ? kL : kR;
+  a.Ldx(BPF_DW, y, x, side);         // y = x.side
+  a.Ldx(BPF_DW, t, y, other);        // t = y.other
+  a.Stx(BPF_DW, x, side, t);         // x.side = t
+  auto t_nonnull = a.IfImm(BPF_JNE, t, 0);
+  a.Stx(BPF_DW, t, kP, x);
+  a.EndIf(t_nonnull);
+  a.Ldx(BPF_DW, t, x, kP);           // t = x.parent
+  a.Stx(BPF_DW, y, kP, t);           // y.parent = t
+  auto had_parent = a.IfImm(BPF_JNE, t, 0);
+  {
+    a.Ldx(BPF_DW, u, t, kL);
+    auto was_left = a.IfReg(BPF_JEQ, u, x);
+    a.Stx(BPF_DW, t, kL, y);
+    a.Else(was_left);
+    a.Stx(BPF_DW, t, kR, y);
+    a.EndIf(was_left);
+  }
+  a.Else(had_parent);
+  a.LoadHeapAddr(u, kRootOff);
+  a.Stx(BPF_DW, u, 0, y);
+  a.EndIf(had_parent);
+  a.Stx(BPF_DW, y, other, x);        // y.other = x
+  a.Stx(BPF_DW, x, kP, y);
+}
+
+// transplant(u, v): replaces subtree rooted at `u_reg` by `v_reg`.
+// Clobbers t, t2; preserves u_reg/v_reg.
+void EmitTransplant(Assembler& a, Reg u_reg, Reg v_reg, Reg t, Reg t2) {
+  a.Ldx(BPF_DW, t, u_reg, kP);
+  auto had_parent = a.IfImm(BPF_JNE, t, 0);
+  {
+    a.Ldx(BPF_DW, t2, t, kL);
+    auto was_left = a.IfReg(BPF_JEQ, t2, u_reg);
+    a.Stx(BPF_DW, t, kL, v_reg);
+    a.Else(was_left);
+    a.Stx(BPF_DW, t, kR, v_reg);
+    a.EndIf(was_left);
+  }
+  a.Else(had_parent);
+  a.LoadHeapAddr(t2, kRootOff);
+  a.Stx(BPF_DW, t2, 0, v_reg);
+  a.EndIf(had_parent);
+  auto v_nonnull = a.IfImm(BPF_JNE, v_reg, 0);
+  a.Stx(BPF_DW, v_reg, kP, t);
+  a.EndIf(v_nonnull);
+}
+
+// One side of the insert rebalancing loop. Expects z in R9, parent in R8,
+// grandparent in R7. `left` = parent is grandparent's left child.
+void EmitInsertFixArm(Assembler& a, bool left, Assembler::Label loop_head,
+                      Assembler::Label done) {
+  int16_t other = left ? kR : kL;
+  a.Ldx(BPF_DW, R4, R7, other);  // uncle
+  auto uncle_present = a.IfImm(BPF_JNE, R4, 0);
+  {
+    a.Ldx(BPF_DW, R5, R4, kC);
+    auto uncle_red = a.IfImm(BPF_JEQ, R5, 1);
+    // Case 1: recolor and move z to grandparent.
+    a.StImm(BPF_DW, R8, kC, 0);
+    a.StImm(BPF_DW, R4, kC, 0);
+    a.StImm(BPF_DW, R7, kC, 1);
+    a.Mov(R9, R7);
+    a.Jmp(loop_head);
+    a.EndIf(uncle_red);
+  }
+  a.EndIf(uncle_present);
+  // Case 2: z is the inner child -> rotate parent toward `side`.
+  a.Ldx(BPF_DW, R4, R8, other);
+  auto inner = a.IfReg(BPF_JEQ, R9, R4);
+  a.Mov(R9, R8);
+  EmitRotate(a, /*left=*/left, R9, R2, R3, R4);
+  a.EndIf(inner);
+  // Case 3: recolor and rotate grandparent toward `other`.
+  a.Ldx(BPF_DW, R8, R9, kP);
+  auto p_ok = a.IfImm(BPF_JEQ, R8, 0);
+  a.Jmp(done);
+  a.EndIf(p_ok);
+  a.Ldx(BPF_DW, R7, R8, kP);
+  auto g_ok = a.IfImm(BPF_JEQ, R7, 0);
+  a.Jmp(done);
+  a.EndIf(g_ok);
+  a.StImm(BPF_DW, R8, kC, 0);
+  a.StImm(BPF_DW, R7, kC, 1);
+  a.Mov(R2, R7);
+  EmitRotate(a, /*left=*/!left, R2, R3, R4, R5);
+  a.Jmp(loop_head);
+}
+
+void EmitUpdate(Assembler& a) {
+  a.Mov(R6, R1);
+  a.Ldx(BPF_DW, R7, R6, kDsOffKey);
+  a.MovImm(R8, 0);  // parent
+  a.LoadHeapAddr(R2, kRootOff);
+  a.Ldx(BPF_DW, R9, R2, 0);  // cur
+
+  auto place = a.NewLabel();
+  {
+    auto descend = a.LoopBegin();
+    a.LoopBreakIfImm(descend, BPF_JEQ, R9, 0);
+    a.Ldx(BPF_DW, R3, R9, kK);
+    {
+      auto eq = a.IfReg(BPF_JEQ, R3, R7);
+      a.Ldx(BPF_DW, R4, R6, kDsOffValue);
+      a.Stx(BPF_DW, R9, kV, R4);
+      EmitSuccess(a);
+      a.EndIf(eq);
+    }
+    a.Mov(R8, R9);
+    {
+      auto lt = a.IfReg(BPF_JLT, R7, R3);
+      a.Ldx(BPF_DW, R9, R9, kL);
+      a.Else(lt);
+      a.Ldx(BPF_DW, R9, R9, kR);
+      a.EndIf(lt);
+    }
+    a.LoopEnd(descend);
+  }
+  a.Bind(place);
+
+  a.MovImm(R1, kNodeSize);
+  a.Call(kHelperKflexMalloc);
+  auto null = a.IfImm(BPF_JEQ, R0, 0);
+  EmitFail(a);
+  a.EndIf(null);
+  a.Stx(BPF_DW, R0, kK, R7);
+  a.Ldx(BPF_DW, R2, R6, kDsOffValue);
+  a.Stx(BPF_DW, R0, kV, R2);
+  a.StImm(BPF_DW, R0, kL, 0);
+  a.StImm(BPF_DW, R0, kR, 0);
+  a.StImm(BPF_DW, R0, kC, 1);  // red
+  a.Stx(BPF_DW, R0, kP, R8);
+  {
+    auto has_parent = a.IfImm(BPF_JNE, R8, 0);
+    {
+      a.Ldx(BPF_DW, R3, R8, kK);
+      auto lt = a.IfReg(BPF_JLT, R7, R3);
+      a.Stx(BPF_DW, R8, kL, R0);
+      a.Else(lt);
+      a.Stx(BPF_DW, R8, kR, R0);
+      a.EndIf(lt);
+    }
+    a.Else(has_parent);
+    a.LoadHeapAddr(R2, kRootOff);
+    a.Stx(BPF_DW, R2, 0, R0);
+    a.EndIf(has_parent);
+  }
+  a.Mov(R9, R0);
+  a.OrImm(R9, 0);  // launder z: all fixup accesses are formation-guarded
+
+  // Rebalance.
+  auto done = a.NewLabel();
+  auto loop_head = a.NewLabel();
+  a.Bind(loop_head);
+  a.Ldx(BPF_DW, R8, R9, kP);
+  a.JmpImm(BPF_JEQ, R8, 0, done);
+  a.Ldx(BPF_DW, R2, R8, kC);
+  a.JmpImm(BPF_JEQ, R2, 0, done);  // parent black
+  a.Ldx(BPF_DW, R7, R8, kP);
+  a.JmpImm(BPF_JEQ, R7, 0, done);
+  a.Ldx(BPF_DW, R3, R7, kL);
+  {
+    auto parent_left = a.IfReg(BPF_JEQ, R8, R3);
+    EmitInsertFixArm(a, /*left=*/true, loop_head, done);
+    a.Else(parent_left);
+    EmitInsertFixArm(a, /*left=*/false, loop_head, done);
+    a.EndIf(parent_left);
+  }
+  a.Jmp(loop_head);
+
+  a.Bind(done);
+  a.LoadHeapAddr(R2, kRootOff);
+  a.Ldx(BPF_DW, R3, R2, 0);
+  {
+    auto nonempty = a.IfImm(BPF_JNE, R3, 0);
+    a.StImm(BPF_DW, R3, kC, 0);  // root is black
+    a.EndIf(nonempty);
+  }
+  EmitSuccess(a);
+}
+
+void EmitLookup(Assembler& a) {
+  a.Mov(R6, R1);
+  a.Ldx(BPF_DW, R7, R6, kDsOffKey);
+  a.LoadHeapAddr(R2, kRootOff);
+  a.Ldx(BPF_DW, R9, R2, 0);
+  auto miss = a.NewLabel();
+  auto found = a.NewLabel();
+  {
+    auto descend = a.LoopBegin();
+    a.LoopBreakIfImm(descend, BPF_JEQ, R9, 0);
+    a.Ldx(BPF_DW, R3, R9, kK);
+    a.JmpReg(BPF_JEQ, R3, R7, found);
+    {
+      auto lt = a.IfReg(BPF_JLT, R7, R3);
+      a.Ldx(BPF_DW, R9, R9, kL);
+      a.Else(lt);
+      a.Ldx(BPF_DW, R9, R9, kR);
+      a.EndIf(lt);
+    }
+    a.LoopEnd(descend);
+  }
+  a.Jmp(miss);
+  a.Bind(found);
+  a.Ldx(BPF_DW, R2, R9, kV);
+  a.Stx(BPF_DW, R6, kDsOffAux, R2);
+  EmitSuccess(a);
+  a.Bind(miss);
+  EmitFail(a);
+}
+
+// One side of the delete rebalancing loop. x in R7 (may be 0), x's parent in
+// R8 (non-null). `left` = x is the left child.
+void EmitDeleteFixArm(Assembler& a, bool left, Assembler::Label loop_head,
+                      Assembler::Label fix_done) {
+  int16_t side = left ? kL : kR;
+  int16_t other = left ? kR : kL;
+  (void)side;
+  a.Ldx(BPF_DW, R9, R8, other);  // w = sibling
+  a.JmpImm(BPF_JEQ, R9, 0, fix_done);  // corrupted tree: bail safely
+  {
+    a.Ldx(BPF_DW, R4, R9, kC);
+    auto w_red = a.IfImm(BPF_JEQ, R4, 1);
+    // Case 1: sibling red.
+    a.StImm(BPF_DW, R9, kC, 0);
+    a.StImm(BPF_DW, R8, kC, 1);
+    a.Mov(R2, R8);
+    EmitRotate(a, /*left=*/left, R2, R3, R4, R5);
+    a.Ldx(BPF_DW, R9, R8, other);
+    a.JmpImm(BPF_JEQ, R9, 0, fix_done);
+    a.EndIf(w_red);
+  }
+  // R2 = w.left-side child color is red?, R3 = w.other-side child red?
+  a.Ldx(BPF_DW, R4, R9, left ? kL : kR);   // w's near child
+  a.Ldx(BPF_DW, R5, R9, left ? kR : kL);   // w's far child
+  a.MovImm(R2, 0);
+  {
+    auto near_nonnull = a.IfImm(BPF_JNE, R4, 0);
+    a.Ldx(BPF_DW, R0, R4, kC);
+    auto near_red = a.IfImm(BPF_JEQ, R0, 1);
+    a.MovImm(R2, 1);
+    a.EndIf(near_red);
+    a.EndIf(near_nonnull);
+  }
+  a.MovImm(R3, 0);
+  {
+    auto far_nonnull = a.IfImm(BPF_JNE, R5, 0);
+    a.Ldx(BPF_DW, R0, R5, kC);
+    auto far_red = a.IfImm(BPF_JEQ, R0, 1);
+    a.MovImm(R3, 1);
+    a.EndIf(far_red);
+    a.EndIf(far_nonnull);
+  }
+  {
+    auto near_black = a.IfImm(BPF_JEQ, R2, 0);
+    auto far_black = a.IfImm(BPF_JEQ, R3, 0);
+    // Case 2: both of w's children black -> recolor w, move x up.
+    a.StImm(BPF_DW, R9, kC, 1);
+    a.Mov(R7, R8);
+    a.Ldx(BPF_DW, R8, R7, kP);
+    a.Jmp(loop_head);
+    a.EndIf(far_black);
+    a.EndIf(near_black);
+  }
+  {
+    // Case 3: far child black (near child red) -> rotate w away.
+    auto far_black2 = a.IfImm(BPF_JEQ, R3, 0);
+    a.StImm(BPF_DW, R4, kC, 0);  // near child black
+    a.StImm(BPF_DW, R9, kC, 1);  // w red
+    EmitRotate(a, /*left=*/!left, R9, R2, R3, R5);
+    a.Ldx(BPF_DW, R9, R8, other);
+    a.JmpImm(BPF_JEQ, R9, 0, fix_done);
+    a.EndIf(far_black2);
+  }
+  // Case 4: far child red.
+  a.Ldx(BPF_DW, R4, R8, kC);
+  a.Stx(BPF_DW, R9, kC, R4);   // w.color = xp.color
+  a.StImm(BPF_DW, R8, kC, 0);  // xp black
+  a.Ldx(BPF_DW, R5, R9, other);
+  {
+    auto far_nonnull = a.IfImm(BPF_JNE, R5, 0);
+    a.StImm(BPF_DW, R5, kC, 0);
+    a.EndIf(far_nonnull);
+  }
+  a.Mov(R2, R8);
+  EmitRotate(a, /*left=*/left, R2, R3, R4, R5);
+  // x = root terminates the loop.
+  a.LoadHeapAddr(R2, kRootOff);
+  a.Ldx(BPF_DW, R7, R2, 0);
+  a.Ldx(BPF_DW, R8, R7, kP);  // 0 for the root; loop exits immediately
+  a.Jmp(loop_head);
+}
+
+void EmitDelete(Assembler& a) {
+  a.Mov(R6, R1);
+  a.Ldx(BPF_DW, R7, R6, kDsOffKey);
+  a.LoadHeapAddr(R2, kRootOff);
+  a.Ldx(BPF_DW, R9, R2, 0);
+  auto miss = a.NewLabel();
+  auto found = a.NewLabel();
+  {
+    auto descend = a.LoopBegin();
+    a.LoopBreakIfImm(descend, BPF_JEQ, R9, 0);
+    a.Ldx(BPF_DW, R3, R9, kK);
+    a.JmpReg(BPF_JEQ, R3, R7, found);
+    {
+      auto lt = a.IfReg(BPF_JLT, R7, R3);
+      a.Ldx(BPF_DW, R9, R9, kL);
+      a.Else(lt);
+      a.Ldx(BPF_DW, R9, R9, kR);
+      a.EndIf(lt);
+    }
+    a.LoopEnd(descend);
+  }
+  a.Jmp(miss);
+
+  a.Bind(found);
+  // z = R9. Stack slot [-8] holds the removed color; R7 becomes x,
+  // R8 becomes x's parent.
+  auto free_z = a.NewLabel();
+  a.Ldx(BPF_DW, R2, R9, kL);
+  a.Ldx(BPF_DW, R3, R9, kR);
+  {
+    auto no_left = a.IfImm(BPF_JEQ, R2, 0);
+    {
+      // x = z.right, x_parent = z.parent.
+      a.Mov(R7, R3);
+      a.Ldx(BPF_DW, R8, R9, kP);
+      a.Ldx(BPF_DW, R4, R9, kC);
+      a.Stx(BPF_DW, R10, -8, R4);
+      EmitTransplant(a, R9, R7, R4, R5);
+      a.Jmp(free_z);
+    }
+    a.EndIf(no_left);
+  }
+  {
+    auto no_right = a.IfImm(BPF_JEQ, R3, 0);
+    {
+      a.Mov(R7, R2);
+      a.Ldx(BPF_DW, R8, R9, kP);
+      a.Ldx(BPF_DW, R4, R9, kC);
+      a.Stx(BPF_DW, R10, -8, R4);
+      EmitTransplant(a, R9, R7, R4, R5);
+      a.Jmp(free_z);
+    }
+    a.EndIf(no_right);
+  }
+  // Two children: y = minimum(z.right) (R5).
+  a.Mov(R5, R3);
+  {
+    auto minloop = a.LoopBegin();
+    a.Ldx(BPF_DW, R4, R5, kL);
+    a.LoopBreakIfImm(minloop, BPF_JEQ, R4, 0);
+    a.Mov(R5, R4);
+    a.LoopEnd(minloop);
+  }
+  a.Ldx(BPF_DW, R4, R5, kC);
+  a.Stx(BPF_DW, R10, -8, R4);  // y's original color
+  a.Ldx(BPF_DW, R7, R5, kR);   // x = y.right
+  a.Ldx(BPF_DW, R2, R5, kP);
+  {
+    auto y_child_of_z = a.IfReg(BPF_JEQ, R2, R9);
+    a.Mov(R8, R5);  // x_parent = y
+    a.Else(y_child_of_z);
+    a.Mov(R8, R2);  // x_parent = y.parent
+    EmitTransplant(a, R5, R7, R4, R0);
+    a.Ldx(BPF_DW, R3, R9, kR);
+    a.Stx(BPF_DW, R5, kR, R3);
+    a.Stx(BPF_DW, R3, kP, R5);
+    a.EndIf(y_child_of_z);
+  }
+  EmitTransplant(a, R9, R5, R4, R0);
+  a.Ldx(BPF_DW, R3, R9, kL);
+  a.Stx(BPF_DW, R5, kL, R3);
+  a.Stx(BPF_DW, R3, kP, R5);
+  a.Ldx(BPF_DW, R4, R9, kC);
+  a.Stx(BPF_DW, R5, kC, R4);
+
+  a.Bind(free_z);
+  a.Mov(R1, R9);
+  a.Call(kHelperKflexFree);
+  a.Ldx(BPF_DW, R4, R10, -8);
+  auto fix_done = a.NewLabel();
+  a.JmpImm(BPF_JEQ, R4, 1, fix_done);  // removed a red node: nothing to fix
+
+  auto loop_head = a.NewLabel();
+  a.Bind(loop_head);
+  a.LoadHeapAddr(R2, kRootOff);
+  a.Ldx(BPF_DW, R3, R2, 0);
+  a.JmpReg(BPF_JEQ, R7, R3, fix_done);  // x == root (covers empty tree)
+  {
+    auto x_nonnull = a.IfImm(BPF_JNE, R7, 0);
+    a.Ldx(BPF_DW, R4, R7, kC);
+    a.JmpImm(BPF_JEQ, R4, 1, fix_done);  // x is red: recolor at fix_done
+    a.EndIf(x_nonnull);
+  }
+  a.JmpImm(BPF_JEQ, R8, 0, fix_done);  // defensive: lost the parent chain
+  a.Ldx(BPF_DW, R4, R8, kL);
+  {
+    auto x_left = a.IfReg(BPF_JEQ, R7, R4);
+    EmitDeleteFixArm(a, /*left=*/true, loop_head, fix_done);
+    a.Else(x_left);
+    EmitDeleteFixArm(a, /*left=*/false, loop_head, fix_done);
+    a.EndIf(x_left);
+  }
+  a.Jmp(loop_head);
+
+  a.Bind(fix_done);
+  {
+    auto x_nonnull = a.IfImm(BPF_JNE, R7, 0);
+    a.StImm(BPF_DW, R7, kC, 0);  // x black
+    a.EndIf(x_nonnull);
+  }
+  EmitSuccess(a);
+
+  a.Bind(miss);
+  EmitFail(a);
+}
+
+}  // namespace
+
+DsBuild BuildRbTree(DsOp op, uint64_t heap_size) {
+  Assembler a;
+  switch (op) {
+    case DsOp::kUpdate:
+      EmitUpdate(a);
+      break;
+    case DsOp::kLookup:
+      EmitLookup(a);
+      break;
+    case DsOp::kDelete:
+      EmitDelete(a);
+      break;
+  }
+  auto p = a.Finish(std::string("rbtree_") + DsOpName(op), Hook::kTracepoint,
+                    ExtensionMode::kKflex, heap_size);
+  KFLEX_CHECK(p.ok());
+  return DsBuild{std::move(p).value(), /*static_bytes=*/64};
+}
+
+}  // namespace kflex

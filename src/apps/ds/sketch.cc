@@ -1,0 +1,195 @@
+// Network sketches as KFlex extensions: count-min and count sketch (§5.2).
+// All counter accesses use masked indices into static rows, so the verifier
+// proves every access safe and the SFI emits zero guards — exactly the
+// paper's observation that "the safety of all memory accesses in the sketch
+// can be verified statically" (Table 3 caption).
+//
+// Heap layout (both sketches): 4 rows x 2048 u64 counters @64.
+// update: add ctx.value for ctx.key.  lookup: estimate into ctx.aux.
+// delete: not meaningful; reports result = 0.
+#include "src/apps/ds/ds.h"
+
+#include "src/base/logging.h"
+#include "src/dsl/emit.h"
+#include "src/ebpf/assembler.h"
+#include "src/kernel/packet.h"
+
+namespace kflex {
+
+namespace {
+
+constexpr uint64_t kRowsOff = 64;
+constexpr int kRows = 4;
+constexpr int kWidth = 2048;
+constexpr uint64_t kRowBytes = kWidth * 8;
+constexpr uint64_t kStaticBytes = kRows * kRowBytes;
+
+constexpr uint64_t kSeeds[kRows] = {0x9E3779B97F4A7C15ULL, 0xC2B2AE3D27D4EB4FULL,
+                                    0x165667B19E3779F9ULL, 0x27D4EB2F165667C5ULL};
+
+void EmitNoop(Assembler& a) {
+  a.Mov(R6, R1);
+  a.StImm(BPF_DW, R6, kDsOffResult, 0);
+  a.MovImm(R0, 0);
+  a.Exit();
+}
+
+// Leaves &row[r][hash(key) & (kWidth-1)] in `dst` (typed heap pointer whose
+// bounds the verifier proves). Key expected in R7. Clobbers R2, R3.
+void EmitCounterAddr(Assembler& a, int row, Reg dst) {
+  a.Mov(R2, R7);
+  a.LoadImm64(R3, kSeeds[row]);
+  a.Xor(R2, R3);
+  EmitHashFinalize(a, R2, R3);
+  a.AndImm(R2, kWidth - 1);
+  a.LshImm(R2, 3);
+  a.LoadHeapAddr(dst, kRowsOff + static_cast<uint64_t>(row) * kRowBytes);
+  a.Add(dst, R2);
+}
+
+// The count-sketch sign for `row`: +1/-1 derived from one hash bit.
+// Leaves 0 (positive) or 1 (negative) in `dst`. Clobbers R2, R3.
+void EmitSignBit(Assembler& a, int row, Reg dst) {
+  a.Mov(R2, R7);
+  a.LoadImm64(R3, kSeeds[row] ^ 0xABCDEF0123456789ULL);
+  a.Xor(R2, R3);
+  EmitHashFinalize(a, R2, R3);
+  a.Mov(dst, R2);
+  a.RshImm(dst, 17);
+  a.AndImm(dst, 1);
+}
+
+void EmitCmUpdate(Assembler& a) {
+  a.Mov(R6, R1);
+  a.Ldx(BPF_DW, R7, R6, kDsOffKey);
+  a.Ldx(BPF_DW, R8, R6, kDsOffValue);
+  for (int row = 0; row < kRows; row++) {
+    EmitCounterAddr(a, row, R4);
+    a.AtomicAdd(BPF_DW, R4, 0, R8);
+  }
+  a.StImm(BPF_DW, R6, kDsOffResult, 1);
+  a.MovImm(R0, 0);
+  a.Exit();
+}
+
+void EmitCmLookup(Assembler& a) {
+  a.Mov(R6, R1);
+  a.Ldx(BPF_DW, R7, R6, kDsOffKey);
+  a.LoadImm64(R8, ~0ULL);  // running minimum
+  for (int row = 0; row < kRows; row++) {
+    EmitCounterAddr(a, row, R4);
+    a.Ldx(BPF_DW, R5, R4, 0);
+    auto smaller = a.IfReg(BPF_JLT, R5, R8);
+    a.Mov(R8, R5);
+    a.EndIf(smaller);
+  }
+  a.Stx(BPF_DW, R6, kDsOffAux, R8);
+  a.StImm(BPF_DW, R6, kDsOffResult, 1);
+  a.MovImm(R0, 0);
+  a.Exit();
+}
+
+void EmitCsUpdate(Assembler& a) {
+  a.Mov(R6, R1);
+  a.Ldx(BPF_DW, R7, R6, kDsOffKey);
+  for (int row = 0; row < kRows; row++) {
+    a.Ldx(BPF_DW, R8, R6, kDsOffValue);
+    EmitSignBit(a, row, R9);
+    {
+      auto negative = a.IfImm(BPF_JEQ, R9, 1);
+      a.Neg(R8);
+      a.EndIf(negative);
+    }
+    EmitCounterAddr(a, row, R4);
+    a.AtomicAdd(BPF_DW, R4, 0, R8);
+  }
+  a.StImm(BPF_DW, R6, kDsOffResult, 1);
+  a.MovImm(R0, 0);
+  a.Exit();
+}
+
+void EmitCsLookup(Assembler& a) {
+  a.Mov(R6, R1);
+  a.Ldx(BPF_DW, R7, R6, kDsOffKey);
+  // Per-row signed estimates spilled to the stack, then median-of-4
+  // computed as (sum - min - max) / 2.
+  for (int row = 0; row < kRows; row++) {
+    EmitCounterAddr(a, row, R4);
+    a.Ldx(BPF_DW, R5, R4, 0);
+    EmitSignBit(a, row, R9);
+    {
+      auto negative = a.IfImm(BPF_JEQ, R9, 1);
+      a.Neg(R5);
+      a.EndIf(negative);
+    }
+    a.Stx(BPF_DW, R10, static_cast<int16_t>(-8 * (row + 1)), R5);
+  }
+  // sum -> R8, min -> R9, max -> R7.
+  a.Ldx(BPF_DW, R8, R10, -8);
+  a.Mov(R9, R8);
+  a.Mov(R7, R8);
+  for (int row = 1; row < kRows; row++) {
+    a.Ldx(BPF_DW, R2, R10, static_cast<int16_t>(-8 * (row + 1)));
+    a.Add(R8, R2);
+    {
+      auto lt = a.IfReg(BPF_JSLT, R2, R9);
+      a.Mov(R9, R2);
+      a.EndIf(lt);
+    }
+    {
+      auto gt = a.IfReg(BPF_JSGT, R2, R7);
+      a.Mov(R7, R2);
+      a.EndIf(gt);
+    }
+  }
+  a.Sub(R8, R9);
+  a.Sub(R8, R7);
+  a.ArshImm(R8, 1);
+  a.Stx(BPF_DW, R6, kDsOffAux, R8);
+  a.StImm(BPF_DW, R6, kDsOffResult, 1);
+  a.MovImm(R0, 0);
+  a.Exit();
+}
+
+DsBuild FinishSketch(Assembler& a, const char* name, DsOp op, uint64_t heap_size) {
+  auto p = a.Finish(std::string(name) + "_" + DsOpName(op), Hook::kTracepoint,
+                    ExtensionMode::kKflex, heap_size);
+  KFLEX_CHECK(p.ok());
+  return DsBuild{std::move(p).value(), kStaticBytes};
+}
+
+}  // namespace
+
+DsBuild BuildCountMinSketch(DsOp op, uint64_t heap_size) {
+  Assembler a;
+  switch (op) {
+    case DsOp::kUpdate:
+      EmitCmUpdate(a);
+      break;
+    case DsOp::kLookup:
+      EmitCmLookup(a);
+      break;
+    case DsOp::kDelete:
+      EmitNoop(a);
+      break;
+  }
+  return FinishSketch(a, "countmin", op, heap_size);
+}
+
+DsBuild BuildCountSketch(DsOp op, uint64_t heap_size) {
+  Assembler a;
+  switch (op) {
+    case DsOp::kUpdate:
+      EmitCsUpdate(a);
+      break;
+    case DsOp::kLookup:
+      EmitCsLookup(a);
+      break;
+    case DsOp::kDelete:
+      EmitNoop(a);
+      break;
+  }
+  return FinishSketch(a, "countsketch", op, heap_size);
+}
+
+}  // namespace kflex

@@ -1,0 +1,235 @@
+// Skip list as a KFlex extension (the structure behind Redis ZADD, §5.2).
+//
+// Heap layout:
+//   @64   head node (same layout as ordinary nodes; key/value unused)
+//   @208  u64 xorshift state for the level generator
+//   @216  u64 update[16] scratch (single-threaded, like the paper's
+//         non-hashmap data structures)
+// Node (144 bytes, size class 256):
+//   @0 key  @8 value  @16 forward[16]
+#include "src/apps/ds/ds.h"
+
+#include "src/base/logging.h"
+#include "src/dsl/emit.h"
+#include "src/ebpf/assembler.h"
+#include "src/ebpf/helper_ids.h"
+#include "src/kernel/packet.h"
+
+namespace kflex {
+
+namespace {
+
+constexpr uint64_t kHeadOff = 64;
+constexpr uint64_t kRngOff = 208;
+constexpr uint64_t kUpdateOff = 216;
+constexpr int kMaxLevel = 16;
+constexpr int16_t kKey = 0;
+constexpr int16_t kValue = 8;
+constexpr int16_t kFwd = 16;
+constexpr int32_t kNodeSize = kFwd + kMaxLevel * 8;  // 144
+
+constexpr uint64_t kStaticBytes = kUpdateOff + kMaxLevel * 8 - 64;
+
+void EmitFail(Assembler& a) {
+  a.StImm(BPF_DW, R6, kDsOffResult, 0);
+  a.MovImm(R0, 0);
+  a.Exit();
+}
+
+void EmitSuccess(Assembler& a) {
+  a.StImm(BPF_DW, R6, kDsOffResult, 1);
+  a.MovImm(R0, 0);
+  a.Exit();
+}
+
+// Walks the list for R7 = key. Leaves the level-0 predecessor in R8 and, if
+// record_updates, stores the per-level predecessors in update[].
+// R9 is clobbered (level counter).
+void EmitWalk(Assembler& a, bool record_updates) {
+  a.LoadHeapAddr(R8, kHeadOff);
+  a.OrImm(R8, 0);  // launder: cur flows between typed and loaded pointers
+  a.MovImm(R9, kMaxLevel - 1);
+  auto levels = a.LoopBegin();
+  a.LoopBreakIfImm(levels, BPF_JSLT, R9, 0);
+  {
+    auto walk = a.LoopBegin();
+    // t = cur->forward[i]
+    a.Mov(R2, R9);
+    a.LshImm(R2, 3);
+    a.Add(R2, R8);
+    a.Ldx(BPF_DW, R3, R2, kFwd);
+    a.LoopBreakIfImm(walk, BPF_JEQ, R3, 0);
+    a.Ldx(BPF_DW, R4, R3, kKey);
+    a.LoopBreakIfReg(walk, BPF_JGE, R4, R7);
+    a.Mov(R8, R3);
+    a.LoopEnd(walk);
+  }
+  if (record_updates) {
+    a.LoadHeapAddr(R2, kUpdateOff);
+    a.Mov(R3, R9);
+    a.LshImm(R3, 3);
+    a.Add(R2, R3);
+    a.Stx(BPF_DW, R2, 0, R8);  // update[i] = cur (elided: bounded index)
+  }
+  a.SubImm(R9, 1);
+  a.LoopEnd(levels);
+}
+
+// Loads the level-0 successor of R8 into R9 and jumps to `nomatch` unless
+// its key equals R7.
+void EmitCandidate(Assembler& a, Assembler::Label nomatch) {
+  a.Ldx(BPF_DW, R9, R8, kFwd);  // forward[0]
+  a.JmpImm(BPF_JEQ, R9, 0, nomatch);
+  a.Ldx(BPF_DW, R2, R9, kKey);
+  a.JmpReg(BPF_JNE, R2, R7, nomatch);
+}
+
+void EmitUpdate(Assembler& a) {
+  a.Mov(R6, R1);
+  a.Ldx(BPF_DW, R7, R6, kDsOffKey);
+  EmitWalk(a, /*record_updates=*/true);
+
+  auto insert = a.NewLabel();
+  EmitCandidate(a, insert);
+  // Key exists: update in place.
+  a.Ldx(BPF_DW, R2, R6, kDsOffValue);
+  a.Stx(BPF_DW, R9, kValue, R2);
+  EmitSuccess(a);
+
+  a.Bind(insert);
+  // Seed the level generator on first use.
+  a.LoadHeapAddr(R2, kRngOff);
+  a.Ldx(BPF_DW, R3, R2, 0);
+  {
+    auto unseeded = a.IfImm(BPF_JEQ, R3, 0);
+    a.LoadImm64(R4, 0x9E3779B97F4A7C15ULL);
+    a.Stx(BPF_DW, R2, 0, R4);
+    a.EndIf(unseeded);
+  }
+  EmitXorshiftHeap(a, R0, kRngOff, R2, R3);
+  // h = 1; while ((rand & 1) && h < kMaxLevel) { rand >>= 1; h++ }
+  a.MovImm(R9, 1);
+  {
+    auto levelgen = a.LoopBegin();
+    a.LoopBreakIfImm(levelgen, BPF_JEQ, R9, kMaxLevel);
+    a.Mov(R2, R0);
+    a.AndImm(R2, 1);
+    a.LoopBreakIfImm(levelgen, BPF_JEQ, R2, 0);
+    a.RshImm(R0, 1);
+    a.AddImm(R9, 1);
+    a.LoopEnd(levelgen);
+  }
+  a.Stx(BPF_DW, R10, -8, R9);  // spill h
+
+  a.MovImm(R1, kNodeSize);
+  a.Call(kHelperKflexMalloc);
+  auto null = a.IfImm(BPF_JEQ, R0, 0);
+  EmitFail(a);
+  a.EndIf(null);
+  a.Stx(BPF_DW, R0, kKey, R7);
+  a.Ldx(BPF_DW, R2, R6, kDsOffValue);
+  a.Stx(BPF_DW, R0, kValue, R2);
+  a.Mov(R8, R0);
+  a.OrImm(R8, 0);  // launder node
+  a.Ldx(BPF_DW, R9, R10, -8);  // h
+
+  // Splice levels 0..h-1.
+  a.MovImm(R7, 0);  // i (key no longer needed)
+  {
+    auto splice = a.LoopBegin();
+    a.LoopBreakIfReg(splice, BPF_JGE, R7, R9);
+    a.Mov(R2, R7);
+    a.LshImm(R2, 3);
+    a.LoadHeapAddr(R3, kUpdateOff);
+    a.Add(R3, R2);
+    a.Ldx(BPF_DW, R4, R3, 0);      // u = update[i] (elided)
+    a.Mov(R5, R7);
+    a.LshImm(R5, 3);
+    a.Add(R5, R4);                 // u + i*8
+    a.Ldx(BPF_DW, R0, R5, kFwd);   // u->forward[i]
+    a.Mov(R2, R7);
+    a.LshImm(R2, 3);
+    a.Add(R2, R8);                 // node + i*8
+    a.Stx(BPF_DW, R2, kFwd, R0);   // node->forward[i] = u->forward[i]
+    a.Stx(BPF_DW, R5, kFwd, R8);   // u->forward[i] = node
+    a.AddImm(R7, 1);
+    a.LoopEnd(splice);
+  }
+  EmitSuccess(a);
+}
+
+void EmitLookup(Assembler& a) {
+  a.Mov(R6, R1);
+  a.Ldx(BPF_DW, R7, R6, kDsOffKey);
+  EmitWalk(a, /*record_updates=*/false);
+  auto miss = a.NewLabel();
+  EmitCandidate(a, miss);
+  a.Ldx(BPF_DW, R2, R9, kValue);
+  a.Stx(BPF_DW, R6, kDsOffAux, R2);
+  EmitSuccess(a);
+  a.Bind(miss);
+  EmitFail(a);
+}
+
+void EmitDelete(Assembler& a) {
+  a.Mov(R6, R1);
+  a.Ldx(BPF_DW, R7, R6, kDsOffKey);
+  EmitWalk(a, /*record_updates=*/true);
+  auto miss = a.NewLabel();
+  EmitCandidate(a, miss);
+  // Unlink R9 from every level where update[i]->forward[i] == R9.
+  a.Mov(R8, R9);  // target
+  a.MovImm(R7, 0);
+  {
+    auto unlink = a.LoopBegin();
+    a.LoopBreakIfImm(unlink, BPF_JEQ, R7, kMaxLevel);
+    a.Mov(R2, R7);
+    a.LshImm(R2, 3);
+    a.LoadHeapAddr(R3, kUpdateOff);
+    a.Add(R3, R2);
+    a.Ldx(BPF_DW, R4, R3, 0);  // u = update[i]
+    a.Mov(R5, R7);
+    a.LshImm(R5, 3);
+    a.Add(R5, R4);
+    a.Ldx(BPF_DW, R0, R5, kFwd);  // u->forward[i]
+    {
+      auto linked = a.IfReg(BPF_JEQ, R0, R8);
+      a.Mov(R2, R7);
+      a.LshImm(R2, 3);
+      a.Add(R2, R8);
+      a.Ldx(BPF_DW, R3, R2, kFwd);   // target->forward[i]
+      a.Stx(BPF_DW, R5, kFwd, R3);   // u->forward[i] = it
+      a.EndIf(linked);
+    }
+    a.AddImm(R7, 1);
+    a.LoopEnd(unlink);
+  }
+  a.Mov(R1, R8);
+  a.Call(kHelperKflexFree);
+  EmitSuccess(a);
+  a.Bind(miss);
+  EmitFail(a);
+}
+
+}  // namespace
+
+DsBuild BuildSkipList(DsOp op, uint64_t heap_size) {
+  Assembler a;
+  switch (op) {
+    case DsOp::kUpdate:
+      EmitUpdate(a);
+      break;
+    case DsOp::kLookup:
+      EmitLookup(a);
+      break;
+    case DsOp::kDelete:
+      EmitDelete(a);
+      break;
+  }
+  auto p = a.Finish(std::string("skiplist_") + DsOpName(op), Hook::kTracepoint,
+                    ExtensionMode::kKflex, heap_size);
+  KFLEX_CHECK(p.ok());
+  return DsBuild{std::move(p).value(), kStaticBytes};
+}
+
+}  // namespace kflex

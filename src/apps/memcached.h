@@ -1,0 +1,153 @@
+// Memcached offloads (§5.1).
+//
+// Three systems, as in the paper's evaluation:
+//  * KFlex-Memcached: GET + SET + DEL fully offloaded in one XDP extension
+//    (heap-backed chained hash table, kflex_malloc'd entries, spin lock,
+//    socket validation a la Listing 1). TCP SETs are handled at the XDP hook
+//    through the TCP fast path.
+//  * BMC: an eBPF-mode look-aside cache that serves GET hits from a
+//    pre-allocated kernel hash map and passes everything else to user space
+//    (SETs invalidate the cached entry).
+//  * User-space Memcached: a native C++ implementation behind the full
+//    kernel stack.
+#ifndef SRC_APPS_MEMCACHED_H_
+#define SRC_APPS_MEMCACHED_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/packet.h"
+#include "src/runtime/runtime.h"
+
+namespace kflex {
+
+struct MemcachedBuildOptions {
+  // Validate that a bound UDP socket exists for the flow before serving
+  // (Listing 1); exercises kernel references on the hot path.
+  bool socket_check = true;
+  // Stamp entries with ctx.zscore as an expiry epoch (used by the co-design
+  // experiment's user-space garbage collector, §5.3).
+  bool with_expiry = false;
+  uint64_t heap_size = 1ULL << 26;  // 64 MB
+};
+
+// Extension heap layout (offsets), exposed for the user-space GC (§5.3).
+struct MemcachedLayout {
+  static constexpr uint64_t kLockOff = 64;
+  static constexpr uint64_t kCountOff = 72;
+  static constexpr uint64_t kBucketsOff = 128;
+  static constexpr int kNumBuckets = 16384;
+  static constexpr uint64_t kStaticBytes =
+      kBucketsOff + static_cast<uint64_t>(kNumBuckets) * 8 - 64;
+  // Node field offsets.
+  static constexpr int16_t kNodeNext = 0;
+  static constexpr int16_t kNodeKey = 8;     // 32 bytes
+  static constexpr int16_t kNodeValLen = 40;
+  static constexpr int16_t kNodeValue = 48;  // 64 bytes
+  static constexpr int16_t kNodeExpiry = 112;
+  static constexpr int32_t kNodeSize = 120;
+};
+
+Program BuildMemcachedExtension(const MemcachedBuildOptions& options = {});
+
+// BMC-style GET cache in strict eBPF mode over kernel map `map_id`
+// (key 32 B, value kBmcValueSize).
+inline constexpr uint32_t kBmcValueSize = 72;  // u64 vallen + 64 B value
+Program BuildBmcProgram(uint32_t map_id);
+
+// Deterministic 32-byte key for a numeric key id.
+std::array<uint8_t, 32> MakeKey32(uint64_t id);
+
+// Native user-space Memcached (baseline data plane + correctness oracle).
+class UserMemcached {
+ public:
+  struct Value {
+    uint16_t len = 0;
+    std::array<uint8_t, 64> bytes{};
+  };
+
+  bool Set(uint64_t key_id, std::string_view value);
+  std::optional<std::string> Get(uint64_t key_id) const;
+  bool Del(uint64_t key_id);
+  size_t size() const { return table_.size(); }
+
+ private:
+  std::unordered_map<uint64_t, Value> table_;
+};
+
+// Host-side driver for the KFlex extension: builds packets, delivers them to
+// the XDP hook, decodes replies. Also used (with KMod instrumentation
+// options) as the trusted-baseline compute proxy.
+class KflexMemcachedDriver {
+ public:
+  struct OpResult {
+    bool served = false;  // consumed at the hook (XDP_TX)
+    bool hit = false;     // resp_flag
+    uint64_t insns = 0;
+    uint64_t instr_insns = 0;
+    std::string value;
+  };
+
+  // Loads the extension into `kernel` and attaches it. Binds the UDP socket
+  // the extension validates against.
+  static StatusOr<KflexMemcachedDriver> Create(MockKernel& kernel,
+                                               const MemcachedBuildOptions& options = {},
+                                               const KieOptions& kie = {});
+
+  OpResult Set(int cpu, uint64_t key_id, std::string_view value, uint64_t expiry = 0);
+  OpResult Get(int cpu, uint64_t key_id);
+  OpResult Del(int cpu, uint64_t key_id);
+
+  ExtensionId id() const { return id_; }
+  MockKernel& kernel() { return *kernel_; }
+
+ private:
+  KflexMemcachedDriver(MockKernel& kernel, ExtensionId id) : kernel_(&kernel), id_(id) {}
+
+  OpResult Deliver(int cpu, KvPacket& pkt);
+
+  MockKernel* kernel_;
+  ExtensionId id_;
+};
+
+// Host-side driver for BMC: the XDP program serves GET hits; misses, SETs
+// and DELs fall through to a user-space Memcached, and the host mimics BMC's
+// TX-side cache fill.
+class BmcDriver {
+ public:
+  struct OpResult {
+    bool served_at_xdp = false;
+    bool hit = false;
+    uint64_t xdp_insns = 0;  // instructions spent in the eBPF program
+    uint64_t instr_insns = 0;
+    std::string value;
+  };
+
+  static StatusOr<BmcDriver> Create(MockKernel& kernel);
+
+  OpResult Set(int cpu, uint64_t key_id, std::string_view value);
+  OpResult Get(int cpu, uint64_t key_id);
+  OpResult Del(int cpu, uint64_t key_id);
+
+  UserMemcached& backend() { return backend_; }
+
+ private:
+  BmcDriver(MockKernel& kernel, ExtensionId id, uint32_t map_id)
+      : kernel_(&kernel), id_(id), map_id_(map_id) {}
+
+  void FillCache(uint64_t key_id, const UserMemcached::Value& value);
+  OpResult Deliver(int cpu, KvPacket& pkt);
+
+  MockKernel* kernel_;
+  ExtensionId id_;
+  uint32_t map_id_;
+  UserMemcached backend_;
+};
+
+}  // namespace kflex
+
+#endif  // SRC_APPS_MEMCACHED_H_

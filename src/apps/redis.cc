@@ -1,0 +1,416 @@
+#include "src/apps/redis.h"
+
+#include <cstring>
+
+#include "src/apps/memcached.h"  // MakeKey32
+#include "src/base/logging.h"
+#include "src/dsl/emit.h"
+#include "src/ebpf/assembler.h"
+#include "src/ebpf/helper_ids.h"
+
+namespace kflex {
+
+namespace {
+
+using L = RedisLayout;
+
+}  // namespace
+
+Program BuildRedisExtension(const RedisBuildOptions& options) {
+  Assembler a;
+  a.Mov(R6, R1);
+
+  // Bucket address from the 32-byte key.
+  EmitHashKey32(a, R2, R6, kOffKey, R3);
+  a.AndImm(R2, L::kNumBuckets - 1);
+  a.LshImm(R2, 3);
+  a.LoadHeapAddr(R9, L::kBucketsOff);
+  a.Add(R9, R2);
+
+  a.LoadHeapAddr(R1, L::kLockOff);
+  a.Call(kHelperKflexSpinLock);
+
+  auto set_label = a.NewLabel();
+  auto zadd_label = a.NewLabel();
+  auto finish_hit = a.NewLabel();
+  auto finish_miss = a.NewLabel();
+  a.Ldx(BPF_B, R2, R6, kOffOp);
+  a.JmpImm(BPF_JEQ, R2, static_cast<int32_t>(KvOp::kSet), set_label);
+  a.JmpImm(BPF_JEQ, R2, static_cast<int32_t>(KvOp::kZadd), zadd_label);
+
+  // ---- GET ----
+  {
+    a.Ldx(BPF_DW, R8, R9, 0);
+    auto loop_head = a.NewLabel();
+    a.Bind(loop_head);
+    a.JmpImm(BPF_JEQ, R8, 0, finish_miss);
+    auto differ = a.NewLabel();
+    EmitKeyCompare32(a, R8, L::kNodeKey, R6, kOffKey, differ, R2, R3);
+    a.Ldx(BPF_DW, R2, R8, L::kNodeValLen);
+    a.Stx(BPF_H, R6, kOffValLen, R2);
+    EmitCopyWords(a, R6, kOffResp, R8, L::kNodeValue, 8, R3);
+    a.Jmp(finish_hit);
+    a.Bind(differ);
+    a.Ldx(BPF_DW, R8, R8, L::kNodeNext);
+    a.Jmp(loop_head);
+  }
+
+  // ---- SET ----
+  a.Bind(set_label);
+  {
+    a.Ldx(BPF_DW, R8, R9, 0);
+    auto loop_head = a.NewLabel();
+    auto insert = a.NewLabel();
+    a.Bind(loop_head);
+    a.JmpImm(BPF_JEQ, R8, 0, insert);
+    auto differ = a.NewLabel();
+    EmitKeyCompare32(a, R8, L::kNodeKey, R6, kOffKey, differ, R2, R3);
+    a.Ldx(BPF_H, R2, R6, kOffValLen);
+    a.Stx(BPF_DW, R8, L::kNodeValLen, R2);
+    EmitCopyWords(a, R8, L::kNodeValue, R6, kOffValue, 8, R3);
+    a.Jmp(finish_hit);
+    a.Bind(differ);
+    a.Ldx(BPF_DW, R8, R8, L::kNodeNext);
+    a.Jmp(loop_head);
+
+    a.Bind(insert);
+    a.MovImm(R1, L::kNodeSize);
+    a.Call(kHelperKflexMalloc);
+    {
+      auto null = a.IfImm(BPF_JEQ, R0, 0);
+      a.Jmp(finish_miss);
+      a.EndIf(null);
+    }
+    EmitCopyWords(a, R0, L::kNodeKey, R6, kOffKey, 4, R2);
+    a.Ldx(BPF_H, R2, R6, kOffValLen);
+    a.Stx(BPF_DW, R0, L::kNodeValLen, R2);
+    EmitCopyWords(a, R0, L::kNodeValue, R6, kOffValue, 8, R2);
+    a.StImm(BPF_DW, R0, L::kNodeZRoot, 0);
+    a.Ldx(BPF_DW, R3, R9, 0);
+    a.Stx(BPF_DW, R0, L::kNodeNext, R3);
+    a.Stx(BPF_DW, R9, 0, R0);
+    a.Jmp(finish_hit);
+  }
+
+  // ---- ZADD ----
+  a.Bind(zadd_label);
+  {
+    auto have_node = a.NewLabel();
+    // Find or create the hash node for the key.
+    a.Ldx(BPF_DW, R8, R9, 0);
+    auto loop_head = a.NewLabel();
+    auto create = a.NewLabel();
+    a.Bind(loop_head);
+    a.JmpImm(BPF_JEQ, R8, 0, create);
+    auto differ = a.NewLabel();
+    EmitKeyCompare32(a, R8, L::kNodeKey, R6, kOffKey, differ, R2, R3);
+    a.Ldx(BPF_DW, R7, R8, L::kNodeZRoot);
+    a.Jmp(have_node);
+    a.Bind(differ);
+    a.Ldx(BPF_DW, R8, R8, L::kNodeNext);
+    a.Jmp(loop_head);
+
+    a.Bind(create);
+    a.MovImm(R1, L::kNodeSize);
+    a.Call(kHelperKflexMalloc);
+    {
+      auto null = a.IfImm(BPF_JEQ, R0, 0);
+      a.Jmp(finish_miss);
+      a.EndIf(null);
+    }
+    EmitCopyWords(a, R0, L::kNodeKey, R6, kOffKey, 4, R2);
+    a.StImm(BPF_DW, R0, L::kNodeValLen, 0);
+    a.StImm(BPF_DW, R0, L::kNodeZRoot, 0);
+    a.Ldx(BPF_DW, R3, R9, 0);
+    a.Stx(BPF_DW, R0, L::kNodeNext, R3);
+    a.Stx(BPF_DW, R9, 0, R0);
+    a.Mov(R8, R0);
+    a.OrImm(R8, 0);  // launder to match the found path
+    a.MovImm(R7, 0);
+
+    a.Bind(have_node);
+    // R8 = hash node, R7 = zset root (0 if absent).
+    {
+      auto has_root = a.IfImm(BPF_JNE, R7, 0);
+      a.Else(has_root);
+      // Allocate + zero the skip-list head; plant it in the hash node.
+      a.MovImm(R1, L::kZNodeSize);
+      a.Call(kHelperKflexMalloc);
+      {
+        auto null = a.IfImm(BPF_JEQ, R0, 0);
+        a.Jmp(finish_miss);
+        a.EndIf(null);
+      }
+      for (int off = 0; off < L::kZNodeSize; off += 8) {
+        a.StImm(BPF_DW, R0, static_cast<int16_t>(off), 0);
+      }
+      a.Stx(BPF_DW, R8, L::kNodeZRoot, R0);
+      a.Mov(R7, R0);
+      a.OrImm(R7, 0);
+      a.EndIf(has_root);
+    }
+
+    // ---- Skip-list insert of (score = ctx.zscore, member = value[0:8]) ----
+    // Walk: cur = head; record predecessors in the scratch array.
+    a.Mov(R8, R7);  // cur
+    a.MovImm(R9, L::kZLevels - 1);
+    {
+      auto levels = a.LoopBegin();
+      a.LoopBreakIfImm(levels, BPF_JSLT, R9, 0);
+      {
+        auto walk = a.LoopBegin();
+        a.Mov(R2, R9);
+        a.LshImm(R2, 3);
+        a.Add(R2, R8);
+        a.Ldx(BPF_DW, R3, R2, L::kZFwd);
+        a.LoopBreakIfImm(walk, BPF_JEQ, R3, 0);
+        a.Ldx(BPF_DW, R4, R3, L::kZKey);
+        a.Ldx(BPF_DW, R5, R6, kOffZScore);
+        a.LoopBreakIfReg(walk, BPF_JGE, R4, R5);
+        a.Mov(R8, R3);
+        a.LoopEnd(walk);
+      }
+      a.LoadHeapAddr(R2, L::kZaddScratchOff);
+      a.Mov(R3, R9);
+      a.LshImm(R3, 3);
+      a.Add(R2, R3);
+      a.Stx(BPF_DW, R2, 0, R8);
+      a.SubImm(R9, 1);
+      a.LoopEnd(levels);
+    }
+    // Equal-score candidate: update its member in place.
+    a.Ldx(BPF_DW, R3, R8, L::kZFwd);
+    {
+      auto cand = a.IfImm(BPF_JNE, R3, 0);
+      a.Ldx(BPF_DW, R4, R3, L::kZKey);
+      a.Ldx(BPF_DW, R5, R6, kOffZScore);
+      auto same = a.IfReg(BPF_JEQ, R4, R5);
+      a.Ldx(BPF_DW, R2, R6, kOffValue);
+      a.Stx(BPF_DW, R3, L::kZMember, R2);
+      a.Jmp(finish_hit);
+      a.EndIf(same);
+      a.EndIf(cand);
+    }
+    // Random level.
+    a.LoadHeapAddr(R2, L::kRngOff);
+    a.Ldx(BPF_DW, R3, R2, 0);
+    {
+      auto unseeded = a.IfImm(BPF_JEQ, R3, 0);
+      a.LoadImm64(R4, 0x2545F4914F6CDD1DULL);
+      a.Stx(BPF_DW, R2, 0, R4);
+      a.EndIf(unseeded);
+    }
+    EmitXorshiftHeap(a, R0, L::kRngOff, R2, R3);
+    a.MovImm(R9, 1);
+    {
+      auto levelgen = a.LoopBegin();
+      a.LoopBreakIfImm(levelgen, BPF_JEQ, R9, L::kZLevels);
+      a.Mov(R2, R0);
+      a.AndImm(R2, 1);
+      a.LoopBreakIfImm(levelgen, BPF_JEQ, R2, 0);
+      a.RshImm(R0, 1);
+      a.AddImm(R9, 1);
+      a.LoopEnd(levelgen);
+    }
+    a.Stx(BPF_DW, R10, -8, R9);  // h
+
+    a.MovImm(R1, L::kZNodeSize);
+    a.Call(kHelperKflexMalloc);
+    {
+      auto null = a.IfImm(BPF_JEQ, R0, 0);
+      a.Jmp(finish_miss);
+      a.EndIf(null);
+    }
+    a.Ldx(BPF_DW, R2, R6, kOffZScore);
+    a.Stx(BPF_DW, R0, L::kZKey, R2);
+    a.Ldx(BPF_DW, R3, R6, kOffValue);
+    a.Stx(BPF_DW, R0, L::kZMember, R3);
+    a.Mov(R8, R0);
+    a.OrImm(R8, 0);
+    a.Ldx(BPF_DW, R9, R10, -8);  // h
+
+    a.MovImm(R7, 0);  // i
+    {
+      auto splice = a.LoopBegin();
+      a.LoopBreakIfReg(splice, BPF_JGE, R7, R9);
+      a.Mov(R2, R7);
+      a.LshImm(R2, 3);
+      a.LoadHeapAddr(R3, L::kZaddScratchOff);
+      a.Add(R3, R2);
+      a.Ldx(BPF_DW, R4, R3, 0);     // u = update[i]
+      a.Mov(R5, R7);
+      a.LshImm(R5, 3);
+      a.Add(R5, R4);
+      a.Ldx(BPF_DW, R0, R5, L::kZFwd);
+      a.Mov(R2, R7);
+      a.LshImm(R2, 3);
+      a.Add(R2, R8);
+      a.Stx(BPF_DW, R2, L::kZFwd, R0);
+      a.Stx(BPF_DW, R5, L::kZFwd, R8);
+      a.AddImm(R7, 1);
+      a.LoopEnd(splice);
+    }
+    a.Jmp(finish_hit);
+  }
+
+  a.Bind(finish_hit);
+  a.StImm(BPF_B, R6, kOffRespFlag, 1);
+  a.LoadHeapAddr(R1, L::kLockOff);
+  a.Call(kHelperKflexSpinUnlock);
+  a.MovImm(R0, 0);  // SK_PASS-style verdict with the reply in the ctx
+  a.Exit();
+
+  a.Bind(finish_miss);
+  a.StImm(BPF_B, R6, kOffRespFlag, 0);
+  a.LoadHeapAddr(R1, L::kLockOff);
+  a.Call(kHelperKflexSpinUnlock);
+  a.MovImm(R0, 0);
+  a.Exit();
+
+  auto p = a.Finish("kflex_redis", Hook::kSkSkb, ExtensionMode::kKflex, options.heap_size);
+  KFLEX_CHECK(p.ok());
+  return std::move(p).value();
+}
+
+// ---- UserRedis -----------------------------------------------------------------
+
+bool UserRedis::Set(uint64_t key_id, std::string_view value) {
+  if (value.size() > 64) {
+    return false;
+  }
+  strings_[key_id] = std::string(value);
+  return true;
+}
+
+std::optional<std::string> UserRedis::Get(uint64_t key_id) const {
+  auto it = strings_.find(key_id);
+  if (it == strings_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+bool UserRedis::Zadd(uint64_t key_id, uint64_t score, uint64_t member) {
+  auto& zset = zsets_[key_id];
+  auto [it, inserted] = zset.insert_or_assign(score, member);
+  (void)it;
+  return inserted;
+}
+
+const std::map<uint64_t, uint64_t>* UserRedis::Zset(uint64_t key_id) const {
+  auto it = zsets_.find(key_id);
+  return it == zsets_.end() ? nullptr : &it->second;
+}
+
+// ---- KflexRedisDriver ------------------------------------------------------------
+
+StatusOr<KflexRedisDriver> KflexRedisDriver::Create(MockKernel& kernel,
+                                                    const RedisBuildOptions& options,
+                                                    const KieOptions& kie) {
+  Program program = BuildRedisExtension(options);
+  LoadOptions lo;
+  lo.kie = kie;
+  lo.heap_static_bytes = L::kStaticBytes;
+  StatusOr<ExtensionId> id = kernel.runtime().Load(program, lo);
+  if (!id.ok()) {
+    return id.status();
+  }
+  KFLEX_RETURN_IF_ERROR(kernel.Attach(*id));
+  return KflexRedisDriver(kernel, *id);
+}
+
+KflexRedisDriver::OpResult KflexRedisDriver::Deliver(int cpu, KvPacket& pkt) {
+  pkt.SetProto(kProtoTcp);
+  InvokeResult r = kernel_->Deliver(Hook::kSkSkb, cpu, pkt.data(), pkt.size());
+  OpResult out;
+  out.served = r.attached && !r.cancelled;
+  out.insns = r.insns;
+  out.instr_insns = r.instr_insns;
+  out.hit = pkt.resp_flag() == 1;
+  if (out.hit) {
+    out.value = std::string(pkt.resp());
+  }
+  return out;
+}
+
+KflexRedisDriver::OpResult KflexRedisDriver::Set(int cpu, uint64_t key_id,
+                                                 std::string_view value) {
+  KvPacket pkt;
+  pkt.SetOp(KvOp::kSet);
+  auto key = MakeKey32(key_id);
+  pkt.SetKey(std::string_view(reinterpret_cast<const char*>(key.data()), key.size()));
+  pkt.SetValue(value);
+  return Deliver(cpu, pkt);
+}
+
+KflexRedisDriver::OpResult KflexRedisDriver::Get(int cpu, uint64_t key_id) {
+  KvPacket pkt;
+  pkt.SetOp(KvOp::kGet);
+  auto key = MakeKey32(key_id);
+  pkt.SetKey(std::string_view(reinterpret_cast<const char*>(key.data()), key.size()));
+  return Deliver(cpu, pkt);
+}
+
+KflexRedisDriver::OpResult KflexRedisDriver::Zadd(int cpu, uint64_t key_id, uint64_t score,
+                                                  uint64_t member) {
+  KvPacket pkt;
+  pkt.SetOp(KvOp::kZadd);
+  auto key = MakeKey32(key_id);
+  pkt.SetKey(std::string_view(reinterpret_cast<const char*>(key.data()), key.size()));
+  uint8_t member_bytes[8];
+  std::memcpy(member_bytes, &member, 8);
+  pkt.SetValue(std::string_view(reinterpret_cast<const char*>(member_bytes), 8));
+  pkt.SetZScore(score);
+  return Deliver(cpu, pkt);
+}
+
+std::map<uint64_t, uint64_t> KflexRedisDriver::ReadZset(uint64_t key_id) {
+  std::map<uint64_t, uint64_t> out;
+  ExtensionHeap* heap = kernel_->runtime().heap(id_);
+  const HeapLayout& layout = heap->layout();
+  auto key = MakeKey32(key_id);
+  uint64_t words[4];
+  std::memcpy(words, key.data(), 32);
+  uint64_t hash = words[0];
+  for (int w = 1; w < 4; w++) {
+    hash = (hash * 0x100000001B3ULL) ^ words[w];
+  }
+  hash ^= hash >> 30;
+  hash *= 0xBF58476D1CE4E5B9ULL;
+  hash ^= hash >> 27;
+  hash *= 0x94D049BB133111EBULL;
+  hash ^= hash >> 31;
+  uint64_t bucket_off = L::kBucketsOff + (hash & (L::kNumBuckets - 1)) * 8;
+
+  auto load = [&](uint64_t off) {
+    uint64_t v;
+    std::memcpy(&v, heap->HostAt(off & layout.mask()), 8);
+    return v;
+  };
+  uint64_t node = load(bucket_off);
+  while (node != 0) {
+    uint8_t stored[32];
+    std::memcpy(stored, heap->HostAt((node & layout.mask()) + L::kNodeKey), 32);
+    if (std::memcmp(stored, key.data(), 32) == 0) {
+      break;
+    }
+    node = load((node & layout.mask()) + L::kNodeNext);
+  }
+  if (node == 0) {
+    return out;
+  }
+  uint64_t head = load((node & layout.mask()) + L::kNodeZRoot);
+  if (head == 0) {
+    return out;
+  }
+  uint64_t cur = load((head & layout.mask()) + L::kZFwd);
+  while (cur != 0) {
+    uint64_t score = load((cur & layout.mask()) + L::kZKey);
+    uint64_t member = load((cur & layout.mask()) + L::kZMember);
+    out[score] = member;
+    cur = load((cur & layout.mask()) + L::kZFwd);
+  }
+  return out;
+}
+
+}  // namespace kflex

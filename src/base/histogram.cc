@@ -1,0 +1,95 @@
+#include "src/base/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace kflex {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0), count_(0), min_(~0ULL), max_(0), sum_(0) {}
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value < kSubBuckets) {
+    return static_cast<int>(value);
+  }
+  int log = 63 - std::countl_zero(value);
+  int shift = log - kSubBucketBits;
+  int sub = static_cast<int>((value >> shift) & (kSubBuckets - 1));
+  int bucket = (log - kSubBucketBits + 1) * kSubBuckets + sub;
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+uint64_t Histogram::BucketUpperBound(int bucket) {
+  if (bucket < kSubBuckets) {
+    return static_cast<uint64_t>(bucket);
+  }
+  int range = bucket / kSubBuckets;      // >= 1
+  int sub = bucket % kSubBuckets;
+  int log = range + kSubBucketBits - 1;  // exponent of the range start
+  uint64_t base = 1ULL << log;
+  uint64_t step = base >> kSubBucketBits;
+  return base + static_cast<uint64_t>(sub + 1) * step - 1;
+}
+
+void Histogram::Record(uint64_t value_ns) {
+  buckets_[static_cast<size_t>(BucketFor(value_ns))]++;
+  count_++;
+  min_ = std::min(min_, value_ns);
+  max_ = std::max(max_, value_ns);
+  sum_ += static_cast<double>(value_ns);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; i++) {
+    buckets_[static_cast<size_t>(i)] += other.buckets_[static_cast<size_t>(i)];
+  }
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = ~0ULL;
+  max_ = 0;
+  sum_ = 0;
+}
+
+double Histogram::Mean() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  return sum_ / static_cast<double>(count_);
+}
+
+uint64_t Histogram::Percentile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; i++) {
+    seen += buckets_[static_cast<size_t>(i)];
+    if (seen >= target) {
+      return std::min(BucketUpperBound(i), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1f p50=%llu p99=%llu p999=%llu max=%llu",
+                static_cast<unsigned long long>(count_), Mean(),
+                static_cast<unsigned long long>(Percentile(0.50)),
+                static_cast<unsigned long long>(Percentile(0.99)),
+                static_cast<unsigned long long>(Percentile(0.999)),
+                static_cast<unsigned long long>(max_));
+  return std::string(buf);
+}
+
+}  // namespace kflex

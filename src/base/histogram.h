@@ -1,0 +1,52 @@
+// Latency histogram with logarithmic buckets and percentile queries.
+//
+// Used by the discrete-event load generator to report p50/p99/p999 tail
+// latencies for the end-to-end experiments (Figures 2, 3, 4, 6, 7).
+#ifndef SRC_BASE_HISTOGRAM_H_
+#define SRC_BASE_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kflex {
+
+class Histogram {
+ public:
+  Histogram();
+
+  // Records a nanosecond-scale sample.
+  void Record(uint64_t value_ns);
+
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+
+  // Returns the approximate value at quantile q in [0, 1].
+  uint64_t Percentile(double q) const;
+
+  std::string Summary() const;
+
+ private:
+  // Buckets: [0,1), [1,2), ..., then log2 ranges split into 16 sub-buckets.
+  static constexpr int kSubBucketBits = 4;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kNumBuckets = 64 * kSubBuckets;
+
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketUpperBound(int bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_;
+  uint64_t min_;
+  uint64_t max_;
+  double sum_;
+};
+
+}  // namespace kflex
+
+#endif  // SRC_BASE_HISTOGRAM_H_

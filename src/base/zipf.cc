@@ -1,0 +1,44 @@
+#include "src/base/zipf.h"
+
+#include <cmath>
+
+#include "src/base/logging.h"
+
+namespace kflex {
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t /*seed*/)
+    : n_(n), theta_(theta) {
+  KFLEX_CHECK(n > 0);
+  zetan_ = Zeta(n, theta);
+  zeta2theta_ = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+double ZipfGenerator::Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; i++) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+uint64_t ZipfGenerator::Next(Rng& rng) {
+  double u = rng.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  double v = eta_ * u - eta_ + 1.0;
+  uint64_t rank = static_cast<uint64_t>(static_cast<double>(n_) * std::pow(v, alpha_));
+  if (rank >= n_) {
+    rank = n_ - 1;
+  }
+  return rank;
+}
+
+}  // namespace kflex

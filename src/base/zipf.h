@@ -1,0 +1,38 @@
+// Zipfian key-popularity generator.
+//
+// The paper's load generator issues requests "according to a Zipfian access
+// pattern with s = 0.99" (§5). We use the rejection-inversion-free classic
+// Gray et al. / YCSB-style generator with precomputed constants.
+#ifndef SRC_BASE_ZIPF_H_
+#define SRC_BASE_ZIPF_H_
+
+#include <cstdint>
+
+#include "src/base/rng.h"
+
+namespace kflex {
+
+class ZipfGenerator {
+ public:
+  // Generates values in [0, n). theta is the skew (paper uses 0.99).
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 42);
+
+  uint64_t Next(Rng& rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+}  // namespace kflex
+
+#endif  // SRC_BASE_ZIPF_H_

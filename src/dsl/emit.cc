@@ -1,0 +1,67 @@
+#include "src/dsl/emit.h"
+
+namespace kflex {
+
+void EmitHashFinalize(Assembler& a, Reg dst, Reg tmp) {
+  // dst ^= dst >> 30; dst *= K1; dst ^= dst >> 27; dst *= K2; dst ^= dst >> 31
+  a.Mov(tmp, dst);
+  a.RshImm(tmp, 30);
+  a.Xor(dst, tmp);
+  a.LoadImm64(tmp, 0xBF58476D1CE4E5B9ULL);
+  a.Mul(dst, tmp);
+  a.Mov(tmp, dst);
+  a.RshImm(tmp, 27);
+  a.Xor(dst, tmp);
+  a.LoadImm64(tmp, 0x94D049BB133111EBULL);
+  a.Mul(dst, tmp);
+  a.Mov(tmp, dst);
+  a.RshImm(tmp, 31);
+  a.Xor(dst, tmp);
+}
+
+void EmitHashKey32(Assembler& a, Reg dst, Reg ctx_reg, int16_t key_off, Reg tmp) {
+  // dst = k0; dst = dst * P + k_i for the remaining words; finalize.
+  a.Ldx(BPF_DW, dst, ctx_reg, key_off);
+  for (int word = 1; word < 4; word++) {
+    a.LoadImm64(tmp, 0x100000001B3ULL);
+    a.Mul(dst, tmp);
+    a.Ldx(BPF_DW, tmp, ctx_reg, static_cast<int16_t>(key_off + word * 8));
+    a.Xor(dst, tmp);
+  }
+  EmitHashFinalize(a, dst, tmp);
+}
+
+void EmitCopyWords(Assembler& a, Reg dst_reg, int16_t dst_off, Reg src_reg, int16_t src_off,
+                   int words, Reg tmp) {
+  for (int w = 0; w < words; w++) {
+    a.Ldx(BPF_DW, tmp, src_reg, static_cast<int16_t>(src_off + w * 8));
+    a.Stx(BPF_DW, dst_reg, static_cast<int16_t>(dst_off + w * 8), tmp);
+  }
+}
+
+void EmitKeyCompare32(Assembler& a, Reg a_reg, int16_t a_off, Reg b_reg, int16_t b_off,
+                      Assembler::Label differ, Reg tmp1, Reg tmp2) {
+  for (int w = 0; w < 4; w++) {
+    a.Ldx(BPF_DW, tmp1, a_reg, static_cast<int16_t>(a_off + w * 8));
+    a.Ldx(BPF_DW, tmp2, b_reg, static_cast<int16_t>(b_off + w * 8));
+    a.JmpReg(BPF_JNE, tmp1, tmp2, differ);
+  }
+}
+
+void EmitXorshiftHeap(Assembler& a, Reg dst, uint64_t heap_off, Reg state_ptr, Reg tmp) {
+  a.LoadHeapAddr(state_ptr, heap_off);
+  a.Ldx(BPF_DW, dst, state_ptr, 0);
+  // x ^= x << 13; x ^= x >> 7; x ^= x << 17
+  a.Mov(tmp, dst);
+  a.LshImm(tmp, 13);
+  a.Xor(dst, tmp);
+  a.Mov(tmp, dst);
+  a.RshImm(tmp, 7);
+  a.Xor(dst, tmp);
+  a.Mov(tmp, dst);
+  a.LshImm(tmp, 17);
+  a.Xor(dst, tmp);
+  a.Stx(BPF_DW, state_ptr, 0, dst);
+}
+
+}  // namespace kflex

@@ -1,0 +1,39 @@
+// Reusable bytecode emitters: the "compiler intrinsics" extension authors
+// get on top of the raw assembler. KFlex keeps eBPF's toolchain story —
+// extensions are arbitrary bytecode — and in this reproduction that bytecode
+// is produced by these emitters plus the builders in src/apps.
+#ifndef SRC_DSL_EMIT_H_
+#define SRC_DSL_EMIT_H_
+
+#include <cstdint>
+
+#include "src/ebpf/assembler.h"
+
+namespace kflex {
+
+// dst = splitmix64-style finalizer(dst): a strong 64-bit hash usable for
+// bucket indices and sketch rows. Clobbers `tmp`.
+void EmitHashFinalize(Assembler& a, Reg dst, Reg tmp);
+
+// dst = hash of the 32-byte key at ctx_reg[key_off..key_off+32) (four
+// 64-bit words folded then finalized). Clobbers tmp.
+void EmitHashKey32(Assembler& a, Reg dst, Reg ctx_reg, int16_t key_off, Reg tmp);
+
+// Copies `words` 8-byte words from src_reg[src_off] to dst_reg[dst_off]
+// using `tmp` (straight-line, no loop).
+void EmitCopyWords(Assembler& a, Reg dst_reg, int16_t dst_off, Reg src_reg, int16_t src_off,
+                   int words, Reg tmp);
+
+// Jumps to `differ` if the 32-byte keys at a_reg[a_off] and b_reg[b_off]
+// differ. Clobbers tmp1/tmp2.
+void EmitKeyCompare32(Assembler& a, Reg a_reg, int16_t a_off, Reg b_reg, int16_t b_off,
+                      Assembler::Label differ, Reg tmp1, Reg tmp2);
+
+// xorshift64 step on the heap global at heap_off: loads the state, advances
+// it, stores it back, and leaves the new value in dst. Clobbers
+// state_ptr/tmp.
+void EmitXorshiftHeap(Assembler& a, Reg dst, uint64_t heap_off, Reg state_ptr, Reg tmp);
+
+}  // namespace kflex
+
+#endif  // SRC_DSL_EMIT_H_

@@ -1,0 +1,196 @@
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/ebpf/insn.h"
+#include "src/ebpf/program.h"
+
+namespace kflex {
+
+namespace {
+
+const char* AluOpName(uint8_t op) {
+  switch (op) {
+    case BPF_ADD:
+      return "add";
+    case BPF_SUB:
+      return "sub";
+    case BPF_MUL:
+      return "mul";
+    case BPF_DIV:
+      return "div";
+    case BPF_OR:
+      return "or";
+    case BPF_AND:
+      return "and";
+    case BPF_LSH:
+      return "lsh";
+    case BPF_RSH:
+      return "rsh";
+    case BPF_NEG:
+      return "neg";
+    case BPF_MOD:
+      return "mod";
+    case BPF_XOR:
+      return "xor";
+    case BPF_MOV:
+      return "mov";
+    case BPF_ARSH:
+      return "arsh";
+  }
+  return "alu?";
+}
+
+const char* JmpOpName(uint8_t op) {
+  switch (op) {
+    case BPF_JA:
+      return "ja";
+    case BPF_JEQ:
+      return "jeq";
+    case BPF_JGT:
+      return "jgt";
+    case BPF_JGE:
+      return "jge";
+    case BPF_JSET:
+      return "jset";
+    case BPF_JNE:
+      return "jne";
+    case BPF_JSGT:
+      return "jsgt";
+    case BPF_JSGE:
+      return "jsge";
+    case BPF_JLT:
+      return "jlt";
+    case BPF_JLE:
+      return "jle";
+    case BPF_JSLT:
+      return "jslt";
+    case BPF_JSLE:
+      return "jsle";
+  }
+  return "jmp?";
+}
+
+const char* SizeName(uint8_t size) {
+  switch (size) {
+    case BPF_B:
+      return "u8";
+    case BPF_H:
+      return "u16";
+    case BPF_W:
+      return "u32";
+    case BPF_DW:
+      return "u64";
+  }
+  return "u?";
+}
+
+}  // namespace
+
+std::string InsnToString(const Insn& insn) {
+  char buf[128];
+  if (insn.IsLdImm64()) {
+    std::snprintf(buf, sizeof(buf), "r%d = imm64(lo=0x%x, pseudo=%d)", insn.dst,
+                  static_cast<uint32_t>(insn.imm), insn.src);
+    return buf;
+  }
+  switch (insn.Class()) {
+    case BPF_ALU:
+    case BPF_ALU64: {
+      const char* suffix = insn.Class() == BPF_ALU ? "32" : "";
+      if (insn.AluOpField() == BPF_NEG) {
+        std::snprintf(buf, sizeof(buf), "r%d = -r%d%s", insn.dst, insn.dst, suffix);
+      } else if (insn.SrcField() == BPF_X) {
+        std::snprintf(buf, sizeof(buf), "%s%s r%d, r%d", AluOpName(insn.AluOpField()), suffix,
+                      insn.dst, insn.src);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%s%s r%d, %d", AluOpName(insn.AluOpField()), suffix,
+                      insn.dst, insn.imm);
+      }
+      return buf;
+    }
+    case BPF_LDX:
+      std::snprintf(buf, sizeof(buf), "r%d = *(%s*)(r%d %+d)", insn.dst,
+                    SizeName(insn.SizeField()), insn.src, insn.off);
+      return buf;
+    case BPF_ST:
+      std::snprintf(buf, sizeof(buf), "*(%s*)(r%d %+d) = %d", SizeName(insn.SizeField()),
+                    insn.dst, insn.off, insn.imm);
+      return buf;
+    case BPF_STX:
+      if (insn.IsAtomic()) {
+        std::snprintf(buf, sizeof(buf), "atomic(%s) *(%s*)(r%d %+d), r%d",
+                      insn.imm == BPF_ATOMIC_XCHG      ? "xchg"
+                      : insn.imm == BPF_ATOMIC_CMPXCHG ? "cmpxchg"
+                      : (insn.imm & BPF_ATOMIC_FETCH)  ? "add_fetch"
+                                                       : "add",
+                      SizeName(insn.SizeField()), insn.dst, insn.off, insn.src);
+      } else {
+        std::snprintf(buf, sizeof(buf), "*(%s*)(r%d %+d) = r%d", SizeName(insn.SizeField()),
+                      insn.dst, insn.off, insn.src);
+      }
+      return buf;
+    case BPF_JMP:
+    case BPF_JMP32: {
+      uint8_t op = insn.AluOpField();
+      if (op == BPF_CALL) {
+        std::snprintf(buf, sizeof(buf), "call %d", insn.imm);
+      } else if (op == BPF_EXIT) {
+        std::snprintf(buf, sizeof(buf), "exit");
+      } else if (op == BPF_JA) {
+        std::snprintf(buf, sizeof(buf), "goto %+d", insn.off);
+      } else if (insn.SrcField() == BPF_X) {
+        std::snprintf(buf, sizeof(buf), "if r%d %s r%d goto %+d", insn.dst, JmpOpName(op),
+                      insn.src, insn.off);
+      } else {
+        std::snprintf(buf, sizeof(buf), "if r%d %s %d goto %+d", insn.dst, JmpOpName(op),
+                      insn.imm, insn.off);
+      }
+      return buf;
+    }
+  }
+  std::snprintf(buf, sizeof(buf), "invalid opcode 0x%02x", insn.opcode);
+  return buf;
+}
+
+const char* HookName(Hook hook) {
+  switch (hook) {
+    case Hook::kXdp:
+      return "xdp";
+    case Hook::kSkSkb:
+      return "sk_skb";
+    case Hook::kTracepoint:
+      return "tracepoint";
+    case Hook::kLsm:
+      return "lsm";
+  }
+  return "?";
+}
+
+int64_t HookDefaultVerdict(Hook hook) {
+  switch (hook) {
+    case Hook::kXdp:
+      return 2;  // XDP_PASS: let the packet continue up the stack.
+    case Hook::kSkSkb:
+      return 0;  // SK_PASS equivalent.
+    case Hook::kTracepoint:
+      return 0;
+    case Hook::kLsm:
+      return -1;  // -EPERM: deny by default.
+  }
+  return 0;
+}
+
+std::string ProgramToString(const Program& program) {
+  std::string out = "; program " + program.name + " hook=" + HookName(program.hook) + "\n";
+  for (size_t i = 0; i < program.insns.size(); i++) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "%4zu: %s\n", i, InsnToString(program.insns[i]).c_str());
+    out += line;
+    if (program.insns[i].IsLdImm64()) {
+      i++;  // Skip the second slot of the pair.
+    }
+  }
+  return out;
+}
+
+}  // namespace kflex

@@ -1,0 +1,96 @@
+#include "src/ebpf/helper_ids.h"
+
+namespace kflex {
+
+namespace {
+
+using A = HelperArgType;
+
+constexpr HelperContract kContracts[] = {
+    {kHelperMapLookupElem,
+     "bpf_map_lookup_elem",
+     {A::kConstMapPtr, A::kStackMem, A::kNone, A::kNone, A::kNone},
+     HelperRetType::kMapValueOrNull},
+    {kHelperMapUpdateElem,
+     "bpf_map_update_elem",
+     {A::kConstMapPtr, A::kStackMem, A::kStackMem, A::kScalar, A::kNone},
+     HelperRetType::kScalar},
+    {kHelperMapDeleteElem,
+     "bpf_map_delete_elem",
+     {A::kConstMapPtr, A::kStackMem, A::kNone, A::kNone, A::kNone},
+     HelperRetType::kScalar},
+    {kHelperKtimeGetNs,
+     "bpf_ktime_get_ns",
+     {A::kNone, A::kNone, A::kNone, A::kNone, A::kNone},
+     HelperRetType::kScalar},
+    {kHelperGetPrandomU32,
+     "bpf_get_prandom_u32",
+     {A::kNone, A::kNone, A::kNone, A::kNone, A::kNone},
+     HelperRetType::kScalar},
+    {kHelperSkLookupUdp,
+     "bpf_sk_lookup_udp",
+     {A::kPtrToCtx, A::kStackMem, A::kMemSize, A::kScalar, A::kScalar},
+     HelperRetType::kSocketOrNull,
+     /*acquires=*/ResourceKind::kSocket,
+     /*releases=*/ResourceKind::kNone,
+     /*destructor=*/kHelperSkRelease},
+    {kHelperSkRelease,
+     "bpf_sk_release",
+     {A::kSocket, A::kNone, A::kNone, A::kNone, A::kNone},
+     HelperRetType::kVoid,
+     /*acquires=*/ResourceKind::kNone,
+     /*releases=*/ResourceKind::kSocket},
+    {kHelperGetSmpProcessorId,
+     "bpf_get_smp_processor_id",
+     {A::kNone, A::kNone, A::kNone, A::kNone, A::kNone},
+     HelperRetType::kScalar},
+    {kHelperRingbufOutput,
+     "bpf_ringbuf_output",
+     {A::kConstMapPtr, A::kStackMem, A::kMemSize, A::kScalar, A::kNone},
+     HelperRetType::kScalar},
+    {kHelperKflexMalloc,
+     "kflex_malloc",
+     {A::kScalar, A::kNone, A::kNone, A::kNone, A::kNone},
+     HelperRetType::kHeapPtrOrNull,
+     ResourceKind::kNone,
+     ResourceKind::kNone,
+     static_cast<HelperId>(0),
+     /*ebpf_compatible=*/false},
+    {kHelperKflexFree,
+     "kflex_free",
+     {A::kHeapAddr, A::kNone, A::kNone, A::kNone, A::kNone},
+     HelperRetType::kVoid,
+     ResourceKind::kNone,
+     ResourceKind::kNone,
+     static_cast<HelperId>(0),
+     /*ebpf_compatible=*/false},
+    {kHelperKflexSpinLock,
+     "kflex_spin_lock",
+     {A::kHeapConstAddr, A::kNone, A::kNone, A::kNone, A::kNone},
+     HelperRetType::kVoid,
+     /*acquires=*/ResourceKind::kLock,
+     /*releases=*/ResourceKind::kNone,
+     /*destructor=*/kHelperKflexSpinUnlock,
+     /*ebpf_compatible=*/false},
+    {kHelperKflexSpinUnlock,
+     "kflex_spin_unlock",
+     {A::kHeapConstAddr, A::kNone, A::kNone, A::kNone, A::kNone},
+     HelperRetType::kVoid,
+     /*acquires=*/ResourceKind::kNone,
+     /*releases=*/ResourceKind::kLock,
+     static_cast<HelperId>(0),
+     /*ebpf_compatible=*/false},
+};
+
+}  // namespace
+
+const HelperContract* FindHelperContract(int32_t id) {
+  for (const HelperContract& contract : kContracts) {
+    if (contract.id == id) {
+      return &contract;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace kflex

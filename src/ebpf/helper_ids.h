@@ -1,0 +1,85 @@
+// Helper-function identifiers and their verifier-visible contracts.
+//
+// Extensions may only touch kernel-owned resources through helper functions
+// with well-defined semantics; this is what lets the verifier "precisely
+// track the set of resources held by the extension at each cancellation
+// point, as well as the destructor required to release these resources"
+// (§3.3). Contracts are shared between the verifier (argument/return typing,
+// acquire/release semantics) and the runtime (the actual implementations).
+#ifndef SRC_EBPF_HELPER_IDS_H_
+#define SRC_EBPF_HELPER_IDS_H_
+
+#include <cstdint>
+
+namespace kflex {
+
+enum HelperId : int32_t {
+  // ---- eBPF-compatible kernel helpers ----
+  kHelperMapLookupElem = 1,   // (map, key*) -> map value ptr or NULL
+  kHelperMapUpdateElem = 2,   // (map, key*, value*, flags) -> int
+  kHelperMapDeleteElem = 3,   // (map, key*) -> int
+  kHelperKtimeGetNs = 4,      // () -> u64 virtual nanoseconds
+  kHelperGetPrandomU32 = 5,   // () -> u32
+  kHelperSkLookupUdp = 6,     // (ctx, tuple*, size, netns, flags) -> socket or NULL; ACQUIRES
+  kHelperSkRelease = 7,       // (socket) -> void; RELEASES
+  kHelperGetSmpProcessorId = 8,  // () -> u32 current cpu
+  kHelperRingbufOutput = 9,      // (ringbuf map, data*, size, flags) -> 0 / -ENOSPC
+
+  // ---- KFlex runtime APIs (Table 2) ----
+  kHelperKflexMalloc = 100,     // (size) -> heap ptr or NULL
+  kHelperKflexFree = 101,       // (heap ptr) -> void
+  kHelperKflexSpinLock = 102,   // (lock*) -> void; ACQUIRES lock
+  kHelperKflexSpinUnlock = 103  // (lock*) -> void; RELEASES lock
+};
+
+// Argument type classes the verifier checks helper calls against.
+enum class HelperArgType {
+  kNone,          // argument slot unused
+  kScalar,        // any initialized scalar
+  kConstScalar,   // scalar with a statically known value
+  kPtrToCtx,
+  kConstMapPtr,
+  kStackMem,      // stack pointer; byte count given by the *next* argument
+  kMemSize,       // constant size paired with the preceding kStackMem
+  kHeapAddr,      // heap pointer, or (KFlex mode) untrusted scalar address
+  kHeapConstAddr, // heap pointer with statically known offset (lock identity)
+  kSocket,        // non-null referenced socket
+};
+
+enum class HelperRetType {
+  kVoid,             // R0 clobbered to unknown scalar, must not be relied on
+  kScalar,
+  kMapValueOrNull,
+  kHeapPtrOrNull,
+  kSocketOrNull,
+};
+
+// Kinds of kernel-owned resources an extension can hold. These appear in
+// cancellation object tables.
+enum class ResourceKind : uint8_t {
+  kNone = 0,
+  kSocket,
+  kLock,
+};
+
+struct HelperContract {
+  HelperId id;
+  const char* name;
+  HelperArgType args[5];
+  HelperRetType ret;
+  // Resource behaviour.
+  ResourceKind acquires = ResourceKind::kNone;
+  ResourceKind releases = ResourceKind::kNone;
+  // Helper invoked by the runtime to destroy an acquired-but-unreleased
+  // resource on cancellation (e.g., bpf_sk_release for sockets).
+  HelperId destructor = static_cast<HelperId>(0);
+  // Allowed in strict eBPF mode? KFlex-only APIs are not.
+  bool ebpf_compatible = true;
+};
+
+// Returns the contract for `id`, or nullptr if unknown.
+const HelperContract* FindHelperContract(int32_t id);
+
+}  // namespace kflex
+
+#endif  // SRC_EBPF_HELPER_IDS_H_

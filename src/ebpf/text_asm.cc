@@ -1,0 +1,549 @@
+#include "src/ebpf/text_asm.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdint>
+#include <set>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/ebpf/assembler.h"
+#include "src/ebpf/helper_ids.h"
+
+namespace kflex {
+
+namespace {
+
+// A tiny cursor-based tokenizer over one line.
+class Line {
+ public:
+  explicit Line(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      pos_++;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  // Consumes `token` if it is next (longest-match callers order checks).
+  bool Eat(std::string_view token) {
+    SkipSpace();
+    if (text_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  // Parses an identifier [A-Za-z_][A-Za-z0-9_]*.
+  std::optional<std::string> Ident() {
+    SkipSpace();
+    size_t start = pos_;
+    if (pos_ < text_.size() &&
+        (std::isalpha(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_')) {
+      pos_++;
+      while (pos_ < text_.size() && (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                                     text_[pos_] == '_')) {
+        pos_++;
+      }
+      return std::string(text_.substr(start, pos_ - start));
+    }
+    return std::nullopt;
+  }
+
+  // Parses a (possibly negative, possibly 0x-prefixed) integer.
+  std::optional<int64_t> Int() {
+    SkipSpace();
+    size_t start = pos_;
+    bool negative = false;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      negative = text_[pos_] == '-';
+      pos_++;
+    }
+    int base = 10;
+    if (text_.substr(pos_, 2) == "0x" || text_.substr(pos_, 2) == "0X") {
+      base = 16;
+      pos_ += 2;
+    }
+    uint64_t value = 0;
+    size_t digits_start = pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      int digit;
+      if (c >= '0' && c <= '9') {
+        digit = c - '0';
+      } else if (base == 16 && c >= 'a' && c <= 'f') {
+        digit = c - 'a' + 10;
+      } else if (base == 16 && c >= 'A' && c <= 'F') {
+        digit = c - 'A' + 10;
+      } else {
+        break;
+      }
+      value = value * static_cast<uint64_t>(base) + static_cast<uint64_t>(digit);
+      pos_++;
+    }
+    if (pos_ == digits_start) {
+      pos_ = start;
+      return std::nullopt;
+    }
+    int64_t signed_value = static_cast<int64_t>(value);
+    return negative ? -signed_value : signed_value;
+  }
+
+  // Parses rN.
+  std::optional<Reg> Register() {
+    SkipSpace();
+    size_t save = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == 'r' || text_[pos_] == 'R')) {
+      pos_++;
+      auto num = Int();
+      if (num.has_value() && *num >= 0 && *num <= 10) {
+        // Must not be followed by an identifier character (e.g. "r2x").
+        if (pos_ < text_.size() && (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                                    text_[pos_] == '_')) {
+          pos_ = save;
+          return std::nullopt;
+        }
+        return static_cast<Reg>(*num);
+      }
+    }
+    pos_ = save;
+    return std::nullopt;
+  }
+
+  // Parses a memory operand: *(u8|u16|u32|u64*)(rN +/- off). Returns false
+  // without consuming on mismatch of the leading "*(".
+  bool MemOperand(MemSize& size, Reg& base, int16_t& off, std::string& error) {
+    SkipSpace();
+    if (!Eat("*(")) {
+      return false;
+    }
+    if (Eat("u8")) {
+      size = BPF_B;
+    } else if (Eat("u16")) {
+      size = BPF_H;
+    } else if (Eat("u32")) {
+      size = BPF_W;
+    } else if (Eat("u64")) {
+      size = BPF_DW;
+    } else {
+      error = "expected u8/u16/u32/u64";
+      return false;
+    }
+    if (!Eat("*)") && !(Eat("*") && Eat(")"))) {
+      error = "expected '*)'";
+      return false;
+    }
+    if (!Eat("(")) {
+      error = "expected '('";
+      return false;
+    }
+    auto reg = Register();
+    if (!reg.has_value()) {
+      error = "expected register";
+      return false;
+    }
+    base = *reg;
+    int64_t offset = 0;
+    if (Eat("+")) {
+      auto v = Int();
+      if (!v.has_value()) {
+        error = "expected offset";
+        return false;
+      }
+      offset = *v;
+    } else if (Eat("-")) {
+      auto v = Int();
+      if (!v.has_value()) {
+        error = "expected offset";
+        return false;
+      }
+      offset = -*v;
+    }
+    if (offset < INT16_MIN || offset > INT16_MAX) {
+      error = "offset out of range";
+      return false;
+    }
+    off = static_cast<int16_t>(offset);
+    if (!Eat(")")) {
+      error = "expected ')'";
+      return false;
+    }
+    return true;
+  }
+
+  std::string Rest() {
+    SkipSpace();
+    return std::string(text_.substr(pos_));
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+struct OpSpec {
+  const char* token;
+  AluOp op;
+};
+
+// Ordered longest-first so "<<=" is tried before "<=".
+constexpr OpSpec kCompoundOps[] = {
+    {"<<=", BPF_LSH}, {">>=", BPF_RSH}, {"s>>=", BPF_ARSH}, {"+=", BPF_ADD},
+    {"-=", BPF_SUB},  {"*=", BPF_MUL},  {"/=", BPF_DIV},    {"%=", BPF_MOD},
+    {"&=", BPF_AND},  {"|=", BPF_OR},   {"^=", BPF_XOR},
+};
+
+struct CondSpec {
+  const char* token;
+  JmpOp op;
+};
+
+constexpr CondSpec kConds[] = {
+    {"==", BPF_JEQ},  {"!=", BPF_JNE},  {"s>=", BPF_JSGE}, {"s<=", BPF_JSLE},
+    {"s>", BPF_JSGT}, {"s<", BPF_JSLT}, {">=", BPF_JGE},   {"<=", BPF_JLE},
+    {">", BPF_JGT},   {"<", BPF_JLT},   {"&", BPF_JSET},
+};
+
+const HelperContract* FindHelperByName(const std::string& name) {
+  // Probe the known id ranges; contracts are the single source of truth.
+  for (int32_t id = 1; id <= 200; id++) {
+    const HelperContract* contract = FindHelperContract(id);
+    if (contract != nullptr && name == contract->name) {
+      return contract;
+    }
+  }
+  return nullptr;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : source_(source) {}
+
+  StatusOr<Program> Parse() {
+    std::string name = "kasm";
+    Hook hook = Hook::kXdp;
+    ExtensionMode mode = ExtensionMode::kKflex;
+    uint64_t heap = 0;
+
+    size_t line_no = 0;
+    size_t start = 0;
+    while (start <= source_.size()) {
+      size_t end = source_.find('\n', start);
+      if (end == std::string_view::npos) {
+        end = source_.size();
+      }
+      std::string_view raw = source_.substr(start, end - start);
+      start = end + 1;
+      line_no++;
+      // Strip comments.
+      size_t semi = raw.find(';');
+      if (semi != std::string_view::npos) {
+        raw = raw.substr(0, semi);
+      }
+      Line line(raw);
+      if (line.AtEnd()) {
+        if (end == source_.size()) {
+          break;
+        }
+        continue;
+      }
+
+      Status status = OkStatus();
+      if (line.Eat(".name")) {
+        name = line.Rest();
+      } else if (line.Eat(".hook")) {
+        std::string h = line.Rest();
+        if (h == "xdp") {
+          hook = Hook::kXdp;
+        } else if (h == "sk_skb") {
+          hook = Hook::kSkSkb;
+        } else if (h == "tracepoint") {
+          hook = Hook::kTracepoint;
+        } else if (h == "lsm") {
+          hook = Hook::kLsm;
+        } else {
+          status = InvalidArgument("unknown hook '" + h + "'");
+        }
+      } else if (line.Eat(".mode")) {
+        std::string m = line.Rest();
+        if (m == "kflex") {
+          mode = ExtensionMode::kKflex;
+        } else if (m == "ebpf") {
+          mode = ExtensionMode::kEbpf;
+        } else {
+          status = InvalidArgument("unknown mode '" + m + "'");
+        }
+      } else if (line.Eat(".heap")) {
+        auto v = line.Int();
+        if (!v.has_value() || *v <= 0) {
+          status = InvalidArgument("bad .heap size");
+        } else {
+          heap = static_cast<uint64_t>(*v);
+        }
+      } else {
+        status = ParseStatement(line);
+      }
+      if (!status.ok()) {
+        return Status(status.code(),
+                      "line " + std::to_string(line_no) + ": " + status.message());
+      }
+      if (end == source_.size()) {
+        break;
+      }
+    }
+    return asm_.Finish(name, hook, mode, heap);
+  }
+
+ private:
+  Assembler::Label LabelFor(const std::string& name) {
+    auto it = labels_.find(name);
+    if (it != labels_.end()) {
+      return it->second;
+    }
+    Assembler::Label label = asm_.NewLabel();
+    labels_[name] = label;
+    return label;
+  }
+
+  Status ParseStatement(Line& line) {
+    // goto / call / exit / lock / store / label / register statement.
+    if (line.Eat("goto")) {
+      auto label = line.Ident();
+      if (!label.has_value()) {
+        return InvalidArgument("goto needs a label");
+      }
+      asm_.Jmp(LabelFor(*label));
+      return OkStatus();
+    }
+    if (line.Eat("exit")) {
+      asm_.Exit();
+      return OkStatus();
+    }
+    if (line.Eat("call")) {
+      auto id = line.Int();
+      if (id.has_value()) {
+        asm_.Call(static_cast<int32_t>(*id));
+        return OkStatus();
+      }
+      auto ident = line.Ident();
+      if (!ident.has_value()) {
+        return InvalidArgument("call needs a helper id or name");
+      }
+      const HelperContract* contract = FindHelperByName(*ident);
+      if (contract == nullptr) {
+        return InvalidArgument("unknown helper '" + *ident + "'");
+      }
+      asm_.Call(contract->id);
+      return OkStatus();
+    }
+    if (line.Eat("if")) {
+      return ParseCond(line);
+    }
+    if (line.Eat("lock")) {
+      MemSize size;
+      Reg base;
+      int16_t off;
+      std::string error;
+      if (!line.MemOperand(size, base, off, error)) {
+        return InvalidArgument("lock: " + (error.empty() ? "expected memory operand" : error));
+      }
+      if (!line.Eat("+=")) {
+        return InvalidArgument("lock supports '+=' only");
+      }
+      auto src = line.Register();
+      if (!src.has_value()) {
+        return InvalidArgument("lock: expected source register");
+      }
+      asm_.AtomicAdd(size, base, off, *src);
+      return OkStatus();
+    }
+    {
+      // Store: *(SZ*)(rD + off) = rS | imm
+      MemSize size;
+      Reg base;
+      int16_t off;
+      std::string error;
+      Line probe = line;
+      if (probe.MemOperand(size, base, off, error)) {
+        if (!probe.Eat("=")) {
+          return InvalidArgument("store: expected '='");
+        }
+        auto src = probe.Register();
+        if (src.has_value()) {
+          asm_.Stx(size, base, off, *src);
+          return OkStatus();
+        }
+        auto imm = probe.Int();
+        if (imm.has_value()) {
+          asm_.StImm(size, base, off, static_cast<int32_t>(*imm));
+          return OkStatus();
+        }
+        return InvalidArgument("store: expected register or immediate");
+      }
+      if (!error.empty()) {
+        return InvalidArgument("store: " + error);
+      }
+    }
+
+    // rD ... forms.
+    auto dst = line.Register();
+    if (dst.has_value()) {
+      if (line.Eat("=")) {
+        return ParseAssignment(line, *dst);
+      }
+      for (const OpSpec& spec : kCompoundOps) {
+        if (line.Eat(spec.token)) {
+          auto src = line.Register();
+          if (src.has_value()) {
+            asm_.AluReg(spec.op, *dst, *src);
+            return OkStatus();
+          }
+          auto imm = line.Int();
+          if (imm.has_value()) {
+            asm_.AluImm(spec.op, *dst, static_cast<int32_t>(*imm));
+            return OkStatus();
+          }
+          return InvalidArgument("expected register or immediate operand");
+        }
+      }
+      return InvalidArgument("unknown operator after register");
+    }
+
+    // label:
+    auto ident = line.Ident();
+    if (ident.has_value() && line.Eat(":")) {
+      Assembler::Label label = LabelFor(*ident);
+      if (bound_.count(*ident) != 0) {
+        return InvalidArgument("label '" + *ident + "' bound twice");
+      }
+      bound_.insert(*ident);
+      asm_.Bind(label);
+      return OkStatus();
+    }
+    return InvalidArgument("unparseable statement");
+  }
+
+  Status ParseAssignment(Line& line, Reg dst) {
+    // rD = -rD
+    if (line.Eat("-r") || line.Eat("-R")) {
+      auto n = line.Int();
+      if (n.has_value() && *n == dst) {
+        asm_.Neg(dst);
+        return OkStatus();
+      }
+      return InvalidArgument("only 'rD = -rD' negation is supported");
+    }
+    if (line.Eat("heap")) {
+      auto off = line.Int();
+      if (!off.has_value() || *off < 0) {
+        return InvalidArgument("heap address needs a non-negative offset");
+      }
+      asm_.LoadHeapAddr(dst, static_cast<uint64_t>(*off));
+      return OkStatus();
+    }
+    if (line.Eat("imm64")) {
+      auto v = line.Int();
+      if (!v.has_value()) {
+        return InvalidArgument("imm64 needs a value");
+      }
+      asm_.LoadImm64(dst, static_cast<uint64_t>(*v));
+      return OkStatus();
+    }
+    if (line.Eat("map")) {
+      auto id = line.Int();
+      if (!id.has_value() || *id <= 0) {
+        return InvalidArgument("map needs a positive id");
+      }
+      asm_.LoadMapPtr(dst, static_cast<uint32_t>(*id));
+      return OkStatus();
+    }
+    {
+      MemSize size;
+      Reg base;
+      int16_t off;
+      std::string error;
+      if (line.MemOperand(size, base, off, error)) {
+        asm_.Ldx(size, dst, base, off);
+        return OkStatus();
+      }
+      if (!error.empty()) {
+        return InvalidArgument("load: " + error);
+      }
+    }
+    auto src = line.Register();
+    if (src.has_value()) {
+      asm_.Mov(dst, *src);
+      return OkStatus();
+    }
+    auto imm = line.Int();
+    if (imm.has_value()) {
+      if (*imm >= INT32_MIN && *imm <= INT32_MAX) {
+        asm_.MovImm(dst, static_cast<int32_t>(*imm));
+      } else {
+        asm_.LoadImm64(dst, static_cast<uint64_t>(*imm));
+      }
+      return OkStatus();
+    }
+    return InvalidArgument("unparseable assignment source");
+  }
+
+  Status ParseCond(Line& line) {
+    auto lhs = line.Register();
+    if (!lhs.has_value()) {
+      return InvalidArgument("if needs a register on the left");
+    }
+    const CondSpec* cond = nullptr;
+    for (const CondSpec& spec : kConds) {
+      if (line.Eat(spec.token)) {
+        cond = &spec;
+        break;
+      }
+    }
+    if (cond == nullptr) {
+      return InvalidArgument("unknown comparison operator");
+    }
+    auto rhs_reg = line.Register();
+    std::optional<int64_t> rhs_imm;
+    if (!rhs_reg.has_value()) {
+      rhs_imm = line.Int();
+      if (!rhs_imm.has_value()) {
+        return InvalidArgument("if needs a register or immediate on the right");
+      }
+    }
+    if (!line.Eat("goto")) {
+      return InvalidArgument("if needs 'goto LABEL'");
+    }
+    auto label = line.Ident();
+    if (!label.has_value()) {
+      return InvalidArgument("goto needs a label");
+    }
+    if (rhs_reg.has_value()) {
+      asm_.JmpReg(cond->op, *lhs, *rhs_reg, LabelFor(*label));
+    } else {
+      asm_.JmpImm(cond->op, *lhs, static_cast<int32_t>(*rhs_imm), LabelFor(*label));
+    }
+    return OkStatus();
+  }
+
+  std::string_view source_;
+  Assembler asm_;
+  std::map<std::string, Assembler::Label> labels_;
+  std::set<std::string> bound_;
+};
+
+}  // namespace
+
+StatusOr<Program> ParseTextProgram(std::string_view source) {
+  Parser parser(source);
+  return parser.Parse();
+}
+
+}  // namespace kflex

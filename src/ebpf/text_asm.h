@@ -1,0 +1,47 @@
+// Textual assembly for extensions (.kasm).
+//
+// KFlex's practicality story is that extensions are just bytecode — any
+// toolchain can produce it. Besides the C++ Assembler, this module provides
+// a human-writable text format (closely following the kernel's BPF assembly
+// style) with a parser, so extensions can be written in an editor and
+// loaded by tools/kflex_run without recompiling anything:
+//
+//   .name   kv_counter
+//   .hook   tracepoint
+//   .mode   kflex
+//   .heap   1048576
+//
+//   r2 = heap 64             ; address of a heap global
+//   r3 = *(u64*)(r2 + 0)
+//   r3 += 1
+//   *(u64*)(r2 + 0) = r3
+//   if r3 > 100 goto saturate
+//   r0 = r3
+//   exit
+//   saturate:
+//   r0 = 100
+//   exit
+//
+// Supported statements: `rD = imm|rS|heap OFF|imm64 V|map ID`, compound
+// assignments (+= -= *= /= %= &= |= ^= <<= >>= s>>=) with imm or reg,
+// `rD = -rD`, loads `rD = *(u8|u16|u32|u64*)(rS + OFF)`, stores
+// `*(SZ*)(rD + OFF) = rS|imm`, `lock *(u32|u64*)(rD + OFF) += rS`,
+// conditional jumps `if rA OP rB|imm goto LABEL` with
+// == != > >= < <= s> s>= s< s<= &, `goto LABEL`, `call ID|NAME`, `exit`,
+// labels (`name:`), comments (`;` to end of line).
+#ifndef SRC_EBPF_TEXT_ASM_H_
+#define SRC_EBPF_TEXT_ASM_H_
+
+#include <string_view>
+
+#include "src/base/status.h"
+#include "src/ebpf/program.h"
+
+namespace kflex {
+
+// Parses a .kasm source into a Program. Errors carry the offending line.
+StatusOr<Program> ParseTextProgram(std::string_view source);
+
+}  // namespace kflex
+
+#endif  // SRC_EBPF_TEXT_ASM_H_

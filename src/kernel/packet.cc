@@ -1,0 +1,21 @@
+#include "src/kernel/packet.h"
+
+#include <algorithm>
+
+namespace kflex {
+
+void KvPacket::SetKey(std::string_view key) {
+  uint32_t len = static_cast<uint32_t>(std::min<size_t>(key.size(), kMaxKeyLen));
+  buf_[kOffKeyLen] = static_cast<uint8_t>(len);
+  std::memset(buf_.data() + kOffKey, 0, kMaxKeyLen);
+  std::memcpy(buf_.data() + kOffKey, key.data(), len);
+}
+
+void KvPacket::SetValue(std::string_view value) {
+  uint16_t len = static_cast<uint16_t>(std::min<size_t>(value.size(), kMaxValLen));
+  std::memcpy(buf_.data() + kOffValLen, &len, 2);
+  std::memset(buf_.data() + kOffValue, 0, kMaxValLen);
+  std::memcpy(buf_.data() + kOffValue, value.data(), len);
+}
+
+}  // namespace kflex

@@ -1,0 +1,134 @@
+// Hook context objects and the KV wire protocol.
+//
+// XDP / sk_skb extensions receive a 2048-byte context holding the (parsed-
+// at-driver) packet. The evaluation applications (§5.1) speak a fixed binary
+// key-value protocol modeled after Memcached's binary protocol: 32-byte keys
+// and up-to-64-byte values, GETs over UDP and SETs over TCP for Memcached,
+// everything over TCP for Redis.
+#ifndef SRC_KERNEL_PACKET_H_
+#define SRC_KERNEL_PACKET_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace kflex {
+
+inline constexpr uint32_t kCtxSize = 2048;
+
+// Protocol field offsets within the ctx buffer.
+//
+//   u16 pkt_len      @ 0
+//   u8  l4_proto     @ 2   (17 = UDP, 6 = TCP)
+//   u8  op           @ 3   (KvOp)
+//   u32 src_ip       @ 4
+//   u16 src_port     @ 8
+//   u16 dst_port     @ 10
+//   u8  keylen       @ 12
+//   u8  resp_flag    @ 13  (written by the server: 1 = hit/ok, 0 = miss)
+//   u16 vallen       @ 14
+//   u64 zscore       @ 16  (ZADD only)
+//   u8  key[32]      @ 24  (zero padded)
+//   u8  value[64]    @ 56  (request payload)
+//   u8  resp[64]     @ 120 (response payload)
+enum KvCtxOff : int16_t {
+  kOffPktLen = 0,
+  kOffProto = 2,
+  kOffOp = 3,
+  kOffSrcIp = 4,
+  kOffSrcPort = 8,
+  kOffDstPort = 10,
+  kOffKeyLen = 12,
+  kOffRespFlag = 13,
+  kOffValLen = 14,
+  kOffZScore = 16,
+  kOffKey = 24,
+  kOffValue = 56,
+  kOffResp = 120,
+};
+
+inline constexpr uint32_t kMaxKeyLen = 32;
+inline constexpr uint32_t kMaxValLen = 64;
+
+enum class KvOp : uint8_t { kGet = 0, kSet = 1, kDel = 2, kZadd = 3 };
+
+inline constexpr uint8_t kProtoUdp = 17;
+inline constexpr uint8_t kProtoTcp = 6;
+
+// XDP verdicts (subset of the kernel's).
+inline constexpr int64_t kXdpAborted = 0;
+inline constexpr int64_t kXdpTx = 1;    // reply emitted from the hook
+inline constexpr int64_t kXdpPass = 2;  // continue up the stack
+inline constexpr int64_t kXdpDrop = 3;
+
+// Host-side view of a ctx buffer (the "packet").
+class KvPacket {
+ public:
+  KvPacket() { buf_.fill(0); }
+
+  uint8_t* data() { return buf_.data(); }
+  const uint8_t* data() const { return buf_.data(); }
+  uint32_t size() const { return kCtxSize; }
+
+  void SetOp(KvOp op) { buf_[kOffOp] = static_cast<uint8_t>(op); }
+  KvOp op() const { return static_cast<KvOp>(buf_[kOffOp]); }
+  void SetProto(uint8_t proto) { buf_[kOffProto] = proto; }
+  uint8_t proto() const { return buf_[kOffProto]; }
+
+  void SetTuple(uint32_t src_ip, uint16_t src_port, uint16_t dst_port) {
+    std::memcpy(buf_.data() + kOffSrcIp, &src_ip, 4);
+    std::memcpy(buf_.data() + kOffSrcPort, &src_port, 2);
+    std::memcpy(buf_.data() + kOffDstPort, &dst_port, 2);
+  }
+
+  void SetKey(std::string_view key);
+  void SetKeyU64(uint64_t k) {
+    buf_[kOffKeyLen] = 8;
+    std::memset(buf_.data() + kOffKey, 0, kMaxKeyLen);
+    std::memcpy(buf_.data() + kOffKey, &k, 8);
+  }
+  void SetValue(std::string_view value);
+  void SetZScore(uint64_t score) { std::memcpy(buf_.data() + kOffZScore, &score, 8); }
+
+  uint8_t resp_flag() const { return buf_[kOffRespFlag]; }
+  uint16_t vallen() const {
+    uint16_t v;
+    std::memcpy(&v, buf_.data() + kOffValLen, 2);
+    return v;
+  }
+  std::string_view resp() const {
+    return std::string_view(reinterpret_cast<const char*>(buf_.data() + kOffResp), vallen());
+  }
+
+ private:
+  std::array<uint8_t, kCtxSize> buf_;
+};
+
+// Tracepoint-style ctx for the data-structure microbenchmarks (Fig. 5):
+//   u64 op @0 (0=update, 1=lookup, 2=delete), u64 key @8, u64 value @16,
+//   u64 result @24 (found flag / looked-up value), u64 aux @32.
+enum DsCtxOff : int16_t {
+  kDsOffOp = 0,
+  kDsOffKey = 8,
+  kDsOffValue = 16,
+  kDsOffResult = 24,
+  kDsOffAux = 32,
+};
+inline constexpr uint32_t kDsCtxSize = 64;
+
+struct DsCtx {
+  uint64_t op = 0;
+  uint64_t key = 0;
+  uint64_t value = 0;
+  uint64_t result = 0;
+  uint64_t aux = 0;
+  uint64_t pad[3] = {0};
+
+  uint8_t* bytes() { return reinterpret_cast<uint8_t*>(this); }
+};
+static_assert(sizeof(DsCtx) == kDsCtxSize);
+
+}  // namespace kflex
+
+#endif  // SRC_KERNEL_PACKET_H_

@@ -1,0 +1,83 @@
+#include "src/kernel/socket.h"
+
+#include <cstring>
+
+#include "src/ebpf/helper_ids.h"
+#include "src/kernel/packet.h"
+
+namespace kflex {
+
+Socket* SocketTable::Bind(uint32_t ip, uint16_t port, uint8_t proto) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto socket = std::make_unique<Socket>();
+  socket->ip = ip;
+  socket->port = port;
+  socket->proto = proto;
+  Socket* raw = socket.get();
+  sockets_[KeyOf(ip, port, proto)] = std::move(socket);
+  return raw;
+}
+
+Socket* SocketTable::Find(uint32_t ip, uint16_t port, uint8_t proto) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sockets_.find(KeyOf(ip, port, proto));
+  return it == sockets_.end() ? nullptr : it->second.get();
+}
+
+bool SocketTable::Quiescent() const { return TotalExtraRefs() == 0; }
+
+int64_t SocketTable::TotalExtraRefs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t extra = 0;
+  for (const auto& [key, socket] : sockets_) {
+    extra += socket->refcount.load(std::memory_order_acquire) - 1;
+  }
+  return extra;
+}
+
+void SocketTable::RegisterHelpers(HelperTable& helpers, ObjectRegistry& objects) {
+  // bpf_sk_lookup_udp(ctx, tuple*, tuple_size, netns, flags).
+  // The tuple is {u32 ip; u16 port; u8 proto; u8 pad} on the extension stack.
+  helpers.Register(kHelperSkLookupUdp, [this, &objects](VmEnv& env, const uint64_t args[5]) {
+    HelperOutcome out;
+    MemFaultKind fk = MemFaultKind::kNone;
+    uint64_t tuple_size = args[2];
+    if (tuple_size < 8) {
+      out.fault = true;
+      return out;
+    }
+    uint8_t* tuple = VmTranslate(env, args[1], 8, fk);
+    if (tuple == nullptr) {
+      out.fault = true;
+      return out;
+    }
+    uint32_t ip;
+    uint16_t port;
+    std::memcpy(&ip, tuple, 4);
+    std::memcpy(&port, tuple + 4, 2);
+    Socket* socket = Find(ip, port, kProtoUdp);
+    if (socket == nullptr) {
+      out.ret = 0;  // NULL: no such socket.
+      return out;
+    }
+    socket->refcount.fetch_add(1, std::memory_order_acq_rel);
+    out.ret = objects.Register(ResourceKind::kSocket, [socket] {
+      socket->refcount.fetch_sub(1, std::memory_order_acq_rel);
+    });
+    return out;
+  },
+                   /*virtual_cost=*/25);
+
+  helpers.Register(kHelperSkRelease, [&objects](VmEnv& env, const uint64_t args[5]) {
+    HelperOutcome out;
+    if (!objects.Release(args[0])) {
+      // The verifier guarantees releases match acquisitions; reaching this
+      // indicates a runtime bug.
+      out.fault = true;
+    }
+    return out;
+  },
+                   /*virtual_cost=*/10);
+}
+
+}  // namespace kflex

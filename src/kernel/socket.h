@@ -1,0 +1,57 @@
+// Reference-counted socket objects and the bpf_sk_lookup_udp /
+// bpf_sk_release helpers.
+//
+// Sockets are the kernel-owned objects the paper's example extension
+// acquires (Listing 1): bpf_sk_lookup_udp returns a referenced socket that
+// MUST be released before the extension exits — or, on cancellation, by the
+// runtime via the cancellation point's object table (§3.3).
+#ifndef SRC_KERNEL_SOCKET_H_
+#define SRC_KERNEL_SOCKET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "src/runtime/runtime.h"
+
+namespace kflex {
+
+struct Socket {
+  uint32_t ip = 0;
+  uint16_t port = 0;
+  uint8_t proto = 0;
+  // Base refcount is 1 (owned by the table); each outstanding extension
+  // reference adds 1.
+  std::atomic<int64_t> refcount{1};
+};
+
+class SocketTable {
+ public:
+  // Creates a socket bound to (ip, port, proto).
+  Socket* Bind(uint32_t ip, uint16_t port, uint8_t proto);
+  Socket* Find(uint32_t ip, uint16_t port, uint8_t proto);
+
+  // True when no extension holds an extra socket reference — the
+  // "quiescent state" invariant the paper's cancellations must restore.
+  bool Quiescent() const;
+  int64_t TotalExtraRefs() const;
+
+  // Registers bpf_sk_lookup_udp / bpf_sk_release against this table.
+  // Acquired references are registered in `objects` so cancellation unwinds
+  // can release them.
+  void RegisterHelpers(HelperTable& helpers, ObjectRegistry& objects);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<uint64_t, std::unique_ptr<Socket>> sockets_;
+
+  static uint64_t KeyOf(uint32_t ip, uint16_t port, uint8_t proto) {
+    return (static_cast<uint64_t>(ip) << 32) | (static_cast<uint64_t>(port) << 8) | proto;
+  }
+};
+
+}  // namespace kflex
+
+#endif  // SRC_KERNEL_SOCKET_H_

@@ -1,0 +1,219 @@
+#include "src/kie/kie.h"
+
+#include <limits>
+
+#include "src/base/logging.h"
+
+namespace kflex {
+
+namespace {
+
+// Per-original-instruction replacement sequence.
+struct Replacement {
+  std::vector<Insn> insns;
+  size_t anchor = 0;          // Index of the original instruction within insns.
+  int terminate_load = -1;    // Index of the C1 terminate load, if inserted.
+  bool skip = false;          // Second slot of an ld_imm64 pair.
+};
+
+bool IsMemAccess(const Insn& insn) {
+  return insn.IsLoad() || insn.IsStore() || insn.IsAtomic();
+}
+
+}  // namespace
+
+StatusOr<InstrumentedProgram> Instrument(const Program& program, const Analysis& analysis,
+                                         const HeapLayout& heap, const KieOptions& options) {
+  if (program.heap_size != 0) {
+    if (heap.size != program.heap_size) {
+      return InvalidArgument("heap layout size does not match program declaration");
+    }
+    if ((heap.kernel_base & heap.mask()) != 0 || (heap.user_base & heap.mask()) != 0) {
+      return InvalidArgument("heap bases must be aligned to the heap size");
+    }
+  }
+  if (analysis.mem.size() != program.insns.size()) {
+    return InvalidArgument("analysis does not match program");
+  }
+
+  InstrumentedProgram out;
+  out.heap = heap;
+  out.stats.insns_in = program.insns.size();
+
+  const uint64_t terminate_slot_va = heap.kernel_base + kTerminateSlotOff;
+
+  std::vector<Replacement> repl(program.insns.size());
+  for (size_t pc = 0; pc < program.insns.size(); pc++) {
+    const Insn& insn = program.insns[pc];
+    Replacement& r = repl[pc];
+
+    if (insn.IsLdImm64()) {
+      uint64_t imm = LdImm64Value(insn, program.insns[pc + 1]);
+      if (insn.src == kPseudoHeapVar) {
+        // Concretize the heap variable to its absolute kernel VA (§4.1).
+        uint64_t va = heap.kernel_base + imm;
+        r.insns.push_back(LdImm64Insn(static_cast<Reg>(insn.dst), va));
+        r.insns.push_back(LdImm64HiInsn(va));
+      } else {
+        r.insns.push_back(insn);
+        r.insns.push_back(program.insns[pc + 1]);
+      }
+      repl[pc + 1].skip = true;
+      pc++;
+      continue;
+    }
+
+    if (IsMemAccess(insn) && analysis.mem[pc].visited &&
+        analysis.mem[pc].region == MemRegion::kHeap) {
+      const MemAccessInfo& info = analysis.mem[pc];
+      bool pure_load = insn.IsLoad();
+      bool unsafe_site = info.formation || info.needs_guard || !options.elide_guards;
+      bool guard = options.sfi && unsafe_site && !(options.performance_mode && pure_load);
+      bool translate = options.translate_on_store && insn.Class() == BPF_STX &&
+                       !insn.IsAtomic() && insn.AccessSize() == 8 && info.stores_heap_ptr &&
+                       !info.stores_mixed;
+
+      // Table 3 accounting: guards on pointer manipulation vs. guards forming
+      // a new heap pointer (the latter are never elidable).
+      if (info.formation) {
+        out.stats.formation_guards++;
+      } else {
+        out.stats.pointer_guard_sites++;
+        if (guard) {
+          out.stats.guards_emitted++;
+        } else if (options.sfi && !info.needs_guard) {
+          out.stats.guards_elided++;
+        }
+      }
+
+      Reg base = static_cast<Reg>(pure_load ? insn.src : insn.dst);
+      if (guard && translate) {
+        out.stats.translations++;
+        r.insns.push_back(MovRegInsn(RAX, static_cast<Reg>(insn.src)));
+        r.insns.push_back(KieTranslateInsn(RAX));
+        r.insns.push_back(MovRegInsn(RBX, base));
+        r.insns.push_back(KieSanitizeInsn(RBX));
+        Insn anchored = insn;
+        anchored.dst = RBX;
+        anchored.src = RAX;
+        r.anchor = r.insns.size();
+        r.insns.push_back(anchored);
+      } else if (guard) {
+        r.insns.push_back(MovRegInsn(RAX, base));
+        r.insns.push_back(KieSanitizeInsn(RAX));
+        Insn anchored = insn;
+        if (pure_load) {
+          anchored.src = RAX;
+        } else {
+          anchored.dst = RAX;
+        }
+        r.anchor = r.insns.size();
+        r.insns.push_back(anchored);
+      } else if (translate) {
+        out.stats.translations++;
+        r.insns.push_back(MovRegInsn(RAX, static_cast<Reg>(insn.src)));
+        r.insns.push_back(KieTranslateInsn(RAX));
+        Insn anchored = insn;
+        anchored.src = RAX;
+        r.anchor = r.insns.size();
+        r.insns.push_back(anchored);
+      } else {
+        r.insns.push_back(insn);
+      }
+      continue;
+    }
+
+    if (options.cancellation && analysis.cancellation_back_edges.count(pc) != 0) {
+      out.stats.cancellation_points++;
+      if (options.cancellation_mode == CancellationMode::kClockSampled) {
+        // §6 alternative: one clock-sample check per back edge.
+        r.terminate_load = static_cast<int>(r.insns.size());
+        r.insns.push_back(KieFuelCheckInsn());
+      } else {
+        // C1 cancellation point: load through the terminate slot before
+        // taking the back edge. The slot holds a valid heap address; the
+        // runtime zeroes it to make the second load fault (§3.3).
+        r.insns.push_back(LdImm64Insn(RAX, terminate_slot_va));
+        r.insns.push_back(LdImm64HiInsn(terminate_slot_va));
+        r.insns.push_back(LdxInsn(BPF_DW, RAX, RAX, 0));
+        r.terminate_load = static_cast<int>(r.insns.size());
+        r.insns.push_back(LdxInsn(BPF_DW, RAX, RAX, 0));
+      }
+      r.anchor = r.insns.size();
+      r.insns.push_back(insn);
+      continue;
+    }
+
+    r.insns.push_back(insn);
+  }
+
+  // Layout pass: original pc -> new start pc.
+  std::vector<size_t> new_start(program.insns.size() + 1, 0);
+  size_t cursor = 0;
+  for (size_t pc = 0; pc < program.insns.size(); pc++) {
+    new_start[pc] = cursor;
+    cursor += repl[pc].insns.size();
+  }
+  new_start[program.insns.size()] = cursor;
+
+  // Emission + jump retargeting.
+  out.program.name = program.name;
+  out.program.hook = program.hook;
+  out.program.mode = program.mode;
+  out.program.heap_size = program.heap_size;
+  out.program.insns.reserve(cursor);
+  out.instrumentation_mask.assign(cursor, 0);
+  out.pc_map.resize(program.insns.size(), 0);
+
+  for (size_t pc = 0; pc < program.insns.size(); pc++) {
+    const Replacement& r = repl[pc];
+    if (r.skip) {
+      continue;
+    }
+    size_t anchor_new = new_start[pc] + r.anchor;
+    out.pc_map[pc] = anchor_new;
+    // Everything Kie inserts precedes the original (anchor) instruction.
+    for (size_t i = 0; i < r.anchor; i++) {
+      out.instrumentation_mask[new_start[pc] + i] = 1;
+    }
+    for (size_t i = 0; i < r.insns.size(); i++) {
+      Insn insn = r.insns[i];
+      if (i == r.anchor && insn.IsJmp() && !insn.IsCall() && !insn.IsExit()) {
+        int64_t old_target = static_cast<int64_t>(pc) + 1 + insn.off;
+        int64_t rel =
+            static_cast<int64_t>(new_start[static_cast<size_t>(old_target)]) -
+            (static_cast<int64_t>(anchor_new) + 1);
+        if (rel < std::numeric_limits<int16_t>::min() ||
+            rel > std::numeric_limits<int16_t>::max()) {
+          return OutOfRange("instrumentation overflows a jump offset");
+        }
+        insn.off = static_cast<int16_t>(rel);
+      }
+      out.program.insns.push_back(insn);
+    }
+    if (r.terminate_load >= 0) {
+      out.terminate_load_pcs.insert(new_start[pc] + static_cast<size_t>(r.terminate_load));
+    }
+  }
+  out.stats.insns_out = out.program.insns.size();
+
+  // Remap object tables to instrumented pcs. For C1 back edges the table
+  // attaches to the terminate load (where the fault surfaces); for C2 heap
+  // accesses it attaches to the (possibly rewritten) access itself.
+  for (const auto& [old_pc, table] : analysis.object_tables) {
+    size_t new_pc;
+    if (analysis.cancellation_back_edges.count(old_pc) != 0) {
+      if (!options.cancellation) {
+        continue;
+      }
+      new_pc = new_start[old_pc] + static_cast<size_t>(repl[old_pc].terminate_load);
+    } else {
+      new_pc = out.pc_map[old_pc];
+    }
+    out.object_tables[new_pc] = table;
+  }
+
+  return out;
+}
+
+}  // namespace kflex

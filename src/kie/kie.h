@@ -1,0 +1,125 @@
+// Kie — the KFlex instrumentation engine (§3, Figure 1).
+//
+// Kie consumes verified bytecode plus the verifier's analysis and emits
+// instrumented bytecode that the runtime can execute safely:
+//
+//  * SFI guards: every heap access whose bounds the verifier could not prove
+//    is rewritten to go through a sanitized address (mask + heap base). The
+//    verifier's range analysis elides guards for provably-safe accesses
+//    (§3.2); guards that form a new heap pointer from an untrusted scalar
+//    are never elided (§5.4).
+//  * Cancellation points: loop back edges with unprovable termination get a
+//    *terminate heap load; the runtime zeroes the terminate slot to force a
+//    fault at the Cp and then releases held kernel resources using the
+//    statically computed object tables (§3.3).
+//  * Translate-on-store: stores of heap pointers are rewritten to store the
+//    user-space alias so applications sharing the heap can follow them
+//    (§3.4).
+//
+// Heap-variable LD_IMM64 pseudo instructions are concretized to absolute
+// simulated VAs here, mirroring how the real KFlex bakes the mapping base
+// into JITed code (§4.1).
+#ifndef SRC_KIE_KIE_H_
+#define SRC_KIE_KIE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ebpf/insn.h"
+#include "src/ebpf/program.h"
+#include "src/runtime/layout.h"
+#include "src/verifier/analysis.h"
+
+namespace kflex {
+
+// Instrumentation pseudo-instructions, understood only by the KFlex-extended
+// VM ("we augment the eBPF JIT to ensure that the added instrumentation is
+// correctly compiled", §3). Encoded in otherwise-unused LD-class opcodes.
+//
+//   SANITIZE dst: dst = heap_kernel_base + (dst & (heap_size - 1))
+//   TRANSLATE dst: dst = heap_user_base + (dst & (heap_size - 1))
+//
+// On real hardware SANITIZE compiles to a single AND plus indexed addressing
+// with the base held in a reserved register (§4.2).
+inline constexpr uint8_t kKieSanitizeOpcode = BPF_LD | BPF_DW | 0x20;   // 0x38
+inline constexpr uint8_t kKieTranslateOpcode = BPF_LD | BPF_DW | 0x40;  // 0x58
+// FUELCHECK: traps when the invocation exceeded its cycle quantum or its
+// cancel flag is set. Models the clock-sampling back-edge checks the paper
+// proposes for sub-second stall recovery (§6, "Faster extension stall
+// recovery"); compiles to a TSC read + compare on real hardware.
+inline constexpr uint8_t kKieFuelCheckOpcode = BPF_LD | BPF_DW | 0x60;  // 0x78
+
+inline Insn KieSanitizeInsn(Reg dst) { return Insn{kKieSanitizeOpcode, dst, 0, 0, 0}; }
+inline Insn KieTranslateInsn(Reg dst) { return Insn{kKieTranslateOpcode, dst, 0, 0, 0}; }
+inline Insn KieFuelCheckInsn() { return Insn{kKieFuelCheckOpcode, 0, 0, 0, 0}; }
+
+// How C1 cancellation points are realized (§3.3 vs §6).
+enum class CancellationMode {
+  // The paper's default: a *terminate heap load the runtime poisons.
+  kTerminateLoad,
+  // Future-work alternative: sample a clock (here: the instruction counter)
+  // at back edges and trap past the quantum. Recovers without a watchdog.
+  kClockSampled,
+};
+
+struct KieOptions {
+  // Emit SFI guards at all (false = "KMod" unsafe baseline: trusted native
+  // kernel-module code with zero runtime checks).
+  bool sfi = true;
+  // Performance mode (§3.2/§4.2): reads are not sanitized; unmapped reads
+  // trap (SMAP analogue) and cancel the extension. Stores remain sanitized.
+  bool performance_mode = false;
+  // Honor verifier elision. Disabling this guards *every* heap access — the
+  // "no co-design" ablation quantifying §5.4.
+  bool elide_guards = true;
+  // Insert cancellation points at unbounded-loop back edges.
+  bool cancellation = true;
+  CancellationMode cancellation_mode = CancellationMode::kTerminateLoad;
+  // Translate heap pointers to user-space aliases when stored (§3.4).
+  // Developers may disable this on performance-critical paths.
+  bool translate_on_store = false;
+};
+
+struct KieStats {
+  // Static counts over instruction sites (Table 3 accounting).
+  size_t pointer_guard_sites = 0;  // heap accesses via typed heap pointers
+  size_t guards_elided = 0;        // of those, elided by range analysis
+  size_t guards_emitted = 0;       // of those, materialized as SANITIZE
+  size_t formation_guards = 0;     // untrusted-scalar guards (never elided)
+  size_t translations = 0;
+  size_t cancellation_points = 0;  // C1 back-edge Cps inserted
+  size_t insns_in = 0;
+  size_t insns_out = 0;
+};
+
+struct InstrumentedProgram {
+  Program program;
+  // Per-instrumented-pc flag: true for instructions Kie inserted (guards,
+  // translations, terminate loads). The VM counts them separately so cost
+  // models can weight instrumentation work below ordinary instructions
+  // (hardware hides most of a guard's AND behind out-of-order execution).
+  std::vector<uint8_t> instrumentation_mask;
+  // Object tables keyed by *instrumented* pc of each cancellation point
+  // (both C1 terminate loads and C2 heap accesses). The runtime consults the
+  // faulting pc's table to release held kernel resources.
+  std::map<size_t, std::set<ObjectTableEntry>> object_tables;
+  // Instrumented pcs of C1 terminate loads (for tests/diagnostics).
+  std::set<size_t> terminate_load_pcs;
+  // Mapping from original pc to instrumented anchor pc.
+  std::vector<size_t> pc_map;
+  KieStats stats;
+  HeapLayout heap;
+};
+
+// Instruments `program` using the verifier's `analysis`. `heap` must describe
+// the already-created extension heap (empty layout allowed iff the program
+// declares no heap).
+StatusOr<InstrumentedProgram> Instrument(const Program& program, const Analysis& analysis,
+                                         const HeapLayout& heap, const KieOptions& options);
+
+}  // namespace kflex
+
+#endif  // SRC_KIE_KIE_H_

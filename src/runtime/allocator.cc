@@ -1,0 +1,163 @@
+#include "src/runtime/allocator.h"
+
+#include <bit>
+
+#include "src/base/logging.h"
+
+namespace kflex {
+
+HeapAllocator::HeapAllocator(ExtensionHeap* heap, int num_cpus)
+    : heap_(heap),
+      cursor_(heap->dynamic_base()),
+      page_class_(heap->size() / kHeapPageSize, 0) {
+  KFLEX_CHECK(num_cpus > 0);
+  cpus_.reserve(static_cast<size_t>(num_cpus));
+  for (int i = 0; i < num_cpus; i++) {
+    cpus_.push_back(std::make_unique<PerCpu>());
+  }
+}
+
+int HeapAllocator::ClassForSize(uint64_t size) {
+  if (size == 0 || size > kMaxClass) {
+    return -1;
+  }
+  uint64_t rounded = std::max<uint64_t>(size, kMinClass);
+  int cls = 64 - std::countl_zero(rounded - 1) - 4;  // log2(ceil_pow2(size)) - log2(16)
+  if (cls < 0) {
+    cls = 0;
+  }
+  return cls;
+}
+
+bool HeapAllocator::CarvePageLocked(int cls) {
+  if (cursor_ + kHeapPageSize > heap_->size()) {
+    return false;
+  }
+  uint64_t page_off = cursor_;
+  cursor_ += kHeapPageSize;
+  page_class_[page_off / kHeapPageSize] = static_cast<uint8_t>(cls + 1);
+  // Demand paging: carving a page populates its PTE (§3.2).
+  heap_->PopulatePages(page_off, kHeapPageSize);
+  uint64_t obj_size = ClassSize(cls);
+  for (uint64_t off = page_off; off + obj_size <= page_off + kHeapPageSize; off += obj_size) {
+    global_[static_cast<size_t>(cls)].push_back(off);
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.pages_carved++;
+  return true;
+}
+
+uint64_t HeapAllocator::Alloc(int cpu, uint64_t size) {
+  int cls = ClassForSize(size);
+  if (cls < 0 || cpu < 0 || static_cast<size_t>(cpu) >= cpus_.size()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.failures++;
+    return 0;
+  }
+  PerCpu& pcpu = *cpus_[static_cast<size_t>(cpu)];
+  {
+    std::lock_guard<std::mutex> lock(pcpu.mu);
+    auto& cache = pcpu.cache[static_cast<size_t>(cls)];
+    if (!cache.empty()) {
+      uint64_t off = cache.back();
+      cache.pop_back();
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      stats_.allocs++;
+      stats_.cache_hits++;
+      return off;
+    }
+  }
+  // Cache miss: pull a batch from the global list.
+  std::vector<uint64_t> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& global = global_[static_cast<size_t>(cls)];
+    if (global.empty() && !CarvePageLocked(cls)) {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      stats_.failures++;
+      return 0;
+    }
+    size_t take = std::min(global.size(), kCacheRefill);
+    batch.assign(global.end() - static_cast<ptrdiff_t>(take), global.end());
+    global.resize(global.size() - take);
+  }
+  uint64_t result = batch.back();
+  batch.pop_back();
+  {
+    std::lock_guard<std::mutex> lock(pcpu.mu);
+    auto& cache = pcpu.cache[static_cast<size_t>(cls)];
+    cache.insert(cache.end(), batch.begin(), batch.end());
+  }
+  std::lock_guard<std::mutex> slock(stats_mu_);
+  stats_.allocs++;
+  stats_.global_refills++;
+  return result;
+}
+
+bool HeapAllocator::Free(int cpu, uint64_t off) {
+  if (off >= heap_->size() || cpu < 0 || static_cast<size_t>(cpu) >= cpus_.size()) {
+    return false;
+  }
+  uint8_t tag = page_class_[off / kHeapPageSize];
+  if (tag == 0) {
+    return false;  // Not an allocator-owned page (e.g., static globals).
+  }
+  int cls = tag - 1;
+  uint64_t obj_size = ClassSize(cls);
+  if (off % obj_size != 0) {
+    return false;  // Interior pointer.
+  }
+  PerCpu& pcpu = *cpus_[static_cast<size_t>(cpu)];
+  {
+    std::lock_guard<std::mutex> lock(pcpu.mu);
+    auto& cache = pcpu.cache[static_cast<size_t>(cls)];
+    if (cache.size() < kCacheMax) {
+      cache.push_back(off);
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      stats_.frees++;
+      return true;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  global_[static_cast<size_t>(cls)].push_back(off);
+  std::lock_guard<std::mutex> slock(stats_mu_);
+  stats_.frees++;
+  return true;
+}
+
+void HeapAllocator::RefillCaches() {
+  for (auto& pcpu_ptr : cpus_) {
+    PerCpu& pcpu = *pcpu_ptr;
+    for (int cls = 0; cls < kNumClasses; cls++) {
+      size_t have;
+      {
+        std::lock_guard<std::mutex> lock(pcpu.mu);
+        have = pcpu.cache[static_cast<size_t>(cls)].size();
+      }
+      if (have >= kCacheRefill / 2) {
+        continue;
+      }
+      std::vector<uint64_t> batch;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto& global = global_[static_cast<size_t>(cls)];
+        if (global.empty() && !CarvePageLocked(cls)) {
+          continue;
+        }
+        size_t take = std::min(global.size(), kCacheRefill);
+        batch.assign(global.end() - static_cast<ptrdiff_t>(take), global.end());
+        global.resize(global.size() - take);
+      }
+      std::lock_guard<std::mutex> lock(pcpu.mu);
+      auto& cache = pcpu.cache[static_cast<size_t>(cls)];
+      cache.insert(cache.end(), batch.begin(), batch.end());
+    }
+  }
+}
+
+HeapAllocator::Stats HeapAllocator::GetStats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace kflex

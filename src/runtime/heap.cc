@@ -1,0 +1,115 @@
+#include "src/runtime/heap.h"
+
+#include <cstring>
+
+namespace kflex {
+
+StatusOr<std::unique_ptr<ExtensionHeap>> ExtensionHeap::Create(const HeapSpec& spec) {
+  if (spec.size < 64 * 1024 || (spec.size & (spec.size - 1)) != 0) {
+    return InvalidArgument("heap size must be a power of two >= 64 KB");
+  }
+  if (spec.static_bytes > spec.size / 2) {
+    return InvalidArgument("static globals exceed half the heap");
+  }
+  return std::unique_ptr<ExtensionHeap>(new ExtensionHeap(spec));
+}
+
+ExtensionHeap::ExtensionHeap(const HeapSpec& spec)
+    : layout_(HeapLayout::ForSize(spec.size)),
+      data_(new uint8_t[spec.size]),
+      present_(spec.size / kHeapPageSize) {
+  std::memset(data_.get(), 0, spec.size);
+  for (auto& p : present_) {
+    p.store(0, std::memory_order_relaxed);
+  }
+  // The metadata area and static globals are populated at load time, exactly
+  // like the data section of a loaded extension.
+  uint64_t statics_end = kHeapReservedBytes + spec.static_bytes;
+  dynamic_base_ = (statics_end + kHeapPageSize - 1) & ~(kHeapPageSize - 1);
+  if (dynamic_base_ == 0) {
+    dynamic_base_ = kHeapPageSize;
+  }
+  PopulatePages(0, dynamic_base_);
+  ResetTerminate();
+}
+
+bool ExtensionHeap::ContainsKernelVa(uint64_t va) const {
+  return va >= layout_.kernel_base - kHeapGuardZone &&
+         va < layout_.kernel_end() + kHeapGuardZone;
+}
+
+bool ExtensionHeap::ContainsUserVa(uint64_t va) const {
+  return va >= layout_.user_base && va < layout_.user_base + layout_.size;
+}
+
+uint8_t* ExtensionHeap::TranslateKernel(uint64_t va, uint64_t size, MemFaultKind& fault) {
+  uint64_t base = layout_.kernel_base;
+  if (va < base || va + size > layout_.kernel_end()) {
+    // Within the guard zones (ContainsKernelVa already held) but outside the
+    // heap proper.
+    fault = MemFaultKind::kGuardZone;
+    return nullptr;
+  }
+  uint64_t off = va - base;
+  if (!PagesPresent(off, size)) {
+    fault = MemFaultKind::kNotPresent;
+    return nullptr;
+  }
+  return data_.get() + off;
+}
+
+uint8_t* ExtensionHeap::TranslateUser(uint64_t va, uint64_t size, MemFaultKind& fault) {
+  uint64_t base = layout_.user_base;
+  if (va < base || va + size > base + layout_.size) {
+    fault = MemFaultKind::kBadAddress;
+    return nullptr;
+  }
+  uint64_t off = va - base;
+  if (!PagesPresent(off, size)) {
+    fault = MemFaultKind::kNotPresent;
+    return nullptr;
+  }
+  return data_.get() + off;
+}
+
+void ExtensionHeap::PopulatePages(uint64_t off, uint64_t len) {
+  if (len == 0) {
+    return;
+  }
+  uint64_t first = off / kHeapPageSize;
+  uint64_t last = (off + len - 1) / kHeapPageSize;
+  for (uint64_t p = first; p <= last && p < present_.size(); p++) {
+    if (present_[p].exchange(1, std::memory_order_relaxed) == 0) {
+      populated_pages_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+bool ExtensionHeap::PagesPresent(uint64_t off, uint64_t len) const {
+  uint64_t first = off / kHeapPageSize;
+  uint64_t last = (off + len - 1) / kHeapPageSize;
+  for (uint64_t p = first; p <= last; p++) {
+    if (p >= present_.size() || present_[p].load(std::memory_order_relaxed) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ExtensionHeap::ArmTerminate() {
+  auto* slot = reinterpret_cast<std::atomic<uint64_t>*>(data_.get() + kTerminateSlotOff);
+  slot->store(0, std::memory_order_release);
+}
+
+void ExtensionHeap::ResetTerminate() {
+  auto* slot = reinterpret_cast<std::atomic<uint64_t>*>(data_.get() + kTerminateSlotOff);
+  slot->store(layout_.kernel_base + kTerminateTargetOff, std::memory_order_release);
+}
+
+bool ExtensionHeap::terminate_armed() const {
+  const auto* slot =
+      reinterpret_cast<const std::atomic<uint64_t>*>(data_.get() + kTerminateSlotOff);
+  return slot->load(std::memory_order_acquire) == 0;
+}
+
+}  // namespace kflex

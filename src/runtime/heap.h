@@ -1,0 +1,95 @@
+// Extension heaps (§3.2, §4.1).
+//
+// A heap is a size-aligned window of the simulated kernel VA space backed by
+// host memory, with:
+//  * 32 KB guard zones on either side (accesses fault and cancel),
+//  * software demand paging: pages become accessible only once the allocator
+//    populates them; touching an unpopulated page raises a C2 cancellation,
+//  * a runtime-reserved metadata area holding the *terminate* slot used by
+//    extension cancellation (§3.3),
+//  * a user-space alias base so applications can map the heap and share
+//    pointers with the extension (§3.4).
+#ifndef SRC_RUNTIME_HEAP_H_
+#define SRC_RUNTIME_HEAP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/runtime/layout.h"
+
+namespace kflex {
+
+enum class MemFaultKind : uint8_t {
+  kNone = 0,
+  kGuardZone,     // hit a heap guard zone
+  kNotPresent,    // heap page not yet populated (C2 cancellation)
+  kBadAddress,    // address outside every mapped kernel region
+  kSmap,          // unsanitized access landed in user-space addresses
+  kTerminate,     // terminate-slot deref after cancellation was requested
+};
+
+struct HeapSpec {
+  // Total heap size in bytes; must be a power of two >= 64 KB.
+  uint64_t size = 0;
+  // Bytes of statically declared extension globals (kflex_heap-file scope
+  // data: list heads, locks, bucket arrays). Populated at load time, placed
+  // right after the runtime-reserved metadata area.
+  uint64_t static_bytes = 0;
+};
+
+class ExtensionHeap {
+ public:
+  static StatusOr<std::unique_ptr<ExtensionHeap>> Create(const HeapSpec& spec);
+
+  ExtensionHeap(const ExtensionHeap&) = delete;
+  ExtensionHeap& operator=(const ExtensionHeap&) = delete;
+
+  const HeapLayout& layout() const { return layout_; }
+  uint64_t size() const { return layout_.size; }
+  // First heap offset usable by static extension globals.
+  uint64_t statics_base() const { return kHeapReservedBytes; }
+  // First heap offset managed by the dynamic allocator.
+  uint64_t dynamic_base() const { return dynamic_base_; }
+
+  // Translates a kernel-VA access to host memory. On failure returns nullptr
+  // and sets `fault`.
+  uint8_t* TranslateKernel(uint64_t va, uint64_t size, MemFaultKind& fault);
+  // Translates a user-VA access (the application's view of the heap).
+  uint8_t* TranslateUser(uint64_t va, uint64_t size, MemFaultKind& fault);
+  // True if `va` lies within the heap window or its guard zones (kernel VA).
+  bool ContainsKernelVa(uint64_t va) const;
+  bool ContainsUserVa(uint64_t va) const;
+
+  // Direct host access to a heap offset (runtime / tests / user-space side;
+  // does not consult the page-presence table).
+  uint8_t* HostAt(uint64_t off) { return data_.get() + off; }
+  const uint8_t* HostAt(uint64_t off) const { return data_.get() + off; }
+
+  // Demand paging: marks pages overlapping [off, off+len) as populated.
+  void PopulatePages(uint64_t off, uint64_t len);
+  bool PagesPresent(uint64_t off, uint64_t len) const;
+  uint64_t populated_pages() const { return populated_pages_.load(std::memory_order_relaxed); }
+
+  // ---- Cancellation support (§3.3) ----
+  // Zeroes the terminate slot: the next C1 terminate load faults.
+  void ArmTerminate();
+  // Restores the terminate slot to a valid heap address.
+  void ResetTerminate();
+  bool terminate_armed() const;
+
+ private:
+  explicit ExtensionHeap(const HeapSpec& spec);
+
+  HeapLayout layout_;
+  uint64_t dynamic_base_ = 0;
+  std::unique_ptr<uint8_t[]> data_;
+  std::vector<std::atomic<uint8_t>> present_;  // one flag per page
+  std::atomic<uint64_t> populated_pages_{0};
+};
+
+}  // namespace kflex
+
+#endif  // SRC_RUNTIME_HEAP_H_

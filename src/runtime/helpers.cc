@@ -1,0 +1,170 @@
+#include "src/runtime/helpers.h"
+
+#include <chrono>
+
+#include "src/base/rng.h"
+#include "src/ebpf/helper_ids.h"
+#include "src/runtime/allocator.h"
+#include "src/runtime/layout.h"
+#include "src/runtime/spinlock.h"
+
+namespace kflex {
+
+uint64_t KtimeNowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+void RegisterCoreHelpers(HelperTable& table) {
+  table.Register(kHelperKflexMalloc, [](VmEnv& env, const uint64_t args[5]) {
+    HelperOutcome out;
+    if (env.allocator == nullptr || env.heap == nullptr) {
+      return out;  // NULL: no heap configured.
+    }
+    uint64_t off = env.allocator->Alloc(env.cpu, args[0]);
+    out.ret = off == 0 ? 0 : env.heap->layout().kernel_base + off;
+    return out;
+  },
+                 /*virtual_cost=*/25);
+
+  table.Register(kHelperKflexFree, [](VmEnv& env, const uint64_t args[5]) {
+    HelperOutcome out;
+    if (env.allocator == nullptr || env.heap == nullptr) {
+      return out;
+    }
+    // The argument may be an untrusted scalar: mask it into the heap, the
+    // same sanitization the SFI applies to memory accesses.
+    uint64_t off = args[0] & env.heap->layout().mask();
+    env.allocator->Free(env.cpu, off);
+    return out;
+  },
+                 /*virtual_cost=*/20);
+
+  table.Register(kHelperKflexSpinLock, [](VmEnv& env, const uint64_t args[5]) {
+    HelperOutcome out;
+    if (env.heap == nullptr) {
+      out.fault = true;
+      return out;
+    }
+    uint64_t off = args[0] & env.heap->layout().mask();
+    // Lock words live in the statically populated region; verified constant
+    // offsets guarantee this, but check defensively.
+    if (!env.heap->PagesPresent(off, 8)) {
+      out.fault = true;
+      return out;
+    }
+    if (!SpinLockOps::Acquire(env.heap->HostAt(off), SpinLockOps::kKernelOwner, env.cancel)) {
+      // Cancelled while waiting (deadlock / non-cooperative user holder,
+      // §3.4): surface as a cancellation at this call site.
+      out.cancel = true;
+    }
+    return out;
+  },
+                 /*virtual_cost=*/12);
+
+  table.Register(kHelperKflexSpinUnlock, [](VmEnv& env, const uint64_t args[5]) {
+    HelperOutcome out;
+    if (env.heap == nullptr) {
+      out.fault = true;
+      return out;
+    }
+    uint64_t off = args[0] & env.heap->layout().mask();
+    SpinLockOps::Release(env.heap->HostAt(off));
+    return out;
+  },
+                 /*virtual_cost=*/8);
+
+  table.Register(kHelperMapLookupElem, [](VmEnv& env, const uint64_t args[5]) {
+    HelperOutcome out;
+    Map* map = env.maps != nullptr ? env.maps->FindByVa(args[0]) : nullptr;
+    if (map == nullptr) {
+      out.fault = true;
+      return out;
+    }
+    MemFaultKind fk = MemFaultKind::kNone;
+    uint8_t* key = VmTranslate(env, args[1], map->desc().key_size, fk);
+    if (key == nullptr) {
+      out.fault = true;
+      return out;
+    }
+    out.ret = map->Lookup(key);
+    return out;
+  },
+                 /*virtual_cost=*/60);
+
+  table.Register(kHelperMapUpdateElem, [](VmEnv& env, const uint64_t args[5]) {
+    HelperOutcome out;
+    Map* map = env.maps != nullptr ? env.maps->FindByVa(args[0]) : nullptr;
+    if (map == nullptr) {
+      out.fault = true;
+      return out;
+    }
+    MemFaultKind fk = MemFaultKind::kNone;
+    uint8_t* key = VmTranslate(env, args[1], map->desc().key_size, fk);
+    uint8_t* value = VmTranslate(env, args[2], map->desc().value_size, fk);
+    if (key == nullptr || value == nullptr) {
+      out.fault = true;
+      return out;
+    }
+    out.ret = static_cast<uint64_t>(static_cast<int64_t>(map->Update(key, value)));
+    return out;
+  },
+                 /*virtual_cost=*/80);
+
+  table.Register(kHelperMapDeleteElem, [](VmEnv& env, const uint64_t args[5]) {
+    HelperOutcome out;
+    Map* map = env.maps != nullptr ? env.maps->FindByVa(args[0]) : nullptr;
+    if (map == nullptr) {
+      out.fault = true;
+      return out;
+    }
+    MemFaultKind fk = MemFaultKind::kNone;
+    uint8_t* key = VmTranslate(env, args[1], map->desc().key_size, fk);
+    if (key == nullptr) {
+      out.fault = true;
+      return out;
+    }
+    out.ret = static_cast<uint64_t>(static_cast<int64_t>(map->Delete(key)));
+    return out;
+  },
+                 /*virtual_cost=*/50);
+
+  table.Register(kHelperRingbufOutput, [](VmEnv& env, const uint64_t args[5]) {
+    HelperOutcome out;
+    auto* ringbuf =
+        dynamic_cast<RingBufMap*>(env.maps != nullptr ? env.maps->FindByVa(args[0]) : nullptr);
+    if (ringbuf == nullptr) {
+      out.fault = true;
+      return out;
+    }
+    uint32_t size = static_cast<uint32_t>(args[2]);
+    MemFaultKind fk = MemFaultKind::kNone;
+    uint8_t* data = VmTranslate(env, args[1], size, fk);
+    if (data == nullptr || size == 0) {
+      out.fault = true;
+      return out;
+    }
+    out.ret = static_cast<uint64_t>(static_cast<int64_t>(ringbuf->Output(data, size)));
+    return out;
+  },
+                 /*virtual_cost=*/45);
+
+  table.Register(kHelperKtimeGetNs, [](VmEnv& env, const uint64_t args[5]) {
+    return HelperOutcome{KtimeNowNs(), false, false};
+  },
+                 /*virtual_cost=*/4);
+
+  table.Register(kHelperGetPrandomU32, [](VmEnv& env, const uint64_t args[5]) {
+    thread_local Rng rng(0x9E3779B97F4A7C15ULL);
+    return HelperOutcome{rng.Next() & 0xFFFFFFFFULL, false, false};
+  },
+                 /*virtual_cost=*/4);
+
+  table.Register(kHelperGetSmpProcessorId, [](VmEnv& env, const uint64_t args[5]) {
+    return HelperOutcome{static_cast<uint64_t>(env.cpu), false, false};
+  },
+                 /*virtual_cost=*/2);
+}
+
+}  // namespace kflex

@@ -1,0 +1,20 @@
+// Registration of the core helper implementations (Table 2 + the eBPF map /
+// time / randomness helpers). Kernel-substrate helpers (socket lookup etc.)
+// are registered by src/kernel.
+#ifndef SRC_RUNTIME_HELPERS_H_
+#define SRC_RUNTIME_HELPERS_H_
+
+#include "src/runtime/vm.h"
+
+namespace kflex {
+
+// Registers kflex_malloc/free/spin_lock/spin_unlock, map helpers,
+// bpf_ktime_get_ns, bpf_get_prandom_u32 and bpf_get_smp_processor_id.
+void RegisterCoreHelpers(HelperTable& table);
+
+// Virtual monotonic clock used by bpf_ktime_get_ns (nanoseconds).
+uint64_t KtimeNowNs();
+
+}  // namespace kflex
+
+#endif  // SRC_RUNTIME_HELPERS_H_

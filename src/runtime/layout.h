@@ -1,0 +1,70 @@
+// Simulated kernel virtual-address-space layout.
+//
+// The KFlex runtime maps extension heaps "aligned to their size" into the
+// kernel's vmalloc region (§4.1); SFI masking relies on this alignment. Our
+// userspace model reproduces the layout with a simulated 64-bit VA space the
+// interpreter translates on every access:
+//
+//   user heap view     kUserHeapRegion   (size-aligned; §3.4 shared mapping)
+//   ctx objects        kCtxRegion        (hook input: packet / record buffer)
+//   stack frames       kStackRegion      (one 512 B frame per invocation)
+//   map value areas    kMapRegion
+//   kernel objects     kKernelObjRegion  (opaque handles: sockets, ...)
+//   extension heaps    kKernelHeapRegion (size-aligned + 32 KB guard zones)
+#ifndef SRC_RUNTIME_LAYOUT_H_
+#define SRC_RUNTIME_LAYOUT_H_
+
+#include <cstdint>
+
+namespace kflex {
+
+inline constexpr uint64_t kUserHeapRegion = 0x0000'0400'0000'0000ULL;
+inline constexpr uint64_t kCtxRegion = 0x0000'1000'0000'0000ULL;
+inline constexpr uint64_t kStackRegion = 0x0000'2000'0000'0000ULL;
+inline constexpr uint64_t kMapRegion = 0x0000'3000'0000'0000ULL;
+inline constexpr uint64_t kKernelObjRegion = 0x0000'4000'0000'0000ULL;
+inline constexpr uint64_t kKernelHeapRegion = 0x0000'6000'0000'0000ULL;
+
+// Guard zones flanking each heap. eBPF load/store offsets are signed 16-bit,
+// so +/-32 KB guard zones guarantee that `sanitized_base + off` stays inside
+// memory owned by the extension's mapping (§4.1).
+inline constexpr uint64_t kHeapGuardZone = 32 * 1024;
+
+// Heap page granularity for demand paging (§3.2: physical memory is
+// populated on demand; accesses to never-populated pages raise C2
+// cancellations).
+inline constexpr uint64_t kHeapPageSize = 4096;
+
+// Offset (within the heap) of the runtime-reserved metadata page. The
+// *terminate slot* lives here: it holds a pointer to a valid heap byte and is
+// zeroed by the runtime to cancel long-running loops (§3.3).
+inline constexpr uint64_t kHeapReservedBytes = 64;
+inline constexpr uint64_t kTerminateSlotOff = 0;
+// A guaranteed-mapped byte the terminate slot points at while cancellation is
+// not requested.
+inline constexpr uint64_t kTerminateTargetOff = 8;
+
+// Where an extension's heap lands in kernel and user space. Both bases are
+// aligned to the (power-of-two) heap size so a single mask extracts the heap
+// offset in either address space.
+struct HeapLayout {
+  uint64_t size = 0;
+  uint64_t kernel_base = 0;
+  uint64_t user_base = 0;
+
+  uint64_t mask() const { return size - 1; }
+  uint64_t kernel_end() const { return kernel_base + size; }
+
+  static HeapLayout ForSize(uint64_t size) {
+    HeapLayout layout;
+    layout.size = size;
+    // Align each region base up to the heap size.
+    layout.kernel_base = (kKernelHeapRegion + size - 1) & ~(size - 1);
+    layout.user_base = (kUserHeapRegion + size - 1) & ~(size - 1);
+    return layout;
+  }
+};
+
+}  // namespace kflex
+
+#endif  // SRC_RUNTIME_LAYOUT_H_

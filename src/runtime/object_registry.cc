@@ -1,0 +1,90 @@
+#include "src/runtime/object_registry.h"
+
+namespace kflex {
+
+uint64_t ObjectRegistry::Register(ResourceKind kind, std::function<void()> release) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = entries_.size();
+    entries_.emplace_back();
+  }
+  Entry& entry = entries_[slot];
+  entry.kind = kind;
+  entry.generation++;
+  entry.live = true;
+  entry.release = std::move(release);
+  live_++;
+  return kKernelObjRegion + slot * kSlotStride +
+         static_cast<uint64_t>(entry.generation & 0x1F) * 8;
+}
+
+bool ObjectRegistry::Decode(uint64_t handle, size_t& slot, uint32_t& gen_low) const {
+  if (handle < kKernelObjRegion) {
+    return false;
+  }
+  uint64_t off = handle - kKernelObjRegion;
+  slot = off / kSlotStride;
+  gen_low = static_cast<uint32_t>((off % kSlotStride) / 8);
+  return slot < entries_.size();
+}
+
+bool ObjectRegistry::Release(uint64_t handle) {
+  std::function<void()> release;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t slot;
+    uint32_t gen_low;
+    if (!Decode(handle, slot, gen_low)) {
+      return false;
+    }
+    Entry& entry = entries_[slot];
+    if (!entry.live || (entry.generation & 0x1F) != gen_low) {
+      return false;
+    }
+    entry.live = false;
+    release = std::move(entry.release);
+    entry.release = nullptr;
+    free_slots_.push_back(slot);
+    live_--;
+  }
+  if (release) {
+    release();
+  }
+  return true;
+}
+
+bool ObjectRegistry::IsLive(uint64_t handle) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t slot;
+  uint32_t gen_low;
+  if (!Decode(handle, slot, gen_low)) {
+    return false;
+  }
+  const Entry& entry = entries_[slot];
+  return entry.live && (entry.generation & 0x1F) == gen_low;
+}
+
+ResourceKind ObjectRegistry::KindOf(uint64_t handle) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t slot;
+  uint32_t gen_low;
+  if (!Decode(handle, slot, gen_low)) {
+    return ResourceKind::kNone;
+  }
+  const Entry& entry = entries_[slot];
+  if (!entry.live || (entry.generation & 0x1F) != gen_low) {
+    return ResourceKind::kNone;
+  }
+  return entry.kind;
+}
+
+size_t ObjectRegistry::live_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_;
+}
+
+}  // namespace kflex

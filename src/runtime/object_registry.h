@@ -1,0 +1,56 @@
+// Registry of kernel-owned objects handed to extensions as opaque handles
+// (simulated VAs in kKernelObjRegion). Acquire-typed helpers register an
+// object with a release action; bpf_sk_release-style helpers (and the
+// cancellation path walking an object table, §3.3) release it exactly once.
+#ifndef SRC_RUNTIME_OBJECT_REGISTRY_H_
+#define SRC_RUNTIME_OBJECT_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "src/ebpf/helper_ids.h"
+#include "src/runtime/layout.h"
+
+namespace kflex {
+
+class ObjectRegistry {
+ public:
+  // Registers a live object; `release` runs exactly once when the handle is
+  // released. Returns the handle VA.
+  uint64_t Register(ResourceKind kind, std::function<void()> release);
+
+  // Releases the handle. Returns false if the handle is unknown or already
+  // released (the caller treats that as a no-op / verifier-prevented bug).
+  bool Release(uint64_t handle);
+
+  // True if the handle refers to a live (unreleased) object.
+  bool IsLive(uint64_t handle) const;
+  ResourceKind KindOf(uint64_t handle) const;
+
+  // Number of currently live handles (quiescence checking).
+  size_t live_count() const;
+
+ private:
+  struct Entry {
+    ResourceKind kind = ResourceKind::kNone;
+    uint32_t generation = 0;
+    bool live = false;
+    std::function<void()> release;
+  };
+
+  // Handle layout: kKernelObjRegion + slot * 256 + generation-low-byte * 8.
+  static constexpr uint64_t kSlotStride = 256;
+
+  bool Decode(uint64_t handle, size_t& slot, uint32_t& gen_low) const;
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  std::vector<size_t> free_slots_;
+  size_t live_ = 0;
+};
+
+}  // namespace kflex
+
+#endif  // SRC_RUNTIME_OBJECT_REGISTRY_H_

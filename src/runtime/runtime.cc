@@ -1,0 +1,300 @@
+#include "src/runtime/runtime.h"
+
+#include <chrono>
+#include <cstring>
+
+#include "src/base/logging.h"
+#include "src/runtime/helpers.h"
+#include "src/runtime/spinlock.h"
+
+namespace kflex {
+
+Runtime::Runtime(const RuntimeOptions& options) : options_(options) {
+  KFLEX_CHECK(options_.num_cpus > 0);
+  RegisterCoreHelpers(helpers_);
+}
+
+Runtime::~Runtime() { StopWatchdog(); }
+
+Runtime::Extension* Runtime::Get(ExtensionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == 0 || id > extensions_.size()) {
+    return nullptr;
+  }
+  return extensions_[id - 1].get();
+}
+
+const Runtime::Extension* Runtime::Get(ExtensionId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == 0 || id > extensions_.size()) {
+    return nullptr;
+  }
+  return extensions_[id - 1].get();
+}
+
+StatusOr<ExtensionId> Runtime::Load(const Program& program, const LoadOptions& options) {
+  // Step 1 (Figure 1): kernel-interface compliance via the verifier.
+  VerifyOptions vo = options.verify;
+  vo.maps = maps_.Descriptors();
+  StatusOr<Analysis> analysis = Verify(program, vo);
+  if (!analysis.ok()) {
+    return analysis.status();
+  }
+
+  auto ext = std::make_unique<Extension>();
+  ext->analysis = std::move(analysis.value());
+
+  // Create the extension heap before instrumentation so Kie can concretize
+  // the mapping bases into the code (§4.1).
+  HeapLayout layout;
+  if (program.heap_size != 0) {
+    if (options.share_heap_with != 0) {
+      Extension* owner = Get(options.share_heap_with);
+      if (owner == nullptr || owner->heap == nullptr) {
+        return InvalidArgument("share_heap_with refers to an extension without a heap");
+      }
+      if (owner->heap->size() != program.heap_size) {
+        return InvalidArgument("shared heap size does not match program declaration");
+      }
+      ext->heap = owner->heap;
+      ext->allocator = owner->allocator;
+    } else {
+      HeapSpec spec;
+      spec.size = program.heap_size;
+      spec.static_bytes = options.heap_static_bytes;
+      StatusOr<std::unique_ptr<ExtensionHeap>> heap = ExtensionHeap::Create(spec);
+      if (!heap.ok()) {
+        return heap.status();
+      }
+      ext->heap = std::move(heap.value());
+      ext->allocator = std::make_shared<HeapAllocator>(ext->heap.get(), options_.num_cpus);
+    }
+    layout = ext->heap->layout();
+  }
+
+  // Step 2 (Figure 1): Kie instrumentation.
+  StatusOr<InstrumentedProgram> iprog =
+      Instrument(program, ext->analysis, layout, options.kie);
+  if (!iprog.ok()) {
+    return iprog.status();
+  }
+  ext->iprog = std::move(iprog.value());
+
+  for (int i = 0; i < options_.num_cpus; i++) {
+    ext->running_since.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  extensions_.push_back(std::move(ext));
+  return static_cast<ExtensionId>(extensions_.size());
+}
+
+int64_t Runtime::Unwind(Extension& ext, VmEnv& env, size_t fault_pc) {
+  // Release every kernel-owned resource recorded in the object table of the
+  // faulting cancellation point (§3.3).
+  uint64_t released = 0;
+  auto it = ext.iprog.object_tables.find(fault_pc);
+  if (it != ext.iprog.object_tables.end()) {
+    for (const ObjectTableEntry& entry : it->second) {
+      switch (entry.kind) {
+        case ResourceKind::kSocket: {
+          uint64_t handle = 0;
+          if (entry.reg >= 0) {
+            handle = env.regs[entry.reg];
+          } else if (entry.stack_slot >= 0) {
+            std::memcpy(&handle, env.stack + entry.stack_slot * 8, 8);
+          }
+          if (objects_.Release(handle)) {
+            released++;
+          }
+          break;
+        }
+        case ResourceKind::kLock:
+          if (ext.heap != nullptr) {
+            SpinLockOps::Release(ext.heap->HostAt(entry.lock_off));
+            released++;
+          }
+          break;
+        case ResourceKind::kNone:
+          break;
+      }
+    }
+  }
+  // Policy (§4.3): cancellation unloads the extension everywhere, but the
+  // heap is preserved for the user-space application.
+  ext.unloaded.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(ext.stats_mu);
+    ext.stats.cancellations++;
+    ext.stats.resources_released_on_cancel += released;
+  }
+  int64_t verdict = HookDefaultVerdict(ext.iprog.program.hook);
+  if (ext.cancel_cb) {
+    verdict = ext.cancel_cb(verdict);
+  }
+  return verdict;
+}
+
+InvokeResult Runtime::Invoke(ExtensionId id, int cpu, uint8_t* ctx, uint32_t ctx_size) {
+  InvokeResult result;
+  Extension* ext = Get(id);
+  if (ext == nullptr || ext->unloaded.load(std::memory_order_acquire) || cpu < 0 ||
+      cpu >= options_.num_cpus) {
+    result.attached = false;
+    return result;
+  }
+
+  VmEnv env;
+  env.heap = ext->heap.get();
+  env.allocator = ext->allocator.get();
+  env.maps = &maps_;
+  env.objects = &objects_;
+  env.helpers = &helpers_;
+  env.ctx = ctx;
+  env.ctx_size = ctx_size;
+  env.cpu = cpu;
+  env.cancel = &ext->cancel;
+  env.insn_budget = 0;
+  env.fuel_quantum = options_.fuel_quantum_insns;
+  env.instrumentation_mask = &ext->iprog.instrumentation_mask;
+
+  auto& running = *ext->running_since[static_cast<size_t>(cpu)];
+  running.store(KtimeNowNs(), std::memory_order_release);
+  VmResult vm = VmRun(ext->iprog.program.insns, env);
+  running.store(0, std::memory_order_release);
+
+  result.insns = vm.insns_executed;
+  result.instr_insns = vm.instr_insns_executed;
+  result.outcome = vm.outcome;
+  result.fault_pc = vm.fault_pc;
+  result.fault_kind = vm.fault_kind;
+  {
+    std::lock_guard<std::mutex> lock(ext->stats_mu);
+    ext->stats.invocations++;
+  }
+
+  switch (vm.outcome) {
+    case VmResult::Outcome::kOk:
+      result.verdict = vm.ret;
+      return result;
+    case VmResult::Outcome::kFault:
+    case VmResult::Outcome::kHelperCancel:
+    case VmResult::Outcome::kHelperFault:
+      result.cancelled = true;
+      result.verdict = Unwind(*ext, env, vm.fault_pc);
+      return result;
+    case VmResult::Outcome::kBudgetExceeded:
+      result.cancelled = true;
+      result.verdict = Unwind(*ext, env, vm.fault_pc);
+      return result;
+  }
+  return result;
+}
+
+void Runtime::Cancel(ExtensionId id) {
+  Extension* ext = Get(id);
+  if (ext == nullptr) {
+    return;
+  }
+  ext->cancel.store(true, std::memory_order_release);
+  if (ext->heap != nullptr) {
+    ext->heap->ArmTerminate();
+  }
+}
+
+void Runtime::Reset(ExtensionId id) {
+  Extension* ext = Get(id);
+  if (ext == nullptr) {
+    return;
+  }
+  ext->cancel.store(false, std::memory_order_release);
+  ext->unloaded.store(false, std::memory_order_release);
+  if (ext->heap != nullptr) {
+    ext->heap->ResetTerminate();
+  }
+}
+
+bool Runtime::IsUnloaded(ExtensionId id) const {
+  const Extension* ext = Get(id);
+  return ext == nullptr || ext->unloaded.load(std::memory_order_acquire);
+}
+
+ExtensionHeap* Runtime::heap(ExtensionId id) {
+  Extension* ext = Get(id);
+  return ext == nullptr ? nullptr : ext->heap.get();
+}
+
+HeapAllocator* Runtime::allocator(ExtensionId id) {
+  Extension* ext = Get(id);
+  return ext == nullptr ? nullptr : ext->allocator.get();
+}
+
+const InstrumentedProgram& Runtime::instrumented(ExtensionId id) const {
+  const Extension* ext = Get(id);
+  KFLEX_CHECK(ext != nullptr);
+  return ext->iprog;
+}
+
+const Analysis& Runtime::analysis(ExtensionId id) const {
+  const Extension* ext = Get(id);
+  KFLEX_CHECK(ext != nullptr);
+  return ext->analysis;
+}
+
+void Runtime::SetCancellationCallback(ExtensionId id, std::function<int64_t(int64_t)> cb) {
+  Extension* ext = Get(id);
+  if (ext != nullptr) {
+    ext->cancel_cb = std::move(cb);
+  }
+}
+
+Runtime::ExtensionStats Runtime::GetStats(ExtensionId id) const {
+  const Extension* ext = Get(id);
+  if (ext == nullptr) {
+    return {};
+  }
+  std::lock_guard<std::mutex> lock(ext->stats_mu);
+  return ext->stats;
+}
+
+void Runtime::WatchdogLoop() {
+  while (watchdog_running_.load(std::memory_order_acquire)) {
+    uint64_t now = KtimeNowNs();
+    size_t count;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      count = extensions_.size();
+    }
+    for (size_t i = 0; i < count; i++) {
+      Extension* ext;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ext = extensions_[i].get();
+      }
+      for (auto& slot : ext->running_since) {
+        uint64_t since = slot->load(std::memory_order_acquire);
+        if (since != 0 && now > since && now - since > options_.quantum_ns) {
+          Cancel(static_cast<ExtensionId>(i + 1));
+          break;
+        }
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::nanoseconds(options_.quantum_ns / 4 + 1));
+  }
+}
+
+void Runtime::StartWatchdog() {
+  bool expected = false;
+  if (!watchdog_running_.compare_exchange_strong(expected, true)) {
+    return;
+  }
+  watchdog_ = std::thread([this] { WatchdogLoop(); });
+}
+
+void Runtime::StopWatchdog() {
+  if (watchdog_running_.exchange(false) && watchdog_.joinable()) {
+    watchdog_.join();
+  }
+}
+
+}  // namespace kflex

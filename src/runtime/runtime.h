@@ -1,0 +1,156 @@
+// The KFlex runtime (Figure 1, step 3).
+//
+// Owns the full load pipeline — verification (kernel-interface compliance),
+// Kie instrumentation (extension correctness), heap creation — and executes
+// extensions while guaranteeing memory safety and safe termination:
+//
+//  * faults raised by the VM (guard zone, unpopulated page, terminate load)
+//    become extension cancellations: the runtime walks the object table of
+//    the faulting cancellation point, releases every held kernel resource
+//    via its destructor, and returns the hook's default verdict (§3.3);
+//  * a watchdog monitors how long each invocation has been running and arms
+//    the terminate slot when the quantum is exceeded (§4.3);
+//  * cancellation is extension-wide: the extension is unloaded, but its heap
+//    survives until the owner closes it (§3.4, §4.3).
+#ifndef SRC_RUNTIME_RUNTIME_H_
+#define SRC_RUNTIME_RUNTIME_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/kie/kie.h"
+#include "src/runtime/allocator.h"
+#include "src/runtime/heap.h"
+#include "src/runtime/maps.h"
+#include "src/runtime/object_registry.h"
+#include "src/runtime/vm.h"
+#include "src/verifier/verifier.h"
+
+namespace kflex {
+
+using ExtensionId = uint32_t;
+
+struct RuntimeOptions {
+  int num_cpus = 8;
+  // Watchdog cancellation quantum. The paper's watchdog operates at second
+  // granularity (§4.3); tests shrink this for fast, deterministic runs.
+  uint64_t quantum_ns = 1'000'000'000ULL;
+  // Instruction quantum for clock-sampled cancellation points (extensions
+  // instrumented with CancellationMode::kClockSampled); 0 = unlimited.
+  uint64_t fuel_quantum_insns = 0;
+};
+
+struct LoadOptions {
+  KieOptions kie;
+  // Extra verifier knobs (maps are filled in from the registry).
+  VerifyOptions verify;
+  // Static-globals bytes at the front of the heap (kflex_heap file scope
+  // data). Ignored when the program declares no heap.
+  uint64_t heap_static_bytes = 0;
+  // Share the extension heap (and allocator) of an already-loaded extension
+  // instead of creating a new one. Heaps are eBPF maps in the real system
+  // (§4.1) and can back multiple programs; the declared heap sizes must
+  // match.
+  ExtensionId share_heap_with = 0;
+};
+
+struct InvokeResult {
+  bool attached = true;      // false: extension was unloaded (post-cancellation)
+  bool cancelled = false;
+  int64_t verdict = 0;
+  uint64_t insns = 0;        // total executed bytecode instructions
+  uint64_t instr_insns = 0;  // of those, Kie-inserted instrumentation
+  VmResult::Outcome outcome = VmResult::Outcome::kOk;
+  size_t fault_pc = 0;
+  MemFaultKind fault_kind = MemFaultKind::kNone;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(const RuntimeOptions& options = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  MapRegistry& maps() { return maps_; }
+  ObjectRegistry& objects() { return objects_; }
+  const ObjectRegistry& objects() const { return objects_; }
+  HelperTable& helpers() { return helpers_; }
+  int num_cpus() const { return options_.num_cpus; }
+
+  // Verifies, instruments and installs `program`. Creates the extension heap
+  // if the program declares one.
+  StatusOr<ExtensionId> Load(const Program& program, const LoadOptions& options = {});
+
+  // Runs one invocation of the extension on `cpu` with the given context
+  // object (the hook input). ctx must stay valid for the call.
+  InvokeResult Invoke(ExtensionId id, int cpu, uint8_t* ctx, uint32_t ctx_size);
+
+  // Requests cancellation of all invocations of the extension (§4.3: scope
+  // is the whole extension across CPUs).
+  void Cancel(ExtensionId id);
+
+  // Re-arms a cancelled extension (tests / repeated-cancellation benches).
+  void Reset(ExtensionId id);
+
+  bool IsUnloaded(ExtensionId id) const;
+  ExtensionHeap* heap(ExtensionId id);
+  HeapAllocator* allocator(ExtensionId id);
+  const InstrumentedProgram& instrumented(ExtensionId id) const;
+  const Analysis& analysis(ExtensionId id) const;
+
+  // §4.3: user-attached callback adjusting the verdict returned after a
+  // cancellation (restricted: plain function of the default verdict).
+  void SetCancellationCallback(ExtensionId id, std::function<int64_t(int64_t)> cb);
+
+  struct ExtensionStats {
+    uint64_t invocations = 0;
+    uint64_t cancellations = 0;
+    uint64_t resources_released_on_cancel = 0;
+  };
+  ExtensionStats GetStats(ExtensionId id) const;
+
+  // Watchdog-driven monitoring of extension execution duration (§4.3).
+  void StartWatchdog();
+  void StopWatchdog();
+
+ private:
+  struct Extension {
+    InstrumentedProgram iprog;
+    Analysis analysis;
+    std::shared_ptr<ExtensionHeap> heap;
+    std::shared_ptr<HeapAllocator> allocator;
+    std::atomic<bool> cancel{false};
+    std::atomic<bool> unloaded{false};
+    std::function<int64_t(int64_t)> cancel_cb;
+    std::vector<std::unique_ptr<std::atomic<uint64_t>>> running_since;  // per cpu, ns; 0 = idle
+    mutable std::mutex stats_mu;
+    ExtensionStats stats;
+  };
+
+  Extension* Get(ExtensionId id);
+  const Extension* Get(ExtensionId id) const;
+  int64_t Unwind(Extension& ext, VmEnv& env, size_t fault_pc);
+  void WatchdogLoop();
+
+  RuntimeOptions options_;
+  MapRegistry maps_;
+  ObjectRegistry objects_;
+  HelperTable helpers_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Extension>> extensions_;
+
+  std::thread watchdog_;
+  std::atomic<bool> watchdog_running_{false};
+};
+
+}  // namespace kflex
+
+#endif  // SRC_RUNTIME_RUNTIME_H_

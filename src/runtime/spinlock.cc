@@ -1,0 +1,55 @@
+#include "src/runtime/spinlock.h"
+
+#include <thread>
+
+namespace kflex {
+
+namespace {
+std::atomic<uint64_t>* Word(void* p) { return reinterpret_cast<std::atomic<uint64_t>*>(p); }
+const std::atomic<uint64_t>* Word(const void* p) {
+  return reinterpret_cast<const std::atomic<uint64_t>*>(p);
+}
+}  // namespace
+
+bool SpinLockOps::TryAcquire(void* word, uint64_t owner_tag) {
+  uint64_t expected = kFree;
+  return Word(word)->compare_exchange_strong(expected, owner_tag, std::memory_order_acquire,
+                                             std::memory_order_relaxed);
+}
+
+bool SpinLockOps::Acquire(void* word, uint64_t owner_tag, const std::atomic<bool>* cancel) {
+  int backoff = 1;
+  while (true) {
+    if (TryAcquire(word, owner_tag)) {
+      return true;
+    }
+    for (int i = 0; i < backoff; i++) {
+      if (Word(word)->load(std::memory_order_relaxed) == kFree) {
+        break;
+      }
+#if defined(__x86_64__)
+      __builtin_ia32_pause();
+#endif
+    }
+    if (backoff < 1024) {
+      backoff *= 2;
+    } else {
+      std::this_thread::yield();
+    }
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      return false;
+    }
+  }
+}
+
+void SpinLockOps::Release(void* word) { Word(word)->store(kFree, std::memory_order_release); }
+
+bool SpinLockOps::IsHeld(const void* word) {
+  return Word(word)->load(std::memory_order_acquire) != kFree;
+}
+
+uint64_t SpinLockOps::Owner(const void* word) {
+  return Word(word)->load(std::memory_order_acquire);
+}
+
+}  // namespace kflex

@@ -1,0 +1,117 @@
+// The KFlex execution engine: an interpreter for (instrumented) eBPF
+// bytecode with a software MMU over the simulated kernel address space.
+//
+// This stands in for the eBPF JIT + CPU of the real system. Memory accesses
+// are translated per region; faults (guard zone, unpopulated heap page,
+// unmapped address, SMAP) surface as VmResult::kFault with the faulting pc,
+// which the runtime converts into an extension cancellation (§3.3). The
+// KFlex-specific SANITIZE/TRANSLATE pseudo-instructions emitted by Kie are
+// executed natively here, mirroring the augmented JIT of §4.2.
+#ifndef SRC_RUNTIME_VM_H_
+#define SRC_RUNTIME_VM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "src/ebpf/insn.h"
+#include "src/runtime/heap.h"
+#include "src/runtime/maps.h"
+
+namespace kflex {
+
+class HeapAllocator;
+class ObjectRegistry;
+struct VmEnv;
+
+struct HelperOutcome {
+  uint64_t ret = 0;
+  // Helper observed the invocation's cancel flag while blocked (e.g., a spin
+  // lock waiter): the runtime cancels the extension at this call site.
+  bool cancel = false;
+  // Helper signalled a hard fault (invalid handle etc.).
+  bool fault = false;
+};
+
+using HelperFn = std::function<HelperOutcome(VmEnv&, const uint64_t args[5])>;
+
+class HelperTable {
+ public:
+  struct Entry {
+    HelperFn fn;
+    // Virtual instruction cost of the helper's internal work, charged to the
+    // invocation's executed-instruction count so that kernel-helper work
+    // (map probing, socket lookup, allocation) is accounted in the same
+    // currency as extension bytecode.
+    uint64_t virtual_cost = 0;
+  };
+
+  void Register(int32_t id, HelperFn fn, uint64_t virtual_cost = 0) {
+    fns_[id] = Entry{std::move(fn), virtual_cost};
+  }
+  const Entry* Find(int32_t id) const {
+    auto it = fns_.find(id);
+    return it == fns_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::map<int32_t, Entry> fns_;
+};
+
+// Everything one invocation needs. Stack memory is owned by the VM run.
+struct VmEnv {
+  ExtensionHeap* heap = nullptr;            // null for heap-less eBPF programs
+  HeapAllocator* allocator = nullptr;
+  MapRegistry* maps = nullptr;
+  ObjectRegistry* objects = nullptr;
+  const HelperTable* helpers = nullptr;
+  uint8_t* ctx = nullptr;
+  uint32_t ctx_size = 0;
+  int cpu = 0;
+  std::atomic<bool>* cancel = nullptr;      // invocation cancel flag
+  uint64_t insn_budget = 0;                 // 0 = unlimited (test safety net)
+  // Per-invocation quantum for clock-sampled cancellation points (FUELCHECK
+  // instructions); 0 disables the check.
+  uint64_t fuel_quantum = 0;
+  // Optional per-pc flags marking Kie-inserted instructions (guards,
+  // terminate loads); counted separately in VmResult.
+  const std::vector<uint8_t>* instrumentation_mask = nullptr;
+
+  // Filled during execution; readable by the cancellation unwinder.
+  uint64_t regs[kNumRegs] = {0};
+  uint8_t stack[kStackSize] = {0};
+};
+
+struct VmResult {
+  enum class Outcome {
+    kOk = 0,
+    kFault,          // memory fault -> cancellation point
+    kHelperCancel,   // helper observed cancellation while blocked
+    kHelperFault,    // helper hard failure
+    kBudgetExceeded, // safety net tripped (tests only)
+  };
+  Outcome outcome = Outcome::kOk;
+  int64_t ret = 0;
+  size_t fault_pc = 0;
+  MemFaultKind fault_kind = MemFaultKind::kNone;
+  uint64_t fault_va = 0;
+  uint64_t insns_executed = 0;
+  // Of insns_executed, how many were Kie-inserted instrumentation.
+  uint64_t instr_insns_executed = 0;
+};
+
+const char* VmOutcomeName(VmResult::Outcome outcome);
+
+// Executes `insns` in `env`. R1 is set to the ctx VA, R10 to the stack top.
+VmResult VmRun(std::span<const Insn> insns, VmEnv& env);
+
+// The VM's address translation, exposed for helper implementations that take
+// extension pointers (map keys, socket tuples, ...).
+uint8_t* VmTranslate(VmEnv& env, uint64_t va, uint64_t size, MemFaultKind& fault);
+
+}  // namespace kflex
+
+#endif  // SRC_RUNTIME_VM_H_

@@ -1,0 +1,23 @@
+#include "src/uapi/user_heap.h"
+
+namespace kflex {
+
+void TimeSliceExtension::EnterCritical(uint64_t now_ns) {
+  if (depth_ == 0) {
+    slice_start_ns_ = now_ns;
+    preempted_ = false;
+  }
+  depth_++;
+}
+
+void TimeSliceExtension::LeaveCritical() {
+  if (depth_ > 0) {
+    depth_--;
+  }
+}
+
+bool TimeSliceExtension::ShouldPreempt(uint64_t now_ns) const {
+  return depth_ > 0 && now_ns > slice_start_ns_ && now_ns - slice_start_ns_ > kSliceNs;
+}
+
+}  // namespace kflex

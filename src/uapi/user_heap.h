@@ -1,0 +1,113 @@
+// User-space side of KFlex (§3.4): applications map extension heaps into
+// their own address space and follow shared pointers directly. With
+// translate-on-store enabled, pointers the extension stores into the heap
+// are user-space virtual addresses, so unmodified user code can walk
+// extension-built data structures.
+#ifndef SRC_UAPI_USER_HEAP_H_
+#define SRC_UAPI_USER_HEAP_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "src/runtime/heap.h"
+
+namespace kflex {
+
+// The application's mmap()ed view of an extension heap. All accesses go
+// through user VAs exactly as a real process would issue them.
+class UserHeapView {
+ public:
+  explicit UserHeapView(ExtensionHeap* heap) : heap_(heap) {}
+
+  uint64_t base() const { return heap_->layout().user_base; }
+  uint64_t size() const { return heap_->size(); }
+  // User VA of a heap offset (how the application names extension globals).
+  uint64_t AddrOf(uint64_t heap_off) const { return base() + heap_off; }
+  bool Contains(uint64_t user_va) const {
+    return user_va >= base() && user_va < base() + size();
+  }
+
+  // Typed loads/stores through user VAs. Return false on faults (address
+  // outside the mapping or a page the kernel has not populated).
+  template <typename T>
+  bool Load(uint64_t user_va, T& out) const {
+    MemFaultKind fk = MemFaultKind::kNone;
+    const uint8_t* p = heap_->TranslateUser(user_va, sizeof(T), fk);
+    if (p == nullptr) {
+      return false;
+    }
+    std::memcpy(&out, p, sizeof(T));
+    return true;
+  }
+
+  template <typename T>
+  bool Store(uint64_t user_va, const T& value) {
+    MemFaultKind fk = MemFaultKind::kNone;
+    uint8_t* p = heap_->TranslateUser(user_va, sizeof(T), fk);
+    if (p == nullptr) {
+      return false;
+    }
+    std::memcpy(p, &value, sizeof(T));
+    return true;
+  }
+
+  bool LoadBytes(uint64_t user_va, void* out, uint64_t len) const {
+    MemFaultKind fk = MemFaultKind::kNone;
+    const uint8_t* p = heap_->TranslateUser(user_va, len, fk);
+    if (p == nullptr) {
+      return false;
+    }
+    std::memcpy(out, p, len);
+    return true;
+  }
+
+  // The raw word at a heap offset interpreted as a shared pointer; returns
+  // 0 if the slot cannot be read.
+  uint64_t LoadPointerAt(uint64_t heap_off) const {
+    uint64_t v = 0;
+    Load(AddrOf(heap_off), v);
+    return v;
+  }
+
+  // Converts a user VA back to a heap offset (e.g., to kflex_free an object
+  // from the user-space allocator backend, §4.1).
+  uint64_t OffsetOf(uint64_t user_va) const { return user_va & (size() - 1); }
+
+  ExtensionHeap* heap() { return heap_; }
+
+ private:
+  ExtensionHeap* heap_;
+};
+
+// rseq-style time slice extension (§3.4, §4.4): user threads bump a
+// critical-section counter around spin-lock acquisition; while the counter
+// is nonzero the scheduler grants up to one extra slice (50 us) before
+// forcefully preempting. Nested locks are counted correctly.
+class TimeSliceExtension {
+ public:
+  static constexpr uint64_t kSliceNs = 50'000;
+
+  // Called by user code when entering/leaving a critical section.
+  void EnterCritical(uint64_t now_ns);
+  void LeaveCritical();
+
+  bool InCritical() const { return depth_ > 0; }
+  int depth() const { return depth_; }
+
+  // Scheduler-side check: true if the thread exhausted its extension and
+  // must be preempted (leaving any held locks stuck until cancellation
+  // recovers the waiters, §4.4).
+  bool ShouldPreempt(uint64_t now_ns) const;
+
+  bool preempted() const { return preempted_; }
+  void MarkPreempted() { preempted_ = true; }
+
+ private:
+  int depth_ = 0;
+  uint64_t slice_start_ns_ = 0;
+  bool preempted_ = false;
+};
+
+}  // namespace kflex
+
+#endif  // SRC_UAPI_USER_HEAP_H_

@@ -1,0 +1,306 @@
+#include "src/verifier/state.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+namespace kflex {
+
+namespace {
+constexpr int64_t kS64Min = std::numeric_limits<int64_t>::min();
+constexpr int64_t kS64Max = std::numeric_limits<int64_t>::max();
+constexpr uint64_t kU64Max = std::numeric_limits<uint64_t>::max();
+}  // namespace
+
+const char* RegTypeName(RegType type) {
+  switch (type) {
+    case RegType::kNotInit:
+      return "not_init";
+    case RegType::kScalar:
+      return "scalar";
+    case RegType::kPtrToCtx:
+      return "ctx";
+    case RegType::kPtrToStack:
+      return "stack_ptr";
+    case RegType::kPtrToHeap:
+      return "heap_ptr";
+    case RegType::kPtrToHeapOrNull:
+      return "heap_ptr_or_null";
+    case RegType::kConstPtrToMap:
+      return "map_ptr";
+    case RegType::kPtrToMapValue:
+      return "map_value";
+    case RegType::kPtrToMapValueOrNull:
+      return "map_value_or_null";
+    case RegType::kPtrToSocket:
+      return "socket";
+    case RegType::kPtrToSocketOrNull:
+      return "socket_or_null";
+  }
+  return "?";
+}
+
+RegType NonNullVariant(RegType type) {
+  switch (type) {
+    case RegType::kPtrToHeapOrNull:
+      return RegType::kPtrToHeap;
+    case RegType::kPtrToMapValueOrNull:
+      return RegType::kPtrToMapValue;
+    case RegType::kPtrToSocketOrNull:
+      return RegType::kPtrToSocket;
+    default:
+      return type;
+  }
+}
+
+RegState RegState::ConstScalar(uint64_t v) {
+  RegState reg;
+  reg.type = RegType::kScalar;
+  reg.var = Tnum::Const(v);
+  reg.smin = static_cast<int64_t>(v);
+  reg.smax = static_cast<int64_t>(v);
+  reg.umin = v;
+  reg.umax = v;
+  return reg;
+}
+
+RegState RegState::UnknownScalar() {
+  RegState reg;
+  reg.type = RegType::kScalar;
+  reg.var = Tnum::Unknown();
+  reg.smin = kS64Min;
+  reg.smax = kS64Max;
+  reg.umin = 0;
+  reg.umax = kU64Max;
+  return reg;
+}
+
+RegState RegState::ScalarMaxBytes(int bytes) {
+  RegState reg = UnknownScalar();
+  if (bytes < 8) {
+    uint64_t max = (1ULL << (bytes * 8)) - 1;
+    reg.var = Tnum{0, max};
+    reg.umin = 0;
+    reg.umax = max;
+    reg.smin = 0;
+    reg.smax = static_cast<int64_t>(max);
+  }
+  return reg;
+}
+
+RegState RegState::Pointer(RegType type, int64_t off) {
+  RegState reg;
+  reg.type = type;
+  reg.var = Tnum::Const(static_cast<uint64_t>(off));
+  reg.smin = off;
+  reg.smax = off;
+  reg.umin = static_cast<uint64_t>(off);
+  reg.umax = static_cast<uint64_t>(off);
+  return reg;
+}
+
+void RegState::MarkOffsetUnknown() {
+  var = Tnum::Unknown();
+  smin = kS64Min;
+  smax = kS64Max;
+  umin = 0;
+  umax = kU64Max;
+}
+
+bool RegState::DeduceBounds() {
+  // Tighten unsigned bounds from the tnum.
+  umin = std::max(umin, var.UMin());
+  umax = std::min(umax, var.UMax());
+  // Cross-propagate unsigned -> signed when the whole range shares a sign.
+  if (umax <= static_cast<uint64_t>(kS64Max)) {
+    // Entirely non-negative.
+    smin = std::max(smin, static_cast<int64_t>(umin));
+    smax = std::min(smax, static_cast<int64_t>(umax));
+  } else if (umin > static_cast<uint64_t>(kS64Max)) {
+    // Entirely negative.
+    smin = std::max(smin, static_cast<int64_t>(umin));
+    smax = std::min(smax, static_cast<int64_t>(umax));
+  }
+  // Signed -> unsigned when entirely non-negative.
+  if (smin >= 0) {
+    umin = std::max(umin, static_cast<uint64_t>(smin));
+    umax = std::min(umax, static_cast<uint64_t>(smax));
+  }
+  return umin <= umax && smin <= smax;
+}
+
+bool RegState::Covers(const RegState& other) const {
+  // A register that verification never read (kNotInit) imposes no constraint
+  // on the continuation, so it covers any concrete value.
+  if (type == RegType::kNotInit) {
+    return true;
+  }
+  if (type != other.type) {
+    return false;
+  }
+  if (map_id != other.map_id || ref_id != other.ref_id) {
+    return false;
+  }
+  return var.Contains(other.var) && umin <= other.umin && umax >= other.umax &&
+         smin <= other.smin && smax >= other.smax;
+}
+
+void RegState::JoinWith(const RegState& other) {
+  if (type == RegType::kNotInit) {
+    return;  // Already top.
+  }
+  if (type != other.type || map_id != other.map_id || ref_id != other.ref_id) {
+    // Incompatible: drop to "unread" which covers everything.
+    *this = NotInit();
+    return;
+  }
+  if (Covers(other)) {
+    return;
+  }
+  // Proper widening: jump straight to the least precise value of this type so
+  // loop exploration converges quickly. Soundness is preserved (wider state),
+  // precision inside unbounded loops is deliberately sacrificed.
+  MarkOffsetUnknown();
+}
+
+std::string RegState::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s var=%s u=[%llu,%llu] s=[%lld,%lld]", RegTypeName(type),
+                var.ToString().c_str(), static_cast<unsigned long long>(umin),
+                static_cast<unsigned long long>(umax), static_cast<long long>(smin),
+                static_cast<long long>(smax));
+  return buf;
+}
+
+VerifierState VerifierState::Initial() {
+  VerifierState st;
+  st.regs[R1] = RegState::Pointer(RegType::kPtrToCtx, 0);
+  st.regs[R10] = RegState::Pointer(RegType::kPtrToStack, 0);
+  return st;
+}
+
+void VerifierState::NormalizeRefIds() {
+  if (refs.empty()) {
+    return;
+  }
+  // old id -> new id (index + 1).
+  std::vector<std::pair<uint32_t, uint32_t>> remap;
+  remap.reserve(refs.size());
+  for (size_t i = 0; i < refs.size(); i++) {
+    remap.emplace_back(refs[i].id, static_cast<uint32_t>(i + 1));
+    refs[i].id = static_cast<uint32_t>(i + 1);
+  }
+  auto rewrite = [&remap](RegState& reg) {
+    if (reg.ref_id == 0) {
+      return;
+    }
+    for (const auto& [from, to] : remap) {
+      if (reg.ref_id == from) {
+        reg.ref_id = to;
+        return;
+      }
+    }
+    // Reference no longer tracked (should not happen; treated as released).
+    reg.ref_id = 0;
+  };
+  for (RegState& reg : regs) {
+    rewrite(reg);
+  }
+  for (StackSlot& slot : stack) {
+    if (slot.kind == StackSlot::Kind::kSpill) {
+      rewrite(slot.spill);
+    }
+  }
+  next_ref_id = static_cast<uint32_t>(refs.size() + 1);
+}
+
+namespace {
+
+bool RefsEquivalent(const std::vector<RefInfo>& a, const std::vector<RefInfo>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); i++) {
+    if (a[i].kind != b[i].kind || a[i].acquire_pc != b[i].acquire_pc ||
+        a[i].destructor != b[i].destructor) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LocksEquivalent(const std::vector<LockInfo>& a, const std::vector<LockInfo>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); i++) {
+    if (a[i].heap_off != b[i].heap_off) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool VerifierState::Covers(const VerifierState& other) const {
+  // Resource state must match exactly: a continuation verified with one set
+  // of held refs/locks says nothing about a path holding a different set.
+  if (!RefsEquivalent(refs, other.refs) || !LocksEquivalent(locks, other.locks)) {
+    return false;
+  }
+  for (int i = 0; i < kNumRegs; i++) {
+    if (!regs[static_cast<size_t>(i)].Covers(other.regs[static_cast<size_t>(i)])) {
+      return false;
+    }
+  }
+  for (int i = 0; i < kStackSlots; i++) {
+    const StackSlot& mine = stack[static_cast<size_t>(i)];
+    const StackSlot& theirs = stack[static_cast<size_t>(i)];
+    (void)theirs;
+    const StackSlot& others = other.stack[static_cast<size_t>(i)];
+    switch (mine.kind) {
+      case StackSlot::Kind::kInvalid:
+        break;  // Never read in the verified continuation: covers anything.
+      case StackSlot::Kind::kMisc:
+        // Covers Misc and Spill (both are initialized bytes).
+        if (others.kind == StackSlot::Kind::kInvalid) {
+          return false;
+        }
+        break;
+      case StackSlot::Kind::kSpill:
+        if (others.kind != StackSlot::Kind::kSpill || !mine.spill.Covers(others.spill)) {
+          return false;
+        }
+        break;
+    }
+  }
+  return true;
+}
+
+void VerifierState::JoinWith(const VerifierState& other) {
+  for (int i = 0; i < kNumRegs; i++) {
+    regs[static_cast<size_t>(i)].JoinWith(other.regs[static_cast<size_t>(i)]);
+  }
+  for (int i = 0; i < kStackSlots; i++) {
+    StackSlot& mine = stack[static_cast<size_t>(i)];
+    const StackSlot& others = other.stack[static_cast<size_t>(i)];
+    if (mine.kind == others.kind) {
+      if (mine.kind == StackSlot::Kind::kSpill && !(mine.spill == others.spill)) {
+        mine.spill.JoinWith(others.spill);
+        if (mine.spill.type == RegType::kNotInit) {
+          mine.kind = StackSlot::Kind::kMisc;
+          mine.spill = RegState::NotInit();
+        }
+      }
+      continue;
+    }
+    if (mine.kind == StackSlot::Kind::kInvalid || others.kind == StackSlot::Kind::kInvalid) {
+      mine = StackSlot{};  // Unknown whether initialized: must treat as invalid.
+    } else {
+      mine = StackSlot{StackSlot::Kind::kMisc, RegState::NotInit()};
+    }
+  }
+}
+
+}  // namespace kflex

@@ -1,0 +1,148 @@
+// Symbolic state tracked by the verifier: per-register abstract values,
+// stack-slot contents, acquired kernel references and held locks.
+//
+// This mirrors (a simplified form of) the Linux verifier's bpf_reg_state /
+// bpf_func_state. Scalars carry a tnum plus signed/unsigned bounds; pointers
+// carry their region and an offset tracked with the same machinery, which is
+// what KFlex's SFI consumes to elide guards (§3.2).
+#ifndef SRC_VERIFIER_STATE_H_
+#define SRC_VERIFIER_STATE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ebpf/helper_ids.h"
+#include "src/ebpf/insn.h"
+#include "src/verifier/tnum.h"
+
+namespace kflex {
+
+enum class RegType : uint8_t {
+  kNotInit = 0,
+  kScalar,
+  kPtrToCtx,
+  kPtrToStack,
+  kPtrToHeap,
+  kPtrToHeapOrNull,
+  kConstPtrToMap,
+  kPtrToMapValue,
+  kPtrToMapValueOrNull,
+  kPtrToSocket,
+  kPtrToSocketOrNull,
+};
+
+const char* RegTypeName(RegType type);
+
+inline bool IsPointerType(RegType type) {
+  return type != RegType::kNotInit && type != RegType::kScalar;
+}
+inline bool IsNullablePtr(RegType type) {
+  return type == RegType::kPtrToHeapOrNull || type == RegType::kPtrToMapValueOrNull ||
+         type == RegType::kPtrToSocketOrNull;
+}
+// The non-null variant of a nullable pointer type.
+RegType NonNullVariant(RegType type);
+
+struct RegState {
+  RegType type = RegType::kNotInit;
+  // For scalars: the value. For pointers: the offset from the region base.
+  Tnum var = Tnum::Const(0);
+  int64_t smin = 0;
+  int64_t smax = 0;
+  uint64_t umin = 0;
+  uint64_t umax = 0;
+  uint32_t map_id = 0;  // kConstPtrToMap / kPtrToMapValue*
+  uint32_t ref_id = 0;  // kPtrToSocket*: which acquired reference this is
+
+  static RegState NotInit() { return RegState{}; }
+  static RegState ConstScalar(uint64_t v);
+  static RegState UnknownScalar();
+  // Scalar known to fit in `bytes` bytes (e.g., result of a u8 load).
+  static RegState ScalarMaxBytes(int bytes);
+  static RegState Pointer(RegType type, int64_t off);
+
+  bool IsConst() const { return type == RegType::kScalar && var.IsConst(); }
+  uint64_t ConstValue() const { return var.value; }
+  // Pointer with a statically known offset?
+  bool HasConstOffset() const { return var.IsConst(); }
+
+  // Widen scalar value / pointer offset to "completely unknown".
+  void MarkOffsetUnknown();
+
+  // Re-derive bounds from the tnum and cross-propagate signed/unsigned
+  // bounds. Returns false if the state is impossible (empty range) — the
+  // caller should treat the path as dead.
+  bool DeduceBounds();
+
+  // True if `other` is fully represented by *this (state subsumption).
+  bool Covers(const RegState& other) const;
+
+  // Join (least upper bound-ish) used for widening at loop heads.
+  void JoinWith(const RegState& other);
+
+  std::string ToString() const;
+
+  bool operator==(const RegState& other) const = default;
+};
+
+// One 8-byte stack slot.
+struct StackSlot {
+  enum class Kind : uint8_t { kInvalid = 0, kMisc, kSpill };
+  Kind kind = Kind::kInvalid;
+  RegState spill;  // Valid when kind == kSpill.
+
+  bool operator==(const StackSlot& other) const = default;
+};
+
+// An acquired kernel-owned reference (e.g., a socket from bpf_sk_lookup_udp).
+struct RefInfo {
+  uint32_t id = 0;
+  ResourceKind kind = ResourceKind::kNone;
+  HelperId destructor = static_cast<HelperId>(0);
+  size_t acquire_pc = 0;
+
+  bool operator==(const RefInfo& other) const = default;
+};
+
+// A held KFlex spin lock, identified by its constant heap offset.
+struct LockInfo {
+  uint64_t heap_off = 0;
+  size_t acquire_pc = 0;
+
+  bool operator==(const LockInfo& other) const = default;
+};
+
+inline constexpr int kStackSlots = kStackSize / 8;
+
+struct VerifierState {
+  std::array<RegState, kNumRegs> regs;
+  std::array<StackSlot, kStackSlots> stack;
+  std::vector<RefInfo> refs;
+  std::vector<LockInfo> locks;
+  // Next fresh reference id (normalized at prune points for comparability).
+  uint32_t next_ref_id = 1;
+  // Back-edge jump pcs this exploration path has followed. When a state is
+  // pruned (its continuation is covered by an already-verified state), every
+  // loop on the path is one whose termination was NOT proven concretely, so
+  // each of these edges needs a cancellation point (§3.3). Bounded loops
+  // unroll concretely and are never pruned, leaving this set unused.
+  std::vector<size_t> active_edges;
+
+  static VerifierState Initial();
+
+  // Rewrites reference ids to 1..n in `refs` order so that structurally
+  // identical states compare equal at prune points.
+  void NormalizeRefIds();
+
+  // Subsumption: exploration from *this covers exploration from `other`.
+  bool Covers(const VerifierState& other) const;
+
+  // Widening join at loop heads. refs/locks must already match.
+  void JoinWith(const VerifierState& other);
+};
+
+}  // namespace kflex
+
+#endif  // SRC_VERIFIER_STATE_H_

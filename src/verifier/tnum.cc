@@ -1,0 +1,125 @@
+#include "src/verifier/tnum.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace kflex {
+
+Tnum Tnum::Range(uint64_t min, uint64_t max) {
+  if (min > max) {
+    return Unknown();
+  }
+  uint64_t chi = min ^ max;
+  int bits = 64 - std::countl_zero(chi);
+  if (bits > 63) {
+    return Unknown();
+  }
+  uint64_t delta = (1ULL << bits) - 1;
+  return Tnum{min & ~delta, delta};
+}
+
+bool Tnum::Contains(const Tnum& other) const {
+  // Every unknown bit of `other` must be unknown here, and known bits must
+  // agree wherever *this knows them.
+  if ((other.mask & ~mask) != 0) {
+    return false;
+  }
+  return (other.value & ~mask) == value;
+}
+
+std::string Tnum::ToString() const {
+  char buf[64];
+  if (IsConst()) {
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "(v=0x%llx,m=0x%llx)",
+                  static_cast<unsigned long long>(value),
+                  static_cast<unsigned long long>(mask));
+  }
+  return buf;
+}
+
+Tnum TnumAdd(Tnum a, Tnum b) {
+  uint64_t sm = a.mask + b.mask;
+  uint64_t sv = a.value + b.value;
+  uint64_t sigma = sm + sv;
+  uint64_t chi = sigma ^ sv;
+  uint64_t mu = chi | a.mask | b.mask;
+  return Tnum{sv & ~mu, mu};
+}
+
+Tnum TnumSub(Tnum a, Tnum b) {
+  uint64_t dv = a.value - b.value;
+  uint64_t alpha = dv + a.mask;
+  uint64_t beta = dv - b.mask;
+  uint64_t chi = alpha ^ beta;
+  uint64_t mu = chi | a.mask | b.mask;
+  return Tnum{dv & ~mu, mu};
+}
+
+Tnum TnumAnd(Tnum a, Tnum b) {
+  uint64_t alpha = a.value | a.mask;
+  uint64_t beta = b.value | b.mask;
+  uint64_t v = a.value & b.value;
+  return Tnum{v, alpha & beta & ~v};
+}
+
+Tnum TnumOr(Tnum a, Tnum b) {
+  uint64_t v = a.value | b.value;
+  uint64_t mu = a.mask | b.mask;
+  return Tnum{v, mu & ~v};
+}
+
+Tnum TnumXor(Tnum a, Tnum b) {
+  uint64_t v = a.value ^ b.value;
+  uint64_t mu = a.mask | b.mask;
+  return Tnum{v & ~mu, mu};
+}
+
+// Kernel's tnum_mul: decompose a into known bits and unknown bits, shifting
+// partial products into an accumulator.
+Tnum TnumMul(Tnum a, Tnum b) {
+  uint64_t acc_v = a.value * b.value;
+  Tnum acc_m = Tnum::Const(0);
+  while (a.value != 0 || a.mask != 0) {
+    if ((a.value & 1) != 0) {
+      acc_m = TnumAdd(acc_m, Tnum{0, b.mask});
+    } else if ((a.mask & 1) != 0) {
+      acc_m = TnumAdd(acc_m, Tnum{0, b.value | b.mask});
+    }
+    a = TnumRshift(a, 1);
+    b = TnumLshift(b, 1);
+  }
+  return TnumAdd(Tnum{acc_v, 0}, acc_m);
+}
+
+Tnum TnumLshift(Tnum a, uint8_t shift) { return Tnum{a.value << shift, a.mask << shift}; }
+
+Tnum TnumRshift(Tnum a, uint8_t shift) { return Tnum{a.value >> shift, a.mask >> shift}; }
+
+Tnum TnumArshift(Tnum a, uint8_t shift) {
+  return Tnum{static_cast<uint64_t>(static_cast<int64_t>(a.value) >> shift),
+              static_cast<uint64_t>(static_cast<int64_t>(a.mask) >> shift)};
+}
+
+Tnum TnumIntersect(Tnum a, Tnum b) {
+  uint64_t v = a.value | b.value;
+  uint64_t mu = a.mask & b.mask;
+  return Tnum{v & ~mu, mu};
+}
+
+Tnum TnumUnion(Tnum a, Tnum b) {
+  uint64_t mu = a.mask | b.mask | (a.value ^ b.value);
+  return Tnum{a.value & ~mu, mu};
+}
+
+Tnum TnumCast(Tnum a, int size) {
+  if (size >= 8) {
+    return a;
+  }
+  a.value &= (1ULL << (size * 8)) - 1;
+  a.mask &= (1ULL << (size * 8)) - 1;
+  return a;
+}
+
+}  // namespace kflex

@@ -1,0 +1,60 @@
+// Tracked numbers ("tnums"): the abstract domain the Linux eBPF verifier uses
+// for bit-level value tracking. A tnum (value, mask) represents every 64-bit
+// integer x with (x & ~mask) == value: mask bits are unknown, the rest equal
+// `value`. KFlex's SFI leans on this analysis to elide guard instructions when
+// heap accesses are provably in bounds (§3.2, §5.4).
+//
+// The operations mirror kernel/bpf/tnum.c.
+#ifndef SRC_VERIFIER_TNUM_H_
+#define SRC_VERIFIER_TNUM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace kflex {
+
+struct Tnum {
+  uint64_t value = 0;
+  uint64_t mask = 0;
+
+  static Tnum Const(uint64_t v) { return Tnum{v, 0}; }
+  static Tnum Unknown() { return Tnum{0, ~0ULL}; }
+  // Smallest tnum containing every integer in [min, max].
+  static Tnum Range(uint64_t min, uint64_t max);
+
+  bool IsConst() const { return mask == 0; }
+  bool IsUnknown() const { return mask == ~0ULL; }
+  // True if every concretization of `other` is also represented by *this.
+  bool Contains(const Tnum& other) const;
+  // True if the concrete value x is represented by this tnum.
+  bool ContainsValue(uint64_t x) const { return (x & ~mask) == value; }
+
+  // Smallest / largest representable unsigned concretization.
+  uint64_t UMin() const { return value; }
+  uint64_t UMax() const { return value | mask; }
+
+  bool operator==(const Tnum& other) const = default;
+
+  std::string ToString() const;
+};
+
+Tnum TnumAdd(Tnum a, Tnum b);
+Tnum TnumSub(Tnum a, Tnum b);
+Tnum TnumAnd(Tnum a, Tnum b);
+Tnum TnumOr(Tnum a, Tnum b);
+Tnum TnumXor(Tnum a, Tnum b);
+Tnum TnumMul(Tnum a, Tnum b);
+Tnum TnumLshift(Tnum a, uint8_t shift);
+Tnum TnumRshift(Tnum a, uint8_t shift);
+Tnum TnumArshift(Tnum a, uint8_t shift);
+// Intersection: values representable by both (used on JEQ refinement).
+// Precondition: the intersection must be non-empty for meaningful results.
+Tnum TnumIntersect(Tnum a, Tnum b);
+// Union / join: smallest tnum containing both (used at CFG merge points).
+Tnum TnumUnion(Tnum a, Tnum b);
+// Truncate to the low `size` bytes (e.g., after 32-bit ALU ops).
+Tnum TnumCast(Tnum a, int size);
+
+}  // namespace kflex
+
+#endif  // SRC_VERIFIER_TNUM_H_

@@ -1,0 +1,56 @@
+// The static verifier: symbolic execution of extension bytecode enforcing
+// kernel-interface compliance (helper contracts, reference and lock
+// discipline, ctx/stack/map bounds) and — in strict eBPF mode — extension
+// correctness too (bounded loops, no extension heap).
+//
+// In KFlex mode the verifier additionally computes everything Kie needs:
+// which heap accesses are provably in bounds (guard elision), which loop
+// back edges need cancellation points, and the object tables describing the
+// kernel resources held at each potential cancellation point (§3).
+#ifndef SRC_VERIFIER_VERIFIER_H_
+#define SRC_VERIFIER_VERIFIER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ebpf/program.h"
+#include "src/verifier/analysis.h"
+
+namespace kflex {
+
+enum class MapType { kArray, kHash, kRingBuf };
+
+// Kernel-provided map metadata the verifier checks helper calls against.
+struct MapDescriptor {
+  uint32_t id = 0;
+  uint32_t key_size = 0;
+  uint32_t value_size = 0;
+  uint64_t max_entries = 0;
+  MapType type = MapType::kHash;
+};
+
+struct VerifyOptions {
+  // Size of the guard zones flanking the extension heap; accesses proven to
+  // stay within [heap - guard, heap_end + guard) are elidable because faults
+  // in the guard zone are caught and converted into cancellations (§4.1).
+  uint64_t guard_zone_size = 32 * 1024;
+  // Context object size for the hook (defaults chosen per hook if 0).
+  uint32_t ctx_size = 0;
+  // Exploration limits.
+  size_t max_states = 1 << 20;
+  size_t max_insn_visits = 4096;  // per-insn cap before widening / rejection
+  size_t widen_threshold = 64;    // visits at a prune point before widening
+  std::vector<MapDescriptor> maps;
+};
+
+// Default ctx size for a hook: XDP / sk_skb carry a packet buffer,
+// tracepoint / LSM a small record.
+uint32_t DefaultCtxSize(Hook hook);
+
+// Verifies `program` and, on success, returns the analysis consumed by Kie.
+StatusOr<Analysis> Verify(const Program& program, const VerifyOptions& options);
+
+}  // namespace kflex
+
+#endif  // SRC_VERIFIER_VERIFIER_H_

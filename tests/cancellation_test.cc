@@ -1,0 +1,353 @@
+// Extension cancellations (§3.3, §4.3): terminate-slot arming, C1/C2
+// cancellation points, object-table-driven resource release, kernel
+// quiescence after cancellation, the watchdog, verdict callbacks, and
+// extension-wide cancellation scope.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "src/ebpf/assembler.h"
+#include "src/ebpf/helper_ids.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/packet.h"
+#include "src/runtime/spinlock.h"
+
+namespace kflex {
+namespace {
+
+constexpr uint64_t kHeapSize = 1 << 20;
+
+Program MustBuild(Assembler& a, Hook hook = Hook::kXdp) {
+  auto p = a.Finish("t", hook, ExtensionMode::kKflex, kHeapSize);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return std::move(p).value();
+}
+
+// An extension that loops forever walking nothing.
+Program InfiniteLoopProgram() {
+  Assembler a;
+  a.MovImm(R0, 0);
+  auto head = a.NewLabel();
+  a.Bind(head);
+  a.AddImm(R0, 1);
+  a.Jmp(head);
+  return MustBuild(a);
+}
+
+TEST(Cancellation, PreArmedTerminateCancelsLoopImmediately) {
+  MockKernel kernel;
+  auto id = kernel.runtime().Load(InfiniteLoopProgram(), LoadOptions{});
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(kernel.Attach(*id).ok());
+
+  kernel.runtime().Cancel(*id);  // arm before invoking
+  KvPacket pkt;
+  InvokeResult r = kernel.Deliver(Hook::kXdp, 0, pkt.data(), pkt.size());
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_EQ(r.verdict, kXdpPass);
+  EXPECT_TRUE(kernel.runtime().IsUnloaded(*id));
+  // A few instructions only: the first terminate load faulted.
+  EXPECT_LT(r.insns, 64u);
+}
+
+TEST(Cancellation, CorrectLoopRunsToCompletionWithTerminateLoads) {
+  MockKernel kernel;
+  Assembler a;
+  a.MovImm(R2, 1000);
+  a.Ldx(BPF_DW, R3, R1, 0);  // unknown: loop is unprovable -> gets Cps
+  a.MovImm(R0, 0);
+  auto loop = a.LoopBegin();
+  a.LoopBreakIfImm(loop, BPF_JEQ, R2, 0);
+  a.AddImm(R0, 1);
+  a.SubImm(R2, 1);
+  a.Add(R2, R3);  // R3 == 0 at runtime; verifier cannot know
+  a.LoopEnd(loop);
+  a.Exit();
+  auto id = kernel.runtime().Load(MustBuild(a), LoadOptions{});
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(kernel.Attach(*id).ok());
+  ASSERT_FALSE(kernel.runtime().instrumented(*id).terminate_load_pcs.empty());
+
+  KvPacket pkt;  // ctx[0..8] == 0
+  InvokeResult r = kernel.Deliver(Hook::kXdp, 0, pkt.data(), pkt.size());
+  EXPECT_FALSE(r.cancelled);
+  EXPECT_EQ(r.verdict, 1000);
+}
+
+TEST(Cancellation, WatchdogCancelsRunawayExtension) {
+  RuntimeOptions opts;
+  opts.num_cpus = 2;
+  opts.quantum_ns = 20'000'000;  // 20 ms
+  MockKernel kernel{opts};
+  auto id = kernel.runtime().Load(InfiniteLoopProgram(), LoadOptions{});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(kernel.Attach(*id).ok());
+  kernel.runtime().StartWatchdog();
+
+  KvPacket pkt;
+  auto start = std::chrono::steady_clock::now();
+  InvokeResult r = kernel.Deliver(Hook::kXdp, 0, pkt.data(), pkt.size());
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  kernel.runtime().StopWatchdog();
+
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 15);
+  EXPECT_TRUE(kernel.runtime().IsUnloaded(*id));
+}
+
+// The Listing-1 shape: acquire a socket, loop while holding it; cancellation
+// must release the socket reference and restore quiescence.
+TEST(Cancellation, ReleasesAcquiredSocketViaObjectTable) {
+  MockKernel kernel;
+  kernel.sockets().Bind(0x0A000001, 7000, kProtoUdp);
+
+  Assembler a;
+  a.StImm(BPF_W, R10, -16, 0x0A000001);
+  a.StImm(BPF_W, R10, -12, 7000);
+  a.Mov(R2, R10);
+  a.AddImm(R2, -16);
+  a.MovImm(R3, 8);
+  a.MovImm(R4, 0);
+  a.MovImm(R5, 0);
+  a.Call(kHelperSkLookupUdp);
+  auto iff = a.IfImm(BPF_JNE, R0, 0);
+  a.Mov(R6, R0);
+  a.MovImm(R0, 0);
+  auto head = a.NewLabel();
+  a.Bind(head);
+  a.AddImm(R0, 1);  // spin forever holding the socket
+  a.Jmp(head);
+  a.Else(iff);
+  a.MovImm(R0, 0);
+  a.EndIf(iff);
+  a.Exit();
+  auto id = kernel.runtime().Load(MustBuild(a), LoadOptions{});
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(kernel.Attach(*id).ok());
+
+  kernel.runtime().Cancel(*id);
+  KvPacket pkt;
+  InvokeResult r = kernel.Deliver(Hook::kXdp, 0, pkt.data(), pkt.size());
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_TRUE(kernel.Quiescent()) << "socket reference leaked on cancellation";
+  EXPECT_EQ(kernel.sockets().TotalExtraRefs(), 0);
+  auto stats = kernel.runtime().GetStats(*id);
+  EXPECT_EQ(stats.cancellations, 1u);
+  EXPECT_EQ(stats.resources_released_on_cancel, 1u);
+}
+
+TEST(Cancellation, ReleasesHeldLockViaObjectTable) {
+  MockKernel kernel;
+  Assembler a;
+  a.LoadHeapAddr(R1, 64);
+  a.Call(kHelperKflexSpinLock);
+  a.MovImm(R0, 0);
+  auto head = a.NewLabel();
+  a.Bind(head);
+  a.AddImm(R0, 1);
+  a.Jmp(head);
+  // Unreachable unlock keeps this listing honest about intent; verifier
+  // never reaches exit so no leak is reported.
+  auto id = kernel.runtime().Load(MustBuild(a), LoadOptions{});
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(kernel.Attach(*id).ok());
+
+  kernel.runtime().Cancel(*id);
+  KvPacket pkt;
+  InvokeResult r = kernel.Deliver(Hook::kXdp, 0, pkt.data(), pkt.size());
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_FALSE(SpinLockOps::IsHeld(kernel.runtime().heap(*id)->HostAt(64)))
+      << "lock must be force-released on cancellation";
+}
+
+TEST(Cancellation, DeadlockedWaiterIsCancelled) {
+  MockKernel kernel;
+  Assembler a;
+  a.LoadHeapAddr(R1, 64);
+  a.Call(kHelperKflexSpinLock);
+  a.LoadHeapAddr(R1, 64);
+  a.Call(kHelperKflexSpinUnlock);
+  a.MovImm(R0, 77);
+  a.Exit();
+  auto id = kernel.runtime().Load(MustBuild(a), LoadOptions{});
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(kernel.Attach(*id).ok());
+
+  // A non-cooperative user-space thread holds the lock and never releases.
+  SpinLockOps::Acquire(kernel.runtime().heap(*id)->HostAt(64), SpinLockOps::kUserOwner,
+                       nullptr);
+  std::thread canceller([&kernel, id] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    kernel.runtime().Cancel(*id);
+  });
+  KvPacket pkt;
+  InvokeResult r = kernel.Deliver(Hook::kXdp, 0, pkt.data(), pkt.size());
+  canceller.join();
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_EQ(r.outcome, VmResult::Outcome::kHelperCancel);
+  // The user still holds the lock (it was never the extension's).
+  EXPECT_TRUE(SpinLockOps::IsHeld(kernel.runtime().heap(*id)->HostAt(64)));
+}
+
+TEST(Cancellation, VerdictCallbackAdjustsReturn) {
+  MockKernel kernel;
+  auto id = kernel.runtime().Load(InfiniteLoopProgram(), LoadOptions{});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(kernel.Attach(*id).ok());
+  kernel.runtime().SetCancellationCallback(*id, [](int64_t def) { return def + 100; });
+  kernel.runtime().Cancel(*id);
+  KvPacket pkt;
+  InvokeResult r = kernel.Deliver(Hook::kXdp, 0, pkt.data(), pkt.size());
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_EQ(r.verdict, kXdpPass + 100);
+}
+
+TEST(Cancellation, LsmHookDeniesByDefault) {
+  MockKernel kernel;
+  Assembler a;
+  a.MovImm(R0, 0);
+  auto head = a.NewLabel();
+  a.Bind(head);
+  a.AddImm(R0, 1);
+  a.Jmp(head);
+  auto p = a.Finish("lsm", Hook::kLsm, ExtensionMode::kKflex, kHeapSize);
+  ASSERT_TRUE(p.ok());
+  VerifyOptions vo;
+  auto id = kernel.runtime().Load(*p, LoadOptions{});
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(kernel.Attach(*id).ok());
+  kernel.runtime().Cancel(*id);
+  uint8_t ctx[64] = {0};
+  InvokeResult r = kernel.Deliver(Hook::kLsm, 0, ctx, sizeof(ctx));
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_EQ(r.verdict, -1);  // deny by default
+}
+
+TEST(Cancellation, UnloadedExtensionStopsHandlingButHeapSurvives) {
+  MockKernel kernel;
+  auto id = kernel.runtime().Load(InfiniteLoopProgram(), LoadOptions{});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(kernel.Attach(*id).ok());
+  kernel.runtime().Cancel(*id);
+  KvPacket pkt;
+  kernel.Deliver(Hook::kXdp, 0, pkt.data(), pkt.size());
+  ASSERT_TRUE(kernel.runtime().IsUnloaded(*id));
+
+  // Subsequent deliveries fall through to user space (default verdict).
+  InvokeResult r2 = kernel.Deliver(Hook::kXdp, 0, pkt.data(), pkt.size());
+  EXPECT_FALSE(r2.attached);
+  EXPECT_EQ(r2.verdict, kXdpPass);
+  // The heap is preserved for the user-space application (§3.4).
+  EXPECT_NE(kernel.runtime().heap(*id), nullptr);
+}
+
+TEST(Cancellation, ResetRearmsExtension) {
+  MockKernel kernel;
+  auto id = kernel.runtime().Load(InfiniteLoopProgram(), LoadOptions{});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(kernel.Attach(*id).ok());
+  kernel.runtime().Cancel(*id);
+  KvPacket pkt;
+  kernel.Deliver(Hook::kXdp, 0, pkt.data(), pkt.size());
+  ASSERT_TRUE(kernel.runtime().IsUnloaded(*id));
+  kernel.runtime().Reset(*id);
+  EXPECT_FALSE(kernel.runtime().IsUnloaded(*id));
+  kernel.runtime().Cancel(*id);
+  InvokeResult r = kernel.Deliver(Hook::kXdp, 0, pkt.data(), pkt.size());
+  EXPECT_TRUE(r.cancelled);
+  auto stats = kernel.runtime().GetStats(*id);
+  EXPECT_EQ(stats.cancellations, 2u);
+}
+
+TEST(ClockSampledCancellation, QuantumCancelsRunawayWithoutWatchdog) {
+  RuntimeOptions opts;
+  opts.num_cpus = 1;
+  opts.fuel_quantum_insns = 10'000;
+  MockKernel kernel{opts};
+  Program p = InfiniteLoopProgram();
+  LoadOptions lo;
+  lo.kie.cancellation_mode = CancellationMode::kClockSampled;
+  auto id = kernel.runtime().Load(p, lo);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(kernel.Attach(*id).ok());
+
+  // No watchdog, no Cancel(): the back-edge clock sample trips on its own.
+  KvPacket pkt;
+  InvokeResult r = kernel.Deliver(Hook::kXdp, 0, pkt.data(), pkt.size());
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_EQ(r.fault_kind, MemFaultKind::kTerminate);
+  EXPECT_GT(r.insns, 9'000u);
+  EXPECT_LT(r.insns, 12'000u);  // recovery within ~one quantum
+  EXPECT_TRUE(kernel.runtime().IsUnloaded(*id));
+}
+
+TEST(ClockSampledCancellation, ReleasesResourcesViaObjectTable) {
+  RuntimeOptions opts;
+  opts.num_cpus = 1;
+  opts.fuel_quantum_insns = 5'000;
+  MockKernel kernel{opts};
+  kernel.sockets().Bind(0x0A000001, 7000, kProtoUdp);
+
+  Assembler a;
+  a.StImm(BPF_W, R10, -16, 0x0A000001);
+  a.StImm(BPF_W, R10, -12, 7000);
+  a.Mov(R2, R10);
+  a.AddImm(R2, -16);
+  a.MovImm(R3, 8);
+  a.MovImm(R4, 0);
+  a.MovImm(R5, 0);
+  a.Call(kHelperSkLookupUdp);
+  auto iff = a.IfImm(BPF_JNE, R0, 0);
+  a.Mov(R6, R0);
+  a.MovImm(R0, 0);
+  auto head = a.NewLabel();
+  a.Bind(head);
+  a.AddImm(R0, 1);
+  a.Jmp(head);
+  a.Else(iff);
+  a.MovImm(R0, 0);
+  a.EndIf(iff);
+  a.Exit();
+  LoadOptions lo;
+  lo.kie.cancellation_mode = CancellationMode::kClockSampled;
+  auto id = kernel.runtime().Load(MustBuild(a), lo);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(kernel.Attach(*id).ok());
+
+  KvPacket pkt;
+  InvokeResult r = kernel.Deliver(Hook::kXdp, 0, pkt.data(), pkt.size());
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_TRUE(kernel.Quiescent()) << "socket must be released at the clock-sampled Cp";
+}
+
+TEST(ClockSampledCancellation, CorrectExtensionsUnaffected) {
+  RuntimeOptions opts;
+  opts.num_cpus = 1;
+  opts.fuel_quantum_insns = 100'000;
+  MockKernel kernel{opts};
+  Assembler a;
+  a.Ldx(BPF_DW, R2, R1, 0);
+  a.MovImm(R0, 0);
+  auto loop = a.LoopBegin();
+  a.LoopBreakIfImm(loop, BPF_JEQ, R2, 0);
+  a.AddImm(R0, 1);
+  a.SubImm(R2, 1);
+  a.LoopEnd(loop);
+  a.Exit();
+  LoadOptions lo;
+  lo.kie.cancellation_mode = CancellationMode::kClockSampled;
+  auto id = kernel.runtime().Load(MustBuild(a), lo);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(kernel.Attach(*id).ok());
+  KvPacket pkt;
+  uint64_t n = 500;
+  std::memcpy(pkt.data(), &n, 8);
+  InvokeResult r = kernel.Deliver(Hook::kXdp, 0, pkt.data(), pkt.size());
+  EXPECT_FALSE(r.cancelled);
+  EXPECT_EQ(r.verdict, 500);
+}
+
+}  // namespace
+}  // namespace kflex

@@ -1,0 +1,109 @@
+// Co-designed Memcached (§5.3): user-space GC over the shared heap must
+// evict expired entries, keep live ones, and interoperate with the kernel
+// fast path before and after collection.
+#include "src/apps/codesign.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+
+namespace kflex {
+namespace {
+
+TEST(Codesign, GcEvictsExpiredEntries) {
+  MockKernel kernel;
+  auto app = CodesignMemcached::Create(kernel);
+  ASSERT_TRUE(app.ok()) << app.status().ToString();
+
+  // Epoch 10 entries expire at 12; epoch 20 entries at 22.
+  for (uint64_t key = 0; key < 50; key++) {
+    ASSERT_TRUE(app->Set(0, key, "old", /*expiry_epoch=*/12).hit);
+  }
+  for (uint64_t key = 100; key < 150; key++) {
+    ASSERT_TRUE(app->Set(0, key, "new", /*expiry_epoch=*/22).hit);
+  }
+  EXPECT_EQ(app->Count(), 100u);
+
+  auto gc = app->RunGc(/*current_epoch=*/15);
+  EXPECT_EQ(gc.evicted, 50u);
+  EXPECT_EQ(gc.scanned, 100u);
+  EXPECT_EQ(app->Count(), 50u);
+
+  // Expired entries are gone; fresh ones survive — and the kernel fast path
+  // still works over the GC-mutated table.
+  for (uint64_t key = 0; key < 50; key++) {
+    EXPECT_FALSE(app->Get(0, key).hit) << key;
+  }
+  for (uint64_t key = 100; key < 150; key++) {
+    auto got = app->Get(0, key);
+    ASSERT_TRUE(got.hit) << key;
+    EXPECT_EQ(got.value.substr(0, 3), "new");
+  }
+}
+
+TEST(Codesign, FastPathReusesGcFreedMemory) {
+  MockKernel kernel;
+  auto app = CodesignMemcached::Create(kernel);
+  ASSERT_TRUE(app.ok());
+  for (uint64_t key = 0; key < 200; key++) {
+    ASSERT_TRUE(app->Set(0, key, "x", 1).hit);
+  }
+  auto gc = app->RunGc(5);
+  EXPECT_EQ(gc.evicted, 200u);
+  // Freed nodes go back to the allocator; the extension allocates them
+  // again.
+  for (uint64_t key = 1000; key < 1200; key++) {
+    ASSERT_TRUE(app->Set(0, key, "y", 10).hit);
+  }
+  for (uint64_t key = 1000; key < 1200; key++) {
+    ASSERT_TRUE(app->Get(0, key).hit);
+  }
+}
+
+TEST(Codesign, InterleavedGcAndMutations) {
+  MockKernel kernel;
+  auto app = CodesignMemcached::Create(kernel);
+  ASSERT_TRUE(app.ok());
+  Rng rng(17);
+  uint64_t epoch = 10;
+  std::map<uint64_t, std::pair<std::string, uint64_t>> oracle;  // key -> (value, expiry)
+  for (int round = 0; round < 20; round++) {
+    for (int i = 0; i < 200; i++) {
+      uint64_t key = rng.NextBounded(300);
+      std::string value = "v" + std::to_string(rng.NextBounded(1000));
+      uint64_t expiry = epoch + 1 + rng.NextBounded(5);
+      ASSERT_TRUE(app->Set(0, key, value, expiry).hit);
+      oracle[key] = {value, expiry};
+    }
+    epoch++;
+    app->RunGc(epoch);
+    std::erase_if(oracle, [&](const auto& kv) { return kv.second.second < epoch; });
+    for (const auto& [key, entry] : oracle) {
+      auto got = app->Get(0, key);
+      ASSERT_TRUE(got.hit) << "round " << round << " key " << key;
+      ASSERT_EQ(got.value.substr(0, entry.first.size()), entry.first);
+    }
+  }
+  EXPECT_EQ(app->Count(), oracle.size());
+}
+
+TEST(Codesign, TimeSliceExtensionSemantics) {
+  TimeSliceExtension slice;
+  EXPECT_FALSE(slice.InCritical());
+  slice.EnterCritical(1000);
+  slice.EnterCritical(2000);  // nested
+  EXPECT_EQ(slice.depth(), 2);
+  // Inside the slice: no preemption.
+  EXPECT_FALSE(slice.ShouldPreempt(1000 + TimeSliceExtension::kSliceNs));
+  // Past the slice: preempt.
+  EXPECT_TRUE(slice.ShouldPreempt(1000 + TimeSliceExtension::kSliceNs + 1));
+  slice.LeaveCritical();
+  EXPECT_TRUE(slice.InCritical());
+  slice.LeaveCritical();
+  EXPECT_FALSE(slice.InCritical());
+  // Not in a critical section: never preempt.
+  EXPECT_FALSE(slice.ShouldPreempt(1 << 30));
+}
+
+}  // namespace
+}  // namespace kflex

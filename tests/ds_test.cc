@@ -1,0 +1,217 @@
+// Extension data structures vs. reference models: randomized op sequences
+// checked against std:: containers, across all instrumentation flavours
+// (KFlex, KFlex-PM, KMod). Also checks Table-3-style guard statistics.
+#include "src/apps/ds/ds.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_map>
+
+#include "src/apps/ds/harness.h"
+#include "src/base/rng.h"
+
+namespace kflex {
+namespace {
+
+struct DsCase {
+  const char* name;
+  DsBuilder builder;
+  bool supports_delete = true;
+  bool exact = true;  // sketches are approximate
+};
+
+KieOptions KflexOpts() { return KieOptions{}; }
+KieOptions PmOpts() {
+  KieOptions o;
+  o.performance_mode = true;
+  return o;
+}
+KieOptions KmodOpts() {
+  KieOptions o;
+  o.sfi = false;
+  o.cancellation = false;
+  return o;
+}
+
+class DsCorrectness : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+DsCase CaseForIndex(int idx) {
+  switch (idx) {
+    case 0:
+      return DsCase{"linked_list", BuildLinkedList};
+    case 1:
+      return DsCase{"hashmap", BuildHashMap};
+    case 2:
+      return DsCase{"rbtree", BuildRbTree};
+    default:
+      return DsCase{"skiplist", BuildSkipList};
+  }
+}
+
+KieOptions OptsForIndex(int idx) {
+  switch (idx) {
+    case 0:
+      return KflexOpts();
+    case 1:
+      return PmOpts();
+    default:
+      return KmodOpts();
+  }
+}
+
+TEST_P(DsCorrectness, RandomizedOpsMatchReferenceModel) {
+  auto [ds_idx, opt_idx] = GetParam();
+  DsCase c = CaseForIndex(ds_idx);
+  Runtime runtime{RuntimeOptions{1, 1'000'000'000ULL}};
+  auto instance = DsInstance::Create(runtime, c.builder, OptsForIndex(opt_idx));
+  ASSERT_TRUE(instance.ok()) << instance.status().ToString();
+  DsInstance& ds = *instance;
+
+  // The linked list's update is a constant-time push-front (Fig. 5 caption),
+  // so duplicate keys stack up: lookup sees the newest, delete removes it.
+  // All other structures have map semantics.
+  bool stack_semantics = ds_idx == 0;
+  std::map<uint64_t, std::vector<uint64_t>> model;
+  Rng rng(static_cast<uint64_t>(ds_idx * 131 + opt_idx));
+  constexpr int kOps = 4000;
+  constexpr uint64_t kKeySpace = 512;
+  for (int i = 0; i < kOps; i++) {
+    uint64_t key = 1 + rng.NextBounded(kKeySpace);  // keys are nonzero
+    switch (rng.NextBounded(4)) {
+      case 0:
+      case 1: {
+        uint64_t value = 1 + rng.Next() % 1000000;
+        ASSERT_TRUE(ds.Update(key, value)) << c.name << " update failed at op " << i;
+        auto& stack = model[key];
+        if (stack_semantics) {
+          stack.push_back(value);
+        } else {
+          stack.assign(1, value);
+        }
+        break;
+      }
+      case 2: {
+        auto got = ds.Lookup(key);
+        auto it = model.find(key);
+        if (it == model.end()) {
+          ASSERT_FALSE(got.has_value()) << c.name << " phantom key " << key << " op " << i;
+        } else {
+          ASSERT_TRUE(got.has_value()) << c.name << " lost key " << key << " op " << i;
+          ASSERT_EQ(*got, it->second.back()) << c.name << " wrong value for " << key;
+        }
+        break;
+      }
+      case 3: {
+        bool deleted = ds.Delete(key);
+        auto it = model.find(key);
+        ASSERT_EQ(deleted, it != model.end()) << c.name << " delete mismatch " << key;
+        if (it != model.end()) {
+          it->second.pop_back();
+          if (it->second.empty()) {
+            model.erase(it);
+          }
+        }
+        break;
+      }
+    }
+  }
+  // Drain: delete everything and verify emptiness.
+  for (auto& [key, stack] : model) {
+    for (size_t n = 0; n < stack.size(); n++) {
+      ASSERT_TRUE(ds.Delete(key)) << c.name;
+    }
+  }
+  for (uint64_t key = 1; key <= kKeySpace; key++) {
+    ASSERT_FALSE(ds.Lookup(key).has_value()) << c.name;
+  }
+}
+
+std::string DsCaseName(const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+  const char* mode = std::get<1>(info.param) == 0   ? "kflex"
+                     : std::get<1>(info.param) == 1 ? "pm"
+                                                    : "kmod";
+  return std::string(CaseForIndex(std::get<0>(info.param)).name) + "_" + mode;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDsAllModes, DsCorrectness,
+                         ::testing::Combine(::testing::Range(0, 4), ::testing::Range(0, 3)),
+                         DsCaseName);
+
+TEST(DsGuards, HashmapBucketAccessElided) {
+  DsBuild b = BuildHashMap(DsOp::kLookup, kDsHeapSize);
+  auto analysis = Verify(b.program, VerifyOptions{});
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  // The bucket load is the pointer-manipulation site; range analysis must
+  // prove it safe.
+  EXPECT_GE(analysis->elided_guards, 1u);
+  EXPECT_GE(analysis->formation_guards, 1u);  // chain-node loads
+}
+
+TEST(DsGuards, EveryDsOpVerifiesAndReportsStats) {
+  struct Named {
+    const char* name;
+    DsBuilder builder;
+  };
+  const Named all[] = {
+      {"linked_list", BuildLinkedList}, {"hashmap", BuildHashMap},
+      {"rbtree", BuildRbTree},          {"skiplist", BuildSkipList},
+      {"countmin", BuildCountMinSketch}, {"countsketch", BuildCountSketch},
+  };
+  for (const Named& ds : all) {
+    for (DsOp op : {DsOp::kUpdate, DsOp::kLookup, DsOp::kDelete}) {
+      DsBuild b = ds.builder(op, kDsHeapSize);
+      auto analysis = Verify(b.program, VerifyOptions{});
+      ASSERT_TRUE(analysis.ok())
+          << ds.name << " " << DsOpName(op) << ": " << analysis.status().ToString();
+      auto ip = Instrument(b.program, *analysis, HeapLayout::ForSize(kDsHeapSize), {});
+      ASSERT_TRUE(ip.ok()) << ds.name << " " << DsOpName(op);
+    }
+  }
+}
+
+TEST(DsSketch, CountMinNeverUnderestimates) {
+  Runtime runtime{RuntimeOptions{1, 1'000'000'000ULL}};
+  auto instance = DsInstance::Create(runtime, BuildCountMinSketch);
+  ASSERT_TRUE(instance.ok()) << instance.status().ToString();
+  DsInstance& sketch = *instance;
+
+  std::unordered_map<uint64_t, uint64_t> truth;
+  Rng rng(5);
+  for (int i = 0; i < 3000; i++) {
+    uint64_t key = 1 + rng.NextBounded(64);
+    uint64_t amount = 1 + rng.NextBounded(10);
+    ASSERT_TRUE(sketch.Update(key, amount));
+    truth[key] += amount;
+  }
+  for (const auto& [key, count] : truth) {
+    auto est = sketch.Lookup(key);
+    ASSERT_TRUE(est.has_value());
+    EXPECT_GE(*est, count) << "count-min must never underestimate";
+  }
+}
+
+TEST(DsSketch, CountSketchIsRoughlyUnbiased) {
+  Runtime runtime{RuntimeOptions{1, 1'000'000'000ULL}};
+  auto instance = DsInstance::Create(runtime, BuildCountSketch);
+  ASSERT_TRUE(instance.ok()) << instance.status().ToString();
+  DsInstance& sketch = *instance;
+
+  // One heavy key among light noise: the estimate should be close.
+  constexpr uint64_t kHeavy = 42;
+  constexpr uint64_t kHeavyCount = 5000;
+  for (uint64_t i = 0; i < kHeavyCount; i++) {
+    ASSERT_TRUE(sketch.Update(kHeavy, 1));
+  }
+  Rng rng(6);
+  for (int i = 0; i < 500; i++) {
+    sketch.Update(1000 + rng.NextBounded(100), 1);
+  }
+  auto est = sketch.Lookup(kHeavy);
+  ASSERT_TRUE(est.has_value());
+  int64_t err = static_cast<int64_t>(*est) - static_cast<int64_t>(kHeavyCount);
+  EXPECT_LT(std::abs(err), 600) << "estimate " << *est;
+}
+
+}  // namespace
+}  // namespace kflex

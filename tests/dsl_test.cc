@@ -1,0 +1,138 @@
+// DSL emitters: each emitted fragment is executed on the VM and checked
+// against the equivalent native computation.
+#include "src/dsl/emit.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/base/rng.h"
+#include "src/ebpf/assembler.h"
+#include "src/runtime/runtime.h"
+
+namespace kflex {
+namespace {
+
+constexpr uint64_t kHeap = 1 << 20;
+
+int64_t RunOnRuntime(Runtime& runtime, Program p, uint8_t* ctx, uint32_t ctx_size,
+                     uint64_t static_bytes = 4096) {
+  LoadOptions lo;
+  lo.heap_static_bytes = static_bytes;
+  auto id = runtime.Load(p, lo);
+  EXPECT_TRUE(id.ok()) << id.status().ToString();
+  InvokeResult r = runtime.Invoke(*id, 0, ctx, ctx_size);
+  EXPECT_FALSE(r.cancelled);
+  return r.verdict;
+}
+
+uint64_t NativeHashFinalize(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+TEST(DslEmit, HashFinalizeMatchesNative) {
+  Rng rng(1);
+  for (int i = 0; i < 20; i++) {
+    uint64_t input = rng.Next();
+    Runtime runtime{RuntimeOptions{1, 1'000'000'000ULL}};
+    Assembler a;
+    a.LoadImm64(R2, input);
+    EmitHashFinalize(a, R2, R3);
+    a.Mov(R0, R2);
+    a.Exit();
+    auto p = a.Finish("hash", Hook::kTracepoint, ExtensionMode::kKflex, kHeap);
+    ASSERT_TRUE(p.ok());
+    uint8_t ctx[64] = {0};
+    EXPECT_EQ(static_cast<uint64_t>(RunOnRuntime(runtime, *p, ctx, sizeof(ctx))),
+              NativeHashFinalize(input));
+  }
+}
+
+TEST(DslEmit, HashKey32MatchesNativeFolding) {
+  Rng rng(2);
+  uint8_t ctx[2048] = {0};
+  uint64_t words[4];
+  for (auto& w : words) {
+    w = rng.Next();
+  }
+  std::memcpy(ctx + 24, words, 32);
+
+  Runtime runtime{RuntimeOptions{1, 1'000'000'000ULL}};
+  Assembler a;
+  EmitHashKey32(a, R2, R1, 24, R3);
+  a.Mov(R0, R2);
+  a.Exit();
+  auto p = a.Finish("hk", Hook::kXdp, ExtensionMode::kKflex, kHeap);
+  ASSERT_TRUE(p.ok());
+  uint64_t h = words[0];
+  for (int w = 1; w < 4; w++) {
+    h = (h * 0x100000001B3ULL) ^ words[w];
+  }
+  h = NativeHashFinalize(h);
+  EXPECT_EQ(static_cast<uint64_t>(RunOnRuntime(runtime, *p, ctx, sizeof(ctx))), h);
+}
+
+TEST(DslEmit, CopyWordsRoundTrip) {
+  uint8_t ctx[2048] = {0};
+  for (int i = 0; i < 64; i++) {
+    ctx[24 + i] = static_cast<uint8_t>(i * 3 + 1);
+  }
+  Runtime runtime{RuntimeOptions{1, 1'000'000'000ULL}};
+  Assembler a;
+  EmitCopyWords(a, R1, 200, R1, 24, 8, R3);  // copy 64 bytes within ctx
+  a.MovImm(R0, 0);
+  a.Exit();
+  auto p = a.Finish("cp", Hook::kXdp, ExtensionMode::kKflex, kHeap);
+  ASSERT_TRUE(p.ok());
+  RunOnRuntime(runtime, *p, ctx, sizeof(ctx));
+  EXPECT_EQ(std::memcmp(ctx + 200, ctx + 24, 64), 0);
+}
+
+TEST(DslEmit, KeyCompareDetectsEqualAndDifferent) {
+  for (bool equal : {true, false}) {
+    uint8_t ctx[2048] = {0};
+    for (int i = 0; i < 32; i++) {
+      ctx[24 + i] = static_cast<uint8_t>(i);
+      ctx[100 + i] = static_cast<uint8_t>(equal ? i : i + (i == 17 ? 1 : 0));
+    }
+    Runtime runtime{RuntimeOptions{1, 1'000'000'000ULL}};
+    Assembler a;
+    auto differ = a.NewLabel();
+    EmitKeyCompare32(a, R1, 24, R1, 100, differ, R2, R3);
+    a.MovImm(R0, 1);  // equal
+    a.Exit();
+    a.Bind(differ);
+    a.MovImm(R0, 0);
+    a.Exit();
+    auto p = a.Finish("cmp", Hook::kXdp, ExtensionMode::kKflex, kHeap);
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(RunOnRuntime(runtime, *p, ctx, sizeof(ctx)), equal ? 1 : 0);
+  }
+}
+
+TEST(DslEmit, XorshiftAdvancesHeapState) {
+  Runtime runtime{RuntimeOptions{1, 1'000'000'000ULL}};
+  Assembler a;
+  a.LoadHeapAddr(R2, 256);
+  a.LoadImm64(R3, 0x12345678ULL);
+  a.Stx(BPF_DW, R2, 0, R3);  // seed
+  EmitXorshiftHeap(a, R0, 256, R2, R3);
+  a.Exit();
+  auto p = a.Finish("xs", Hook::kTracepoint, ExtensionMode::kKflex, kHeap);
+  ASSERT_TRUE(p.ok());
+  uint8_t ctx[64] = {0};
+  uint64_t got = static_cast<uint64_t>(RunOnRuntime(runtime, *p, ctx, sizeof(ctx)));
+  uint64_t x = 0x12345678ULL;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  EXPECT_EQ(got, x);
+}
+
+}  // namespace
+}  // namespace kflex

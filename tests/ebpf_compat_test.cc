@@ -1,0 +1,269 @@
+// Backward-compatibility regression suite (§4: "Our code passes all the
+// tests in the eBPF test suite, ensuring backward compatibility and no
+// regressions for existing extensions").
+//
+// Strict eBPF mode must keep enforcing the classic rules — bounded loops,
+// no extension heap, single lock, no pointer leaks — and classic eBPF
+// programs must verify and run unchanged under the KFlex runtime.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/ebpf/assembler.h"
+#include "src/ebpf/helper_ids.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/packet.h"
+#include "src/kie/kie.h"
+#include "src/verifier/verifier.h"
+
+namespace kflex {
+namespace {
+
+Program Strict(Assembler& a, Hook hook = Hook::kXdp) {
+  auto p = a.Finish("compat", hook, ExtensionMode::kEbpf, /*heap=*/0);
+  EXPECT_TRUE(p.ok());
+  return std::move(p).value();
+}
+
+// ---- Programs that must be ACCEPTED in strict mode ----
+
+TEST(EbpfCompat, MinimalReturn) {
+  Assembler a;
+  a.MovImm(R0, 2);
+  a.Exit();
+  EXPECT_TRUE(Verify(Strict(a), {}).ok());
+}
+
+TEST(EbpfCompat, CtxParsing) {
+  Assembler a;
+  a.Ldx(BPF_H, R2, R1, 0);
+  a.Ldx(BPF_B, R3, R1, 3);
+  a.Add(R2, R3);
+  a.Mov(R0, R2);
+  a.Exit();
+  EXPECT_TRUE(Verify(Strict(a), {}).ok());
+}
+
+TEST(EbpfCompat, BoundedByteLoop) {
+  // The classic per-byte parser: bounded by a constant.
+  Assembler a;
+  a.MovImm(R2, 0);   // i
+  a.MovImm(R0, 0);   // checksum
+  auto loop = a.LoopBegin();
+  a.LoopBreakIfImm(loop, BPF_JEQ, R2, 32);
+  a.Mov(R3, R1);
+  a.Add(R3, R2);
+  a.Ldx(BPF_B, R4, R3, 24);
+  a.Add(R0, R4);
+  a.AddImm(R2, 1);
+  a.LoopEnd(loop);
+  a.Exit();
+  auto r = Verify(Strict(a), {});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->cancellation_back_edges.empty()) << "bounded loop must not be instrumented";
+}
+
+TEST(EbpfCompat, MapLookupNullCheckedAccess) {
+  Assembler a;
+  a.LoadMapPtr(R1, 1);
+  a.StImm(BPF_W, R10, -4, 5);
+  a.Mov(R2, R10);
+  a.AddImm(R2, -4);
+  a.Call(kHelperMapLookupElem);
+  auto hit = a.IfImm(BPF_JNE, R0, 0);
+  a.Ldx(BPF_DW, R0, R0, 0);
+  a.Else(hit);
+  a.MovImm(R0, 0);
+  a.EndIf(hit);
+  a.Exit();
+  VerifyOptions opts;
+  opts.maps.push_back(MapDescriptor{1, 4, 16, 64});
+  EXPECT_TRUE(Verify(Strict(a), opts).ok());
+}
+
+TEST(EbpfCompat, MapUpdateDelete) {
+  Assembler a;
+  a.StImm(BPF_W, R10, -4, 5);
+  a.StImm(BPF_DW, R10, -16, 99);
+  a.StImm(BPF_DW, R10, -24, 0);
+  a.LoadMapPtr(R1, 1);
+  a.Mov(R2, R10);
+  a.AddImm(R2, -4);
+  a.Mov(R3, R10);
+  a.AddImm(R3, -24);
+  a.MovImm(R4, 0);
+  a.Call(kHelperMapUpdateElem);
+  a.LoadMapPtr(R1, 1);
+  a.Mov(R2, R10);
+  a.AddImm(R2, -4);
+  a.Call(kHelperMapDeleteElem);
+  a.MovImm(R0, 0);
+  a.Exit();
+  VerifyOptions opts;
+  opts.maps.push_back(MapDescriptor{1, 4, 16, 64});
+  EXPECT_TRUE(Verify(Strict(a), opts).ok());
+}
+
+TEST(EbpfCompat, SocketAcquireReleaseOverBranches) {
+  Assembler a;
+  a.StImm(BPF_W, R10, -16, 1);
+  a.StImm(BPF_W, R10, -12, 2);
+  a.Mov(R2, R10);
+  a.AddImm(R2, -16);
+  a.MovImm(R3, 8);
+  a.MovImm(R4, 0);
+  a.MovImm(R5, 0);
+  a.Call(kHelperSkLookupUdp);
+  auto hit = a.IfImm(BPF_JNE, R0, 0);
+  a.Mov(R1, R0);
+  a.Call(kHelperSkRelease);
+  a.EndIf(hit);
+  a.MovImm(R0, 2);
+  a.Exit();
+  EXPECT_TRUE(Verify(Strict(a), {}).ok());
+}
+
+TEST(EbpfCompat, TimeAndRandomHelpers) {
+  Assembler a;
+  a.Call(kHelperKtimeGetNs);
+  a.Mov(R6, R0);
+  a.Call(kHelperGetPrandomU32);
+  a.Add(R0, R6);
+  a.Call(kHelperGetSmpProcessorId);
+  a.Exit();
+  EXPECT_TRUE(Verify(Strict(a), {}).ok());
+}
+
+TEST(EbpfCompat, StackScratchUsage) {
+  Assembler a;
+  for (int off = 8; off <= 64; off += 8) {
+    a.StImm(BPF_DW, R10, static_cast<int16_t>(-off), off);
+  }
+  a.Ldx(BPF_DW, R0, R10, -64);
+  a.Exit();
+  EXPECT_TRUE(Verify(Strict(a), {}).ok());
+}
+
+// ---- Programs that must be REJECTED in strict mode (and the same program
+// accepted in KFlex mode where the paper lifts the restriction) ----
+
+TEST(EbpfCompat, UnboundedLoopRejectedButKflexAccepts) {
+  auto build = [](ExtensionMode mode) {
+    Assembler a;
+    a.Ldx(BPF_DW, R2, R1, 0);
+    a.MovImm(R0, 0);
+    auto loop = a.LoopBegin();
+    a.LoopBreakIfImm(loop, BPF_JEQ, R2, 0);
+    a.SubImm(R2, 3);
+    a.LoopEnd(loop);
+    a.Exit();
+    return a.Finish("loop", Hook::kXdp, mode, mode == ExtensionMode::kKflex ? 1 << 20 : 0)
+        .value();
+  };
+  EXPECT_FALSE(Verify(build(ExtensionMode::kEbpf), {}).ok());
+  EXPECT_TRUE(Verify(build(ExtensionMode::kKflex), {}).ok());
+}
+
+TEST(EbpfCompat, PointerLeakRejectedButKflexAccepts) {
+  auto build = [](ExtensionMode mode) {
+    Assembler a;
+    a.Mov(R2, R10);
+    a.MovImm(R3, 1);
+    auto skip = a.IfReg(BPF_JGT, R2, R3);  // leaks pointer value via compare
+    a.EndIf(skip);
+    a.MovImm(R0, 0);
+    a.Exit();
+    return a.Finish("leak", Hook::kXdp, mode, mode == ExtensionMode::kKflex ? 1 << 20 : 0)
+        .value();
+  };
+  EXPECT_FALSE(Verify(build(ExtensionMode::kEbpf), {}).ok());
+  EXPECT_TRUE(Verify(build(ExtensionMode::kKflex), {}).ok());
+}
+
+TEST(EbpfCompat, PointerArithmeticScalarizationRejected) {
+  Assembler a;
+  a.Mov(R2, R10);
+  a.AluImm(BPF_AND, R2, 0xFF);  // masking a pointer
+  a.MovImm(R0, 0);
+  a.Exit();
+  EXPECT_FALSE(Verify(Strict(a), {}).ok());
+}
+
+TEST(EbpfCompat, KflexHelpersUnavailable) {
+  Assembler a;
+  a.MovImm(R1, 64);
+  a.Call(kHelperKflexMalloc);
+  a.MovImm(R0, 0);
+  a.Exit();
+  EXPECT_FALSE(Verify(Strict(a), {}).ok());
+}
+
+// ---- Execution: classic eBPF programs run unchanged under KFlex ----
+
+TEST(EbpfCompat, ClassicProgramRunsUnderKflexRuntime) {
+  MockKernel kernel;
+  auto desc = kernel.runtime().maps().CreateHash(4, 8, 32);
+  ASSERT_TRUE(desc.ok());
+  Assembler a;
+  // counter[key]++ via map helpers: the canonical eBPF tracing pattern.
+  a.Ldx(BPF_W, R2, R1, 0);
+  a.Stx(BPF_W, R10, -4, R2);
+  a.LoadMapPtr(R1, desc->id);
+  a.Mov(R2, R10);
+  a.AddImm(R2, -4);
+  a.Call(kHelperMapLookupElem);
+  {
+    auto hit = a.IfImm(BPF_JNE, R0, 0);
+    a.MovImm(R2, 1);
+    a.AtomicAdd(BPF_DW, R0, 0, R2);
+    a.Else(hit);
+    a.StImm(BPF_DW, R10, -16, 1);
+    a.LoadMapPtr(R1, desc->id);
+    a.Mov(R2, R10);
+    a.AddImm(R2, -4);
+    a.Mov(R3, R10);
+    a.AddImm(R3, -16);
+    a.MovImm(R4, 0);
+    a.Call(kHelperMapUpdateElem);
+    a.EndIf(hit);
+  }
+  a.MovImm(R0, 0);
+  a.Exit();
+  auto p = a.Finish("tracer", Hook::kTracepoint, ExtensionMode::kEbpf, 0);
+  ASSERT_TRUE(p.ok());
+  auto id = kernel.runtime().Load(*p, LoadOptions{});
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(kernel.Attach(*id).ok());
+
+  uint8_t ctx[64] = {0};
+  ctx[0] = 7;
+  for (int i = 0; i < 5; i++) {
+    InvokeResult r = kernel.Deliver(Hook::kTracepoint, 0, ctx, sizeof(ctx));
+    ASSERT_FALSE(r.cancelled);
+  }
+  Map* map = kernel.runtime().maps().Find(desc->id);
+  uint32_t key = 7;
+  uint64_t va = map->Lookup(reinterpret_cast<uint8_t*>(&key));
+  ASSERT_NE(va, 0u);
+  uint64_t count;
+  std::memcpy(&count, map->TranslateValue(va, 8), 8);
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(EbpfCompat, StrictProgramsGetZeroInstrumentation) {
+  Assembler a;
+  a.Ldx(BPF_W, R2, R1, 0);
+  a.Mov(R0, R2);
+  a.Exit();
+  Program p = Strict(a);
+  auto analysis = Verify(p, {});
+  ASSERT_TRUE(analysis.ok());
+  auto ip = Instrument(p, *analysis, HeapLayout{}, KieOptions{});
+  ASSERT_TRUE(ip.ok());
+  EXPECT_EQ(ip->program.insns.size(), p.insns.size());
+  EXPECT_EQ(ip->stats.guards_emitted, 0u);
+  EXPECT_EQ(ip->stats.cancellation_points, 0u);
+}
+
+}  // namespace
+}  // namespace kflex

@@ -1,0 +1,273 @@
+// Soundness fuzzing: the framework's end-to-end safety property.
+//
+// For randomly generated programs:
+//  * KFlex mode: every program the verifier ACCEPTS must, after Kie
+//    instrumentation, either run to completion or be cancelled cleanly
+//    (unpopulated page / guard zone / terminate). It must NEVER fault with
+//    kBadAddress or kSmap — that would mean the range analysis elided a
+//    guard for an access that escaped the heap, i.e., a kernel-memory
+//    corruption in the real system.
+//  * strict eBPF mode: every accepted program must run to completion with no
+//    fault at all (classic eBPF soundness).
+// The verifier itself must never crash on arbitrary generated input.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/base/rng.h"
+#include "src/ebpf/assembler.h"
+#include "src/ebpf/helper_ids.h"
+#include "src/kernel/kernel.h"
+#include "src/runtime/runtime.h"
+#include "src/verifier/verifier.h"
+
+namespace kflex {
+namespace {
+
+constexpr uint64_t kHeap = 1 << 20;
+
+// Generates a structurally valid random program. R1 stays the ctx pointer;
+// R9 holds a heap pointer in KFlex mode; loops are concretely bounded so
+// generated programs always terminate (the property under test is memory
+// safety, not termination).
+class ProgramGenerator {
+ public:
+  ProgramGenerator(Rng& rng, bool kflex) : rng_(rng), kflex_(kflex) {}
+
+  Program Generate() {
+    Assembler a;
+    // Initialize the register file (except R1 = ctx, R10 = fp).
+    for (Reg r : {R0, R2, R3, R4, R5, R6, R7, R8}) {
+      a.MovImm(r, static_cast<int32_t>(rng_.NextBounded(1 << 16)));
+    }
+    if (kflex_) {
+      a.LoadHeapAddr(R9, 64 + rng_.NextBounded(kHeap / 2));
+    } else {
+      a.MovImm(R9, 1);
+    }
+    int ops = 5 + static_cast<int>(rng_.NextBounded(30));
+    for (int i = 0; i < ops; i++) {
+      EmitRandomOp(a, /*depth=*/0);
+    }
+    a.MovImm(R0, 0);
+    a.Exit();
+    auto p = a.Finish("fuzz", Hook::kXdp,
+                      kflex_ ? ExtensionMode::kKflex : ExtensionMode::kEbpf,
+                      kflex_ ? kHeap : 0);
+    EXPECT_TRUE(p.ok());
+    return std::move(p).value();
+  }
+
+ private:
+  Reg Scratch() { return static_cast<Reg>(R2 + rng_.NextBounded(6)); }  // R2..R7
+
+  MemSize RandomSize() {
+    switch (rng_.NextBounded(4)) {
+      case 0:
+        return BPF_B;
+      case 1:
+        return BPF_H;
+      case 2:
+        return BPF_W;
+      default:
+        return BPF_DW;
+    }
+  }
+
+  void EmitRandomOp(Assembler& a, int depth) {
+    switch (rng_.NextBounded(kflex_ ? 10u : 7u)) {
+      case 0: {  // ALU immediate
+        static constexpr AluOp kOps[] = {BPF_ADD, BPF_SUB, BPF_AND, BPF_OR,
+                                         BPF_XOR, BPF_MUL, BPF_LSH, BPF_RSH};
+        AluOp op = kOps[rng_.NextBounded(8)];
+        int32_t imm = static_cast<int32_t>(rng_.NextBounded(1 << 20));
+        if (op == BPF_LSH || op == BPF_RSH) {
+          imm = static_cast<int32_t>(rng_.NextBounded(64));
+        }
+        a.AluImm(op, Scratch(), imm);
+        break;
+      }
+      case 1: {  // ALU register
+        static constexpr AluOp kOps[] = {BPF_ADD, BPF_SUB, BPF_AND, BPF_OR, BPF_XOR};
+        a.AluReg(kOps[rng_.NextBounded(5)], Scratch(), Scratch());
+        break;
+      }
+      case 2:  // ctx load
+        a.Ldx(RandomSize(), Scratch(), R1,
+              static_cast<int16_t>(rng_.NextBounded(56)));
+        break;
+      case 3: {  // stack store + load
+        int16_t off = static_cast<int16_t>(-8 * (1 + rng_.NextBounded(16)));
+        a.Stx(BPF_DW, R10, off, Scratch());
+        a.Ldx(BPF_DW, Scratch(), R10, off);
+        break;
+      }
+      case 4: {  // conditional block
+        if (depth >= 2) {
+          break;
+        }
+        static constexpr JmpOp kConds[] = {BPF_JEQ, BPF_JNE, BPF_JGT, BPF_JLT,
+                                           BPF_JSGT, BPF_JSLT};
+        auto iff = a.IfImm(kConds[rng_.NextBounded(6)], Scratch(),
+                           static_cast<int32_t>(rng_.NextBounded(1024)));
+        int inner = 1 + static_cast<int>(rng_.NextBounded(3));
+        for (int i = 0; i < inner; i++) {
+          EmitRandomOp(a, depth + 1);
+        }
+        if (rng_.NextBounded(2) == 0) {
+          a.Else(iff);
+          EmitRandomOp(a, depth + 1);
+        }
+        a.EndIf(iff);
+        break;
+      }
+      case 5: {  // bounded loop on R8
+        if (depth >= 1) {
+          break;
+        }
+        a.MovImm(R8, static_cast<int32_t>(1 + rng_.NextBounded(12)));
+        auto loop = a.LoopBegin();
+        a.LoopBreakIfImm(loop, BPF_JEQ, R8, 0);
+        EmitRandomOp(a, depth + 1);
+        a.SubImm(R8, 1);
+        a.LoopEnd(loop);
+        break;
+      }
+      case 6:  // 32-bit ALU
+        a.AluImm(BPF_ADD, Scratch(), static_cast<int32_t>(rng_.Next()), /*is64=*/false);
+        break;
+      // ---- KFlex-only ops ----
+      case 7:  // heap pointer arithmetic + access via R9
+        a.AluImm(rng_.NextBounded(2) == 0 ? BPF_ADD : BPF_SUB, R9,
+                 static_cast<int32_t>(rng_.NextBounded(1 << 18)));
+        if (rng_.NextBounded(2) == 0) {
+          a.Ldx(RandomSize(), Scratch(), R9, static_cast<int16_t>(rng_.NextBounded(64)));
+        } else {
+          a.Stx(RandomSize(), R9, static_cast<int16_t>(rng_.NextBounded(64)), Scratch());
+        }
+        break;
+      case 8: {  // untrusted-scalar dereference (formation guard)
+        Reg reg = Scratch();
+        if (rng_.NextBounded(2) == 0) {
+          a.Ldx(BPF_DW, Scratch(), reg, static_cast<int16_t>(rng_.NextBounded(32)));
+        } else {
+          a.Stx(BPF_DW, reg, static_cast<int16_t>(rng_.NextBounded(32)), Scratch());
+        }
+        break;
+      }
+      case 9:  // mix a ctx value into the heap pointer
+        a.Ldx(BPF_W, R6, R1, static_cast<int16_t>(rng_.NextBounded(32)));
+        a.Add(R9, R6);
+        break;
+    }
+  }
+
+  Rng& rng_;
+  bool kflex_;
+};
+
+class FuzzSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSoundness, AcceptedKflexProgramsNeverEscapeTheHeap) {
+  Rng rng(0xF00D + static_cast<uint64_t>(GetParam()) * 7919);
+  int accepted = 0;
+  constexpr int kPrograms = 120;
+  for (int n = 0; n < kPrograms; n++) {
+    ProgramGenerator gen(rng, /*kflex=*/true);
+    Program p = gen.Generate();
+    Runtime runtime{RuntimeOptions{1, 1'000'000'000ULL}};
+    LoadOptions lo;
+    lo.kie.performance_mode = rng.NextBounded(2) == 0;
+    lo.heap_static_bytes = 4096;
+    auto id = runtime.Load(p, lo);
+    if (!id.ok()) {
+      continue;  // rejection is fine; crashes are not
+    }
+    accepted++;
+    for (int run = 0; run < 3; run++) {
+      uint8_t ctx[2048];
+      for (auto& b : ctx) {
+        b = static_cast<uint8_t>(rng.Next());
+      }
+      InvokeResult r = runtime.Invoke(*id, 0, ctx, sizeof(ctx));
+      if (!r.attached) {
+        break;  // previously cancelled: unloaded, nothing more to check
+      }
+      if (r.cancelled) {
+        // Only extension-correctness faults are acceptable; kBadAddress /
+        // kSmap would mean an elided access escaped the heap.
+        ASSERT_TRUE(r.fault_kind == MemFaultKind::kNotPresent ||
+                    r.fault_kind == MemFaultKind::kGuardZone ||
+                    r.fault_kind == MemFaultKind::kTerminate ||
+                    (lo.kie.performance_mode &&
+                     (r.fault_kind == MemFaultKind::kSmap ||
+                      r.fault_kind == MemFaultKind::kBadAddress)))
+            << "program " << n << " run " << run << " fault kind "
+            << static_cast<int>(r.fault_kind) << "\n"
+            << ProgramToString(p);
+      }
+    }
+  }
+  // The generator is acceptance-biased: a healthy fraction must load.
+  EXPECT_GT(accepted, kPrograms / 4) << "generator drifted: too few accepted programs";
+}
+
+TEST_P(FuzzSoundness, AcceptedEbpfProgramsAlwaysCompleteCleanly) {
+  Rng rng(0xBEEF + static_cast<uint64_t>(GetParam()) * 104729);
+  int accepted = 0;
+  constexpr int kPrograms = 150;
+  for (int n = 0; n < kPrograms; n++) {
+    ProgramGenerator gen(rng, /*kflex=*/false);
+    Program p = gen.Generate();
+    Runtime runtime{RuntimeOptions{1, 1'000'000'000ULL}};
+    auto id = runtime.Load(p, LoadOptions{});
+    if (!id.ok()) {
+      continue;
+    }
+    accepted++;
+    for (int run = 0; run < 3; run++) {
+      uint8_t ctx[2048];
+      for (auto& b : ctx) {
+        b = static_cast<uint8_t>(rng.Next());
+      }
+      InvokeResult r = runtime.Invoke(*id, 0, ctx, sizeof(ctx));
+      ASSERT_FALSE(r.cancelled)
+          << "strict eBPF program faulted at runtime:\n" << ProgramToString(p);
+      ASSERT_EQ(r.outcome, VmResult::Outcome::kOk);
+      ASSERT_LT(r.insns, 100'000u) << "bounded program ran unreasonably long";
+    }
+  }
+  EXPECT_GT(accepted, kPrograms / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSoundness, ::testing::Range(0, 6));
+
+// The verifier must reject (not crash on) byte-level garbage programs.
+TEST(FuzzRobustness, GarbageBytecodeIsRejectedNotCrashed) {
+  Rng rng(0xDEAD);
+  for (int n = 0; n < 3000; n++) {
+    Program p;
+    p.mode = rng.NextBounded(2) == 0 ? ExtensionMode::kKflex : ExtensionMode::kEbpf;
+    p.heap_size = p.mode == ExtensionMode::kKflex ? kHeap : 0;
+    size_t len = 1 + rng.NextBounded(24);
+    for (size_t i = 0; i < len; i++) {
+      Insn insn;
+      insn.opcode = static_cast<uint8_t>(rng.Next());
+      insn.dst = static_cast<uint8_t>(rng.NextBounded(16));
+      insn.src = static_cast<uint8_t>(rng.NextBounded(16));
+      insn.off = static_cast<int16_t>(rng.Next());
+      insn.imm = static_cast<int32_t>(rng.Next());
+      p.insns.push_back(insn);
+    }
+    auto r = Verify(p, VerifyOptions{});
+    // Garbage may occasionally be valid; it must never crash, and if it is
+    // accepted it must also instrument and execute without host faults.
+    if (r.ok()) {
+      auto ip = Instrument(p, *r, HeapLayout::ForSize(kHeap), KieOptions{});
+      ASSERT_TRUE(ip.ok());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kflex

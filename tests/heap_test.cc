@@ -1,0 +1,148 @@
+// Extension heap: layout alignment, demand paging, guard zones, terminate
+// slot state machine, and creation validation.
+#include "src/runtime/heap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/base/rng.h"
+
+namespace kflex {
+namespace {
+
+TEST(HeapLayoutTest, BasesAlignedToSize) {
+  for (uint64_t size : {1ULL << 16, 1ULL << 20, 1ULL << 24, 1ULL << 30}) {
+    HeapLayout layout = HeapLayout::ForSize(size);
+    EXPECT_EQ(layout.kernel_base % size, 0u) << size;
+    EXPECT_EQ(layout.user_base % size, 0u) << size;
+    EXPECT_EQ(layout.mask(), size - 1);
+    EXPECT_EQ(layout.kernel_end(), layout.kernel_base + size);
+  }
+}
+
+TEST(HeapLayoutTest, KernelAndUserRegionsDisjoint) {
+  HeapLayout layout = HeapLayout::ForSize(1 << 24);
+  EXPECT_LT(layout.user_base + layout.size, layout.kernel_base);
+}
+
+TEST(HeapCreate, RejectsNonPowerOfTwo) {
+  HeapSpec spec;
+  spec.size = 100000;
+  EXPECT_FALSE(ExtensionHeap::Create(spec).ok());
+}
+
+TEST(HeapCreate, RejectsTooSmall) {
+  HeapSpec spec;
+  spec.size = 4096;
+  EXPECT_FALSE(ExtensionHeap::Create(spec).ok());
+}
+
+TEST(HeapCreate, RejectsOversizedStatics) {
+  HeapSpec spec;
+  spec.size = 1 << 16;
+  spec.static_bytes = (1 << 16);
+  EXPECT_FALSE(ExtensionHeap::Create(spec).ok());
+}
+
+TEST(HeapPaging, StaticsPopulatedAtCreation) {
+  HeapSpec spec;
+  spec.size = 1 << 20;
+  spec.static_bytes = 10000;
+  auto heap = ExtensionHeap::Create(spec);
+  ASSERT_TRUE(heap.ok());
+  EXPECT_TRUE(heap.value()->PagesPresent(0, 10000 + 64));
+  EXPECT_FALSE(heap.value()->PagesPresent(1 << 19, 8));
+  EXPECT_GE(heap.value()->dynamic_base(), 10064u);
+}
+
+TEST(HeapPaging, PopulateMarksWholePages) {
+  HeapSpec spec;
+  spec.size = 1 << 20;
+  auto heap = ExtensionHeap::Create(spec);
+  ASSERT_TRUE(heap.ok());
+  uint64_t off = 200 * 1024 + 123;
+  EXPECT_FALSE(heap.value()->PagesPresent(off, 1));
+  heap.value()->PopulatePages(off, 1);
+  EXPECT_TRUE(heap.value()->PagesPresent(off & ~(kHeapPageSize - 1), kHeapPageSize));
+}
+
+TEST(HeapPaging, CrossPageAccessNeedsBothPages) {
+  HeapSpec spec;
+  spec.size = 1 << 20;
+  auto heap = ExtensionHeap::Create(spec);
+  ASSERT_TRUE(heap.ok());
+  uint64_t boundary = 64 * 1024;
+  heap.value()->PopulatePages(boundary - kHeapPageSize, kHeapPageSize);
+  MemFaultKind fk = MemFaultKind::kNone;
+  // 8-byte access straddling into an unpopulated page must fault.
+  EXPECT_EQ(heap.value()->TranslateKernel(heap.value()->layout().kernel_base + boundary - 4, 8,
+                                          fk),
+            nullptr);
+  EXPECT_EQ(fk, MemFaultKind::kNotPresent);
+}
+
+TEST(HeapPaging, PopulatedPageCounterMonotonic) {
+  HeapSpec spec;
+  spec.size = 1 << 20;
+  auto heap = ExtensionHeap::Create(spec);
+  ASSERT_TRUE(heap.ok());
+  uint64_t before = heap.value()->populated_pages();
+  heap.value()->PopulatePages(500 * 1024, 3 * kHeapPageSize);
+  EXPECT_EQ(heap.value()->populated_pages(), before + 3);
+  heap.value()->PopulatePages(500 * 1024, 3 * kHeapPageSize);  // idempotent
+  EXPECT_EQ(heap.value()->populated_pages(), before + 3);
+}
+
+TEST(HeapGuards, GuardZoneFaultsOnBothSides) {
+  HeapSpec spec;
+  spec.size = 1 << 20;
+  auto heap = ExtensionHeap::Create(spec);
+  ASSERT_TRUE(heap.ok());
+  const HeapLayout& layout = heap.value()->layout();
+  MemFaultKind fk = MemFaultKind::kNone;
+  EXPECT_EQ(heap.value()->TranslateKernel(layout.kernel_base - 8, 8, fk), nullptr);
+  EXPECT_EQ(fk, MemFaultKind::kGuardZone);
+  fk = MemFaultKind::kNone;
+  EXPECT_EQ(heap.value()->TranslateKernel(layout.kernel_end(), 8, fk), nullptr);
+  EXPECT_EQ(fk, MemFaultKind::kGuardZone);
+  EXPECT_TRUE(heap.value()->ContainsKernelVa(layout.kernel_base - kHeapGuardZone));
+  EXPECT_FALSE(heap.value()->ContainsKernelVa(layout.kernel_base - kHeapGuardZone - 1));
+}
+
+TEST(HeapTerminate, ArmAndReset) {
+  HeapSpec spec;
+  spec.size = 1 << 20;
+  auto heap = ExtensionHeap::Create(spec);
+  ASSERT_TRUE(heap.ok());
+  EXPECT_FALSE(heap.value()->terminate_armed());
+  uint64_t slot;
+  std::memcpy(&slot, heap.value()->HostAt(kTerminateSlotOff), 8);
+  EXPECT_EQ(slot, heap.value()->layout().kernel_base + kTerminateTargetOff);
+  heap.value()->ArmTerminate();
+  EXPECT_TRUE(heap.value()->terminate_armed());
+  std::memcpy(&slot, heap.value()->HostAt(kTerminateSlotOff), 8);
+  EXPECT_EQ(slot, 0u);
+  heap.value()->ResetTerminate();
+  EXPECT_FALSE(heap.value()->terminate_armed());
+}
+
+TEST(HeapTranslate, RandomizedInBoundsAlwaysResolves) {
+  HeapSpec spec;
+  spec.size = 1 << 20;
+  auto heap = ExtensionHeap::Create(spec);
+  ASSERT_TRUE(heap.ok());
+  heap.value()->PopulatePages(0, spec.size);
+  const HeapLayout& layout = heap.value()->layout();
+  Rng rng(11);
+  for (int i = 0; i < 10000; i++) {
+    uint64_t off = rng.NextBounded(spec.size - 8);
+    MemFaultKind fk = MemFaultKind::kNone;
+    uint8_t* p = heap.value()->TranslateKernel(layout.kernel_base + off, 8, fk);
+    ASSERT_NE(p, nullptr);
+    ASSERT_EQ(p, heap.value()->HostAt(off));
+  }
+}
+
+}  // namespace
+}  // namespace kflex

@@ -1,0 +1,142 @@
+// Mock-kernel substrate: socket table refcounting, packet/wire format,
+// hook dispatch defaults, and cost-model structure.
+#include "src/kernel/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/ebpf/assembler.h"
+#include "src/ebpf/helper_ids.h"
+#include "src/kernel/costmodel.h"
+#include "src/kernel/packet.h"
+
+namespace kflex {
+namespace {
+
+TEST(SocketTable, BindAndFind) {
+  SocketTable table;
+  Socket* s = table.Bind(0x0A000001, 80, kProtoTcp);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(table.Find(0x0A000001, 80, kProtoTcp), s);
+  EXPECT_EQ(table.Find(0x0A000001, 80, kProtoUdp), nullptr);
+  EXPECT_EQ(table.Find(0x0A000001, 81, kProtoTcp), nullptr);
+  EXPECT_TRUE(table.Quiescent());
+}
+
+TEST(SocketTable, HelperLookupAcquiresReference) {
+  MockKernel kernel;
+  Socket* s = kernel.sockets().Bind(7, 9, kProtoUdp);
+
+  Assembler a;
+  a.StImm(BPF_W, R10, -16, 7);
+  a.StImm(BPF_W, R10, -12, 9);
+  a.Mov(R2, R10);
+  a.AddImm(R2, -16);
+  a.MovImm(R3, 8);
+  a.MovImm(R4, 0);
+  a.MovImm(R5, 0);
+  a.Call(kHelperSkLookupUdp);
+  auto hit = a.IfImm(BPF_JNE, R0, 0);
+  a.Mov(R6, R0);
+  a.Mov(R1, R6);
+  a.Call(kHelperSkRelease);
+  a.MovImm(R0, 1);
+  a.Exit();
+  a.EndIf(hit);
+  a.MovImm(R0, 0);
+  a.Exit();
+  auto p = a.Finish("sk", Hook::kXdp, ExtensionMode::kKflex, 1 << 20);
+  ASSERT_TRUE(p.ok());
+  auto id = kernel.runtime().Load(*p, LoadOptions{});
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(kernel.Attach(*id).ok());
+
+  KvPacket pkt;
+  InvokeResult r = kernel.Deliver(Hook::kXdp, 0, pkt.data(), pkt.size());
+  EXPECT_EQ(r.verdict, 1) << "lookup must find the bound socket";
+  EXPECT_EQ(s->refcount.load(), 1) << "refcount back at baseline after release";
+  EXPECT_TRUE(kernel.Quiescent());
+}
+
+TEST(KvPacketTest, FieldRoundTrips) {
+  KvPacket pkt;
+  pkt.SetOp(KvOp::kSet);
+  pkt.SetProto(kProtoTcp);
+  pkt.SetTuple(0x01020304, 1111, 2222);
+  pkt.SetKey("hello");
+  pkt.SetValue("world-value");
+  pkt.SetZScore(987654321);
+
+  EXPECT_EQ(pkt.op(), KvOp::kSet);
+  EXPECT_EQ(pkt.proto(), kProtoTcp);
+  EXPECT_EQ(pkt.data()[kOffKeyLen], 5);
+  EXPECT_EQ(std::memcmp(pkt.data() + kOffKey, "hello", 5), 0);
+  // Key is zero-padded to 32 bytes.
+  for (int i = 5; i < 32; i++) {
+    EXPECT_EQ(pkt.data()[kOffKey + i], 0) << i;
+  }
+  EXPECT_EQ(pkt.vallen(), 11);
+  uint64_t score;
+  std::memcpy(&score, pkt.data() + kOffZScore, 8);
+  EXPECT_EQ(score, 987654321u);
+}
+
+TEST(KvPacketTest, OversizedInputsClamped) {
+  KvPacket pkt;
+  pkt.SetKey(std::string(100, 'k'));
+  EXPECT_EQ(pkt.data()[kOffKeyLen], kMaxKeyLen);
+  pkt.SetValue(std::string(200, 'v'));
+  EXPECT_EQ(pkt.vallen(), kMaxValLen);
+}
+
+TEST(HookDispatch, DefaultsPerHook) {
+  EXPECT_EQ(HookDefaultVerdict(Hook::kXdp), kXdpPass);
+  EXPECT_EQ(HookDefaultVerdict(Hook::kLsm), -1);
+  EXPECT_EQ(HookDefaultVerdict(Hook::kSkSkb), 0);
+  MockKernel kernel;
+  uint8_t ctx[64] = {0};
+  // Nothing attached: pass-through verdicts.
+  EXPECT_FALSE(kernel.Deliver(Hook::kLsm, 0, ctx, sizeof(ctx)).attached);
+  EXPECT_EQ(kernel.Deliver(Hook::kLsm, 0, ctx, sizeof(ctx)).verdict, -1);
+  EXPECT_EQ(kernel.Deliver(Hook::kXdp, 0, ctx, sizeof(ctx)).verdict, kXdpPass);
+}
+
+TEST(CostModelTest, StructuralOrdering) {
+  CostModel cost;
+  // The structural relationships the end-to-end figures rest on.
+  EXPECT_LT(cost.XdpPathUdp(), cost.SkSkbPathTcp())
+      << "XDP skips the whole stack; sk_skb pays TCP RX";
+  EXPECT_LT(cost.SkSkbPathTcp(), cost.UserPathTcp())
+      << "sk_skb skips wakeup + syscalls";
+  EXPECT_LT(cost.UserPathUdp(), cost.UserPathTcp()) << "TCP RX > UDP RX";
+  EXPECT_LT(cost.XdpPathTcp(), cost.UserPathTcp())
+      << "the XDP TCP fast path undercuts the full stack";
+}
+
+TEST(CostModelTest, InstrumentationWeighting) {
+  CostModel cost;
+  // 100 plain insns vs 100 plain + 40 instrumentation.
+  uint64_t plain = cost.ComputeNs(100, 0);
+  uint64_t instrumented = cost.ComputeNs(140, 40);
+  EXPECT_GT(instrumented, plain);
+  EXPECT_LT(instrumented - plain, cost.ComputeNs(40, 0))
+      << "instrumentation must cost less than ordinary instructions";
+  EXPECT_EQ(cost.ComputeNs(0, 0), 0u);
+}
+
+TEST(CostModelTest, DISABLED_PrintCalibration) {
+  // Not a test: handy dump of the calibrated path costs (run with
+  // --gtest_also_run_disabled_tests).
+  CostModel cost;
+  std::printf("UserUdp=%llu UserTcp=%llu XdpUdp=%llu XdpTcp=%llu SkSkb=%llu\n",
+              static_cast<unsigned long long>(cost.UserPathUdp()),
+              static_cast<unsigned long long>(cost.UserPathTcp()),
+              static_cast<unsigned long long>(cost.XdpPathUdp()),
+              static_cast<unsigned long long>(cost.XdpPathTcp()),
+              static_cast<unsigned long long>(cost.SkSkbPathTcp()));
+}
+
+}  // namespace
+}  // namespace kflex

@@ -1,0 +1,215 @@
+// Memcached offloads: KFlex full offload vs the user-space oracle, the BMC
+// look-aside cache behaviour, socket-reference hygiene on the hot path, and
+// instrumentation-flavour equivalence.
+#include "src/apps/memcached.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/base/zipf.h"
+#include "src/uapi/user_heap.h"
+
+namespace kflex {
+namespace {
+
+TEST(KflexMemcached, SetGetDelRoundTrip) {
+  MockKernel kernel;
+  auto driver = KflexMemcachedDriver::Create(kernel);
+  ASSERT_TRUE(driver.ok()) << driver.status().ToString();
+
+  auto set = driver->Set(0, 7, "hello-kflex");
+  EXPECT_TRUE(set.served);
+  EXPECT_TRUE(set.hit);
+
+  auto get = driver->Get(0, 7);
+  EXPECT_TRUE(get.served);
+  ASSERT_TRUE(get.hit);
+  EXPECT_EQ(get.value.substr(0, 11), "hello-kflex");
+
+  auto miss = driver->Get(0, 8);
+  EXPECT_TRUE(miss.served);
+  EXPECT_FALSE(miss.hit);
+
+  EXPECT_TRUE(driver->Del(0, 7).hit);
+  EXPECT_FALSE(driver->Get(0, 7).hit);
+  EXPECT_FALSE(driver->Del(0, 7).hit);
+
+  // The hot path acquires and releases a socket reference per request.
+  EXPECT_TRUE(kernel.Quiescent());
+}
+
+TEST(KflexMemcached, RandomizedAgainstOracle) {
+  MockKernel kernel;
+  auto driver = KflexMemcachedDriver::Create(kernel);
+  ASSERT_TRUE(driver.ok()) << driver.status().ToString();
+  UserMemcached oracle;
+
+  Rng rng(2024);
+  for (int i = 0; i < 5000; i++) {
+    uint64_t key = rng.NextBounded(200);
+    int cpu = static_cast<int>(rng.NextBounded(4));
+    switch (rng.NextBounded(3)) {
+      case 0: {
+        std::string value = "v" + std::to_string(rng.NextBounded(100000));
+        ASSERT_TRUE(driver->Set(cpu, key, value).hit);
+        oracle.Set(key, value);
+        break;
+      }
+      case 1: {
+        auto got = driver->Get(cpu, key);
+        auto want = oracle.Get(key);
+        ASSERT_EQ(got.hit, want.has_value()) << "key " << key << " op " << i;
+        if (want.has_value()) {
+          ASSERT_EQ(got.value.substr(0, want->size()), *want);
+        }
+        break;
+      }
+      case 2: {
+        ASSERT_EQ(driver->Del(cpu, key).hit, oracle.Del(key));
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(kernel.Quiescent());
+}
+
+TEST(KflexMemcached, AllInstrumentationFlavoursAgree) {
+  for (int flavour = 0; flavour < 3; flavour++) {
+    KieOptions kie;
+    if (flavour == 1) {
+      kie.performance_mode = true;
+    }
+    if (flavour == 2) {
+      kie.sfi = false;
+      kie.cancellation = false;
+    }
+    MockKernel kernel;
+    auto driver = KflexMemcachedDriver::Create(kernel, {}, kie);
+    ASSERT_TRUE(driver.ok()) << driver.status().ToString();
+    ASSERT_TRUE(driver->Set(0, 1, "abc").hit);
+    auto got = driver->Get(0, 1);
+    ASSERT_TRUE(got.hit);
+    EXPECT_EQ(got.value.substr(0, 3), "abc");
+  }
+}
+
+TEST(KflexMemcached, InstrumentationAddsBoundedOverhead) {
+  MockKernel kflex_kernel;
+  auto kflex = KflexMemcachedDriver::Create(kflex_kernel);
+  ASSERT_TRUE(kflex.ok());
+  KieOptions kmod_opts;
+  kmod_opts.sfi = false;
+  kmod_opts.cancellation = false;
+  MockKernel kmod_kernel;
+  auto kmod = KflexMemcachedDriver::Create(kmod_kernel, {}, kmod_opts);
+  ASSERT_TRUE(kmod.ok());
+
+  kflex->Set(0, 5, "x");
+  kmod->Set(0, 5, "x");
+  auto a = kflex->Get(0, 5);
+  auto b = kmod->Get(0, 5);
+  ASSERT_TRUE(a.hit);
+  ASSERT_TRUE(b.hit);
+  EXPECT_GT(a.insns, b.insns);                       // guards cost something
+  EXPECT_LT(a.insns, b.insns + b.insns / 2 + 16);    // ...but bounded (<~50%)
+}
+
+TEST(KflexMemcached, TranslateOnStorePublishesUserPointers) {
+  KieOptions kie;
+  kie.translate_on_store = true;
+  MockKernel kernel;
+  auto driver = KflexMemcachedDriver::Create(kernel, {}, kie);
+  ASSERT_TRUE(driver.ok()) << driver.status().ToString();
+  ASSERT_TRUE(driver->Set(0, 77, "shared").hit);
+
+  // Walk the table from "user space" through the mapped heap: the stored
+  // bucket pointer must be a valid user VA (§3.4).
+  ExtensionHeap* heap = kernel.runtime().heap(driver->id());
+  UserHeapView view(heap);
+  auto key = MakeKey32(77);
+  uint64_t hash = 0;
+  {
+    // Same folding the extension uses.
+    uint64_t words[4];
+    std::memcpy(words, key.data(), 32);
+    hash = words[0];
+    for (int w = 1; w < 4; w++) {
+      hash = (hash * 0x100000001B3ULL) ^ words[w];
+    }
+    uint64_t s = hash;
+    s ^= s >> 30;
+    s *= 0xBF58476D1CE4E5B9ULL;
+    s ^= s >> 27;
+    s *= 0x94D049BB133111EBULL;
+    s ^= s >> 31;
+    hash = s;
+  }
+  uint64_t bucket = MemcachedLayout::kBucketsOff +
+                    (hash & (MemcachedLayout::kNumBuckets - 1)) * 8;
+  uint64_t node_user_va = view.LoadPointerAt(bucket);
+  ASSERT_NE(node_user_va, 0u);
+  EXPECT_TRUE(view.Contains(node_user_va)) << "stored pointer is not a user VA";
+  std::array<uint8_t, 32> stored_key{};
+  ASSERT_TRUE(view.LoadBytes(node_user_va + MemcachedLayout::kNodeKey, stored_key.data(), 32));
+  EXPECT_EQ(stored_key, key);
+}
+
+TEST(Bmc, GetHitsAfterCacheFill) {
+  MockKernel kernel;
+  auto bmc = BmcDriver::Create(kernel);
+  ASSERT_TRUE(bmc.ok()) << bmc.status().ToString();
+
+  bmc->Set(0, 9, "bmc-value");
+  auto first = bmc->Get(0, 9);  // miss at XDP (SET invalidated), user space serves
+  EXPECT_FALSE(first.served_at_xdp);
+  EXPECT_TRUE(first.hit);
+  EXPECT_EQ(first.value, "bmc-value");
+
+  auto second = bmc->Get(0, 9);  // now cached at XDP
+  EXPECT_TRUE(second.served_at_xdp);
+  EXPECT_TRUE(second.hit);
+  EXPECT_EQ(second.value.substr(0, 9), "bmc-value");
+
+  bmc->Set(0, 9, "new");  // invalidates
+  auto third = bmc->Get(0, 9);
+  EXPECT_FALSE(third.served_at_xdp);
+  EXPECT_EQ(third.value, "new");
+}
+
+TEST(Bmc, RandomizedAgainstOracle) {
+  MockKernel kernel;
+  auto bmc = BmcDriver::Create(kernel);
+  ASSERT_TRUE(bmc.ok());
+  UserMemcached oracle;
+  Rng rng(31337);
+  for (int i = 0; i < 3000; i++) {
+    uint64_t key = rng.NextBounded(100);
+    if (rng.NextBounded(10) < 3) {
+      std::string value = "v" + std::to_string(rng.Next() % 1000);
+      bmc->Set(0, key, value);
+      oracle.Set(key, value);
+    } else {
+      auto got = bmc->Get(0, key);
+      auto want = oracle.Get(key);
+      ASSERT_EQ(got.hit, want.has_value()) << "key " << key;
+      if (want.has_value()) {
+        ASSERT_EQ(got.value.substr(0, want->size()), *want) << "key " << key;
+      }
+    }
+  }
+}
+
+TEST(Bmc, StrictEbpfModeVerifies) {
+  // The BMC program must pass the strict eBPF-mode verifier: bounded code,
+  // kernel maps only, no heap.
+  Program p = BuildBmcProgram(1);
+  VerifyOptions opts;
+  opts.maps.push_back(MapDescriptor{1, 32, kBmcValueSize, 1 << 16});
+  auto analysis = Verify(p, opts);
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  EXPECT_TRUE(analysis->cancellation_back_edges.empty());
+  EXPECT_EQ(analysis->heap_access_insns, 0u);
+}
+
+}  // namespace
+}  // namespace kflex

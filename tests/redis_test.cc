@@ -1,0 +1,132 @@
+// Redis offload: GET/SET round trips, ZADD into extension-built skip lists,
+// and randomized equivalence against the user-space oracle.
+#include "src/apps/redis.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+
+namespace kflex {
+namespace {
+
+TEST(KflexRedis, SetGetRoundTrip) {
+  MockKernel kernel;
+  auto driver = KflexRedisDriver::Create(kernel);
+  ASSERT_TRUE(driver.ok()) << driver.status().ToString();
+  ASSERT_TRUE(driver->Set(0, 1, "redis-value").hit);
+  auto got = driver->Get(0, 1);
+  ASSERT_TRUE(got.hit);
+  EXPECT_EQ(got.value.substr(0, 11), "redis-value");
+  EXPECT_FALSE(driver->Get(0, 2).hit);
+}
+
+TEST(KflexRedis, ZaddBuildsSortedSet) {
+  MockKernel kernel;
+  auto driver = KflexRedisDriver::Create(kernel);
+  ASSERT_TRUE(driver.ok()) << driver.status().ToString();
+
+  EXPECT_TRUE(driver->Zadd(0, 10, /*score=*/30, /*member=*/300).hit);
+  EXPECT_TRUE(driver->Zadd(0, 10, 10, 100).hit);
+  EXPECT_TRUE(driver->Zadd(0, 10, 20, 200).hit);
+  EXPECT_TRUE(driver->Zadd(0, 10, 20, 222).hit);  // update member at score 20
+
+  auto zset = driver->ReadZset(10);
+  ASSERT_EQ(zset.size(), 3u);
+  auto it = zset.begin();
+  EXPECT_EQ(it->first, 10u);
+  EXPECT_EQ(it->second, 100u);
+  ++it;
+  EXPECT_EQ(it->first, 20u);
+  EXPECT_EQ(it->second, 222u);
+  ++it;
+  EXPECT_EQ(it->first, 30u);
+  EXPECT_EQ(it->second, 300u);
+}
+
+TEST(KflexRedis, ZaddRandomizedAgainstOracle) {
+  MockKernel kernel;
+  auto driver = KflexRedisDriver::Create(kernel);
+  ASSERT_TRUE(driver.ok()) << driver.status().ToString();
+  UserRedis oracle;
+
+  Rng rng(99);
+  for (int i = 0; i < 3000; i++) {
+    uint64_t key = rng.NextBounded(8);
+    uint64_t score = rng.NextBounded(200);
+    uint64_t member = 1 + rng.Next() % 100000;
+    ASSERT_TRUE(driver->Zadd(0, key, score, member).hit) << "op " << i;
+    oracle.Zadd(key, score, member);
+  }
+  for (uint64_t key = 0; key < 8; key++) {
+    auto got = driver->ReadZset(key);
+    const auto* want = oracle.Zset(key);
+    if (want == nullptr) {
+      EXPECT_TRUE(got.empty());
+      continue;
+    }
+    ASSERT_EQ(got.size(), want->size()) << "key " << key;
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), want->begin()));
+  }
+}
+
+TEST(KflexRedis, StringsAndZsetsCoexist) {
+  MockKernel kernel;
+  auto driver = KflexRedisDriver::Create(kernel);
+  ASSERT_TRUE(driver.ok());
+  UserRedis oracle;
+  Rng rng(4);
+  for (int i = 0; i < 2000; i++) {
+    uint64_t key = rng.NextBounded(64);
+    switch (rng.NextBounded(3)) {
+      case 0: {
+        std::string value = "s" + std::to_string(rng.NextBounded(1000));
+        ASSERT_TRUE(driver->Set(0, key, value).hit);
+        oracle.Set(key, value);
+        break;
+      }
+      case 1: {
+        auto got = driver->Get(0, key);
+        auto want = oracle.Get(key);
+        // A ZADD-created key exists with an empty string value.
+        if (want.has_value()) {
+          ASSERT_TRUE(got.hit);
+          ASSERT_EQ(got.value.substr(0, want->size()), *want);
+        }
+        break;
+      }
+      case 2: {
+        // Use a different key range so zsets don't clobber string values.
+        uint64_t zkey = 1000 + key;
+        uint64_t score = rng.NextBounded(50);
+        uint64_t member = rng.Next();
+        ASSERT_TRUE(driver->Zadd(0, zkey, score, member).hit);
+        oracle.Zadd(zkey, score, member);
+        break;
+      }
+    }
+  }
+  for (uint64_t zkey = 1000; zkey < 1064; zkey++) {
+    const auto* want = oracle.Zset(zkey);
+    auto got = driver->ReadZset(zkey);
+    if (want == nullptr) {
+      EXPECT_TRUE(got.empty());
+    } else {
+      ASSERT_EQ(got.size(), want->size());
+      EXPECT_TRUE(std::equal(got.begin(), got.end(), want->begin()));
+    }
+  }
+}
+
+TEST(KflexRedis, VerifiesWithCancellationPoints) {
+  Program p = BuildRedisExtension({});
+  auto analysis = Verify(p, VerifyOptions{});
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  // Hash-chain walk, skip-list walk: unbounded loops need Cps.
+  EXPECT_GE(analysis->cancellation_back_edges.size(), 2u);
+  // Bucket access is elided; node accesses are formation guards.
+  EXPECT_GE(analysis->elided_guards, 1u);
+  EXPECT_GE(analysis->formation_guards, 10u);
+}
+
+}  // namespace
+}  // namespace kflex

@@ -1,0 +1,194 @@
+// Ring buffer maps: producer/consumer semantics, capacity + drop behaviour,
+// verifier map-type checking, and an end-to-end event-log extension.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/ebpf/assembler.h"
+#include "src/ebpf/helper_ids.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/packet.h"
+#include "src/runtime/maps.h"
+
+namespace kflex {
+namespace {
+
+TEST(RingBuf, OutputAndDrainInOrder) {
+  MapRegistry registry;
+  auto desc = registry.CreateRingBuf(4096);
+  ASSERT_TRUE(desc.ok());
+  auto* ringbuf = dynamic_cast<RingBufMap*>(registry.Find(desc->id));
+  ASSERT_NE(ringbuf, nullptr);
+
+  for (uint64_t i = 0; i < 10; i++) {
+    EXPECT_EQ(ringbuf->Output(reinterpret_cast<uint8_t*>(&i), 8), 0);
+  }
+  EXPECT_EQ(ringbuf->pending(), 10u);
+  std::vector<uint64_t> seen;
+  size_t drained = ringbuf->Drain([&seen](const uint8_t* data, uint32_t size) {
+    ASSERT_EQ(size, 8u);
+    uint64_t v;
+    std::memcpy(&v, data, 8);
+    seen.push_back(v);
+  });
+  EXPECT_EQ(drained, 10u);
+  for (uint64_t i = 0; i < 10; i++) {
+    EXPECT_EQ(seen[i], i);
+  }
+  EXPECT_EQ(ringbuf->pending(), 0u);
+}
+
+TEST(RingBuf, FullBufferDropsAndCounts) {
+  MapRegistry registry;
+  auto desc = registry.CreateRingBuf(64);  // fits exactly 4 x (8 hdr + 8 data)
+  ASSERT_TRUE(desc.ok());
+  auto* ringbuf = dynamic_cast<RingBufMap*>(registry.Find(desc->id));
+  uint64_t v = 1;
+  for (int i = 0; i < 4; i++) {
+    EXPECT_EQ(ringbuf->Output(reinterpret_cast<uint8_t*>(&v), 8), 0) << i;
+  }
+  EXPECT_EQ(ringbuf->Output(reinterpret_cast<uint8_t*>(&v), 8), -1);
+  EXPECT_EQ(ringbuf->dropped(), 1u);
+  // Draining frees the space again.
+  ringbuf->Drain([](const uint8_t*, uint32_t) {});
+  EXPECT_EQ(ringbuf->Output(reinterpret_cast<uint8_t*>(&v), 8), 0);
+}
+
+TEST(RingBuf, NoKvSurface) {
+  MapRegistry registry;
+  auto desc = registry.CreateRingBuf(4096);
+  Map* map = registry.Find(desc->id);
+  uint8_t key[8] = {0};
+  EXPECT_EQ(map->Lookup(key), 0u);
+  EXPECT_EQ(map->Update(key, key), -1);
+  EXPECT_EQ(map->Delete(key), -1);
+  EXPECT_EQ(map->TranslateValue(map->value_area_va(), 8), nullptr);
+}
+
+Program EventLogProgram(uint32_t map_id) {
+  // Logs {op, key-word} for every request, then passes the packet on.
+  Assembler a;
+  a.Ldx(BPF_B, R2, R1, kOffOp);
+  a.Stx(BPF_DW, R10, -16, R2);
+  a.Ldx(BPF_DW, R3, R1, kOffKey);
+  a.Stx(BPF_DW, R10, -8, R3);
+  a.LoadMapPtr(R1, map_id);
+  a.Mov(R2, R10);
+  a.AddImm(R2, -16);
+  a.MovImm(R3, 16);
+  a.MovImm(R4, 0);
+  a.Call(kHelperRingbufOutput);
+  a.MovImm(R0, static_cast<int32_t>(kXdpPass));
+  a.Exit();
+  return a.Finish("eventlog", Hook::kXdp, ExtensionMode::kEbpf, 0).value();
+}
+
+TEST(RingBuf, EndToEndEventLogExtension) {
+  MockKernel kernel;
+  auto desc = kernel.runtime().maps().CreateRingBuf(1 << 16);
+  ASSERT_TRUE(desc.ok());
+  auto id = kernel.runtime().Load(EventLogProgram(desc->id), LoadOptions{});
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(kernel.Attach(*id).ok());
+
+  for (uint64_t i = 0; i < 20; i++) {
+    KvPacket pkt;
+    pkt.SetOp(i % 2 == 0 ? KvOp::kGet : KvOp::kSet);
+    pkt.SetKeyU64(1000 + i);
+    InvokeResult r = kernel.Deliver(Hook::kXdp, 0, pkt.data(), pkt.size());
+    ASSERT_FALSE(r.cancelled);
+  }
+
+  auto* ringbuf = dynamic_cast<RingBufMap*>(kernel.runtime().maps().Find(desc->id));
+  ASSERT_NE(ringbuf, nullptr);
+  uint64_t n = 0;
+  ringbuf->Drain([&n](const uint8_t* data, uint32_t size) {
+    ASSERT_EQ(size, 16u);
+    uint64_t op;
+    uint64_t key;
+    std::memcpy(&op, data, 8);
+    std::memcpy(&key, data + 8, 8);
+    EXPECT_EQ(op, n % 2 == 0 ? 0u : 1u);
+    EXPECT_EQ(key, 1000 + n);
+    n++;
+  });
+  EXPECT_EQ(n, 20u);
+}
+
+TEST(RingBuf, VerifierRejectsWrongMapKinds) {
+  // ringbuf_output on a hash map: rejected statically.
+  {
+    Assembler a;
+    a.StImm(BPF_DW, R10, -8, 1);
+    a.LoadMapPtr(R1, 1);
+    a.Mov(R2, R10);
+    a.AddImm(R2, -8);
+    a.MovImm(R3, 8);
+    a.MovImm(R4, 0);
+    a.Call(kHelperRingbufOutput);
+    a.MovImm(R0, 0);
+    a.Exit();
+    auto p = a.Finish("bad", Hook::kXdp, ExtensionMode::kEbpf, 0);
+    VerifyOptions opts;
+    opts.maps.push_back(MapDescriptor{1, 8, 8, 16, MapType::kHash});
+    auto r = Verify(*p, opts);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("incompatible map type"), std::string::npos);
+  }
+  // map_lookup on a ring buffer: rejected statically.
+  {
+    Assembler a;
+    a.StImm(BPF_DW, R10, -8, 1);
+    a.LoadMapPtr(R1, 1);
+    a.Mov(R2, R10);
+    a.AddImm(R2, -8);
+    a.Call(kHelperMapLookupElem);
+    a.MovImm(R0, 0);
+    a.Exit();
+    auto p = a.Finish("bad2", Hook::kXdp, ExtensionMode::kEbpf, 0);
+    VerifyOptions opts;
+    opts.maps.push_back(MapDescriptor{1, 0, 0, 4096, MapType::kRingBuf});
+    EXPECT_FALSE(Verify(*p, opts).ok());
+  }
+}
+
+TEST(RingBuf, WorksFromKflexModeToo) {
+  MockKernel kernel;
+  auto desc = kernel.runtime().maps().CreateRingBuf(1 << 12);
+  ASSERT_TRUE(desc.ok());
+  Assembler a;
+  // Log the current heap counter value, then bump it.
+  a.LoadHeapAddr(R2, 64);
+  a.Ldx(BPF_DW, R3, R2, 0);
+  a.Stx(BPF_DW, R10, -8, R3);
+  a.AddImm(R3, 1);
+  a.Stx(BPF_DW, R2, 0, R3);
+  a.LoadMapPtr(R1, desc->id);
+  a.Mov(R2, R10);
+  a.AddImm(R2, -8);
+  a.MovImm(R3, 8);
+  a.MovImm(R4, 0);
+  a.Call(kHelperRingbufOutput);
+  a.MovImm(R0, 0);
+  a.Exit();
+  auto p = a.Finish("kflexlog", Hook::kTracepoint, ExtensionMode::kKflex, 1 << 20);
+  ASSERT_TRUE(p.ok());
+  auto id = kernel.runtime().Load(*p, LoadOptions{});
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  uint8_t ctx[64] = {0};
+  for (int i = 0; i < 5; i++) {
+    ASSERT_FALSE(kernel.runtime().Invoke(*id, 0, ctx, sizeof(ctx)).cancelled);
+  }
+  auto* ringbuf = dynamic_cast<RingBufMap*>(kernel.runtime().maps().Find(desc->id));
+  uint64_t expect = 0;
+  ringbuf->Drain([&expect](const uint8_t* data, uint32_t size) {
+    uint64_t v;
+    std::memcpy(&v, data, 8);
+    EXPECT_EQ(v, expect++);
+  });
+  EXPECT_EQ(expect, 5u);
+}
+
+}  // namespace
+}  // namespace kflex

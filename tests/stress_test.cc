@@ -1,0 +1,167 @@
+// Stress & exhaustion: cancellation racing concurrent invocations, heap
+// exhaustion surfacing as NULL kflex_malloc (not a fault), watchdog with
+// several extensions, and allocator behaviour at capacity.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include "src/apps/memcached.h"
+#include "src/ebpf/assembler.h"
+#include "src/ebpf/helper_ids.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/packet.h"
+
+namespace kflex {
+namespace {
+
+TEST(Stress, CancellationRacesConcurrentInvocations) {
+  constexpr int kThreads = 4;
+  MockKernel kernel{RuntimeOptions{kThreads, 1'000'000'000ULL}};
+  auto driver = KflexMemcachedDriver::Create(kernel);
+  ASSERT_TRUE(driver.ok()) << driver.status().ToString();
+  for (uint64_t key = 0; key < 256; key++) {
+    driver->Set(0, key, "v");
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> served{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads - 1; t++) {
+    workers.emplace_back([&, t] {
+      uint64_t key = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto r = driver->Get(t, key++ % 256);
+        if (r.served) {
+          served.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  kernel.runtime().Cancel(driver->id());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  stop.store(true);
+  for (auto& w : workers) {
+    w.join();
+  }
+  EXPECT_GT(served.load(), 0u);
+  // After the dust settles: extension-wide unload (a chain-walking GET hit a
+  // Cp) or at minimum no leaked kernel state.
+  EXPECT_TRUE(kernel.Quiescent()) << "references leaked under racing cancellation";
+}
+
+TEST(Stress, HeapExhaustionYieldsNullNotFault) {
+  // 64 KB heap, 4 KB statics: at most ~14 pages of 128-byte objects.
+  MockKernel kernel{RuntimeOptions{1, 1'000'000'000ULL}};
+  Assembler a;
+  a.MovImm(R1, 128);
+  a.Call(kHelperKflexMalloc);
+  {
+    auto null = a.IfImm(BPF_JEQ, R0, 0);
+    a.MovImm(R0, 0);  // exhausted
+    a.Exit();
+    a.EndIf(null);
+  }
+  a.StImm(BPF_DW, R0, 0, 7);  // prove the memory is usable
+  a.MovImm(R0, 1);
+  a.Exit();
+  auto p = a.Finish("alloc", Hook::kTracepoint, ExtensionMode::kKflex, 1 << 16);
+  ASSERT_TRUE(p.ok());
+  LoadOptions lo;
+  lo.heap_static_bytes = 256;
+  auto id = kernel.runtime().Load(*p, lo);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  uint8_t ctx[64] = {0};
+  int successes = 0;
+  int failures = 0;
+  for (int i = 0; i < 2000; i++) {
+    InvokeResult r = kernel.runtime().Invoke(*id, 0, ctx, sizeof(ctx));
+    ASSERT_FALSE(r.cancelled) << "exhaustion must not fault";
+    if (r.verdict == 1) {
+      successes++;
+    } else {
+      failures++;
+    }
+  }
+  EXPECT_GT(successes, 100) << "the heap fits hundreds of objects";
+  EXPECT_GT(failures, 100) << "exhaustion must eventually return NULL";
+}
+
+TEST(Stress, WatchdogHandlesMultipleExtensions) {
+  RuntimeOptions opts;
+  opts.num_cpus = 2;
+  opts.quantum_ns = 20'000'000;
+  MockKernel kernel{opts};
+
+  Assembler good;
+  good.MovImm(R0, 1);
+  good.Exit();
+  auto good_id = kernel.runtime().Load(
+      good.Finish("g", Hook::kTracepoint, ExtensionMode::kKflex, 1 << 20).value(),
+      LoadOptions{});
+  ASSERT_TRUE(good_id.ok());
+
+  Assembler bad;
+  bad.MovImm(R0, 0);
+  auto head = bad.NewLabel();
+  bad.Bind(head);
+  bad.AddImm(R0, 1);
+  bad.Jmp(head);
+  auto bad_id = kernel.runtime().Load(
+      bad.Finish("b", Hook::kXdp, ExtensionMode::kKflex, 1 << 20).value(), LoadOptions{});
+  ASSERT_TRUE(bad_id.ok());
+  ASSERT_TRUE(kernel.Attach(*bad_id).ok());
+
+  kernel.runtime().StartWatchdog();
+  // Run the healthy extension from another thread while the runaway one
+  // occupies this one until the watchdog fires.
+  std::thread healthy([&kernel, good_id] {
+    uint8_t ctx[64] = {0};
+    for (int i = 0; i < 200; i++) {
+      InvokeResult r = kernel.runtime().Invoke(*good_id, 1, ctx, sizeof(ctx));
+      EXPECT_FALSE(r.cancelled);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  KvPacket pkt;
+  InvokeResult r = kernel.Deliver(Hook::kXdp, 0, pkt.data(), pkt.size());
+  healthy.join();
+  kernel.runtime().StopWatchdog();
+
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_TRUE(kernel.runtime().IsUnloaded(*bad_id));
+  EXPECT_FALSE(kernel.runtime().IsUnloaded(*good_id))
+      << "cancellation scope is per extension, not per runtime";
+}
+
+TEST(Stress, RepeatedCancelResetCycles) {
+  MockKernel kernel;
+  Assembler a;
+  a.MovImm(R0, 0);
+  auto head = a.NewLabel();
+  a.Bind(head);
+  a.AddImm(R0, 1);
+  a.Jmp(head);
+  auto id = kernel.runtime().Load(
+      a.Finish("l", Hook::kXdp, ExtensionMode::kKflex, 1 << 20).value(), LoadOptions{});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(kernel.Attach(*id).ok());
+  KvPacket pkt;
+  for (int cycle = 0; cycle < 50; cycle++) {
+    kernel.runtime().Cancel(*id);
+    InvokeResult r = kernel.Deliver(Hook::kXdp, 0, pkt.data(), pkt.size());
+    ASSERT_TRUE(r.cancelled);
+    ASSERT_TRUE(kernel.runtime().IsUnloaded(*id));
+    kernel.runtime().Reset(*id);
+    ASSERT_FALSE(kernel.runtime().IsUnloaded(*id));
+  }
+  auto stats = kernel.runtime().GetStats(*id);
+  EXPECT_EQ(stats.cancellations, 50u);
+  EXPECT_TRUE(kernel.Quiescent());
+}
+
+}  // namespace
+}  // namespace kflex

@@ -1,0 +1,225 @@
+// Textual assembly parser: statement coverage, directives, labels, error
+// reporting, and end-to-end execution of parsed programs.
+#include "src/ebpf/text_asm.h"
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/packet.h"
+#include "src/verifier/verifier.h"
+
+namespace kflex {
+namespace {
+
+int64_t ParseAndRun(const std::string& source, uint8_t* ctx, uint32_t ctx_size) {
+  auto p = ParseTextProgram(source);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  MockKernel kernel;
+  auto id = kernel.runtime().Load(*p, LoadOptions{});
+  EXPECT_TRUE(id.ok()) << id.status().ToString();
+  InvokeResult r = kernel.runtime().Invoke(*id, 0, ctx, ctx_size);
+  EXPECT_FALSE(r.cancelled);
+  return r.verdict;
+}
+
+TEST(TextAsm, MinimalProgram) {
+  auto p = ParseTextProgram("r0 = 7\nexit\n");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->size(), 2u);
+  uint8_t ctx[64] = {0};
+  EXPECT_EQ(ParseAndRun("r0 = 7\nexit", ctx, sizeof(ctx)), 7);
+}
+
+TEST(TextAsm, DirectivesSetMetadata) {
+  auto p = ParseTextProgram(
+      ".name myprog\n.hook lsm\n.mode ebpf\nr0 = 0\nexit\n");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->name, "myprog");
+  EXPECT_EQ(p->hook, Hook::kLsm);
+  EXPECT_EQ(p->mode, ExtensionMode::kEbpf);
+  EXPECT_EQ(p->heap_size, 0u);
+}
+
+TEST(TextAsm, ArithmeticAndShifts) {
+  uint8_t ctx[64] = {0};
+  // ((5 + 10) * 4 - 3) ^ 1 = 56, then << 1 = 112, >> 2 = 28, % 5 = 3
+  std::string src = R"(
+    r2 = 5
+    r2 += 10
+    r2 *= 4
+    r2 -= 3
+    r2 ^= 1
+    r2 <<= 1
+    r2 >>= 2
+    r2 %= 5
+    r0 = r2
+    exit
+  )";
+  EXPECT_EQ(ParseAndRun(src, ctx, sizeof(ctx)), ((((5 + 10) * 4 - 3) ^ 1) << 1 >> 2) % 5);
+}
+
+TEST(TextAsm, SignedShiftAndNegation) {
+  uint8_t ctx[64] = {0};
+  std::string src = R"(
+    r2 = 16
+    r2 = -r2
+    r2 s>>= 2
+    r0 = r2
+    exit
+  )";
+  EXPECT_EQ(ParseAndRun(src, ctx, sizeof(ctx)), -4);
+}
+
+TEST(TextAsm, MemoryAndHeap) {
+  uint8_t ctx[64] = {0};
+  ctx[0] = 42;
+  std::string src = R"(
+    .heap 1048576
+    r2 = *(u8*)(r1 + 0)
+    r3 = heap 128
+    *(u64*)(r3 + 0) = r2
+    *(u16*)(r3 + 8) = 999
+    r4 = *(u64*)(r3 + 0)
+    r5 = *(u16*)(r3 + 8)
+    r0 = r4
+    r0 += r5
+    exit
+  )";
+  EXPECT_EQ(ParseAndRun(src, ctx, sizeof(ctx)), 42 + 999);
+}
+
+TEST(TextAsm, Imm64AndHex) {
+  uint8_t ctx[64] = {0};
+  std::string src = R"(
+    r2 = imm64 0x1122334455667788
+    r2 >>= 32
+    r0 = r2
+    exit
+  )";
+  EXPECT_EQ(ParseAndRun(src, ctx, sizeof(ctx)), 0x11223344);
+}
+
+TEST(TextAsm, AtomicAdd) {
+  uint8_t ctx[64] = {0};
+  std::string src = R"(
+    .heap 1048576
+    r2 = heap 64
+    r3 = 5
+    lock *(u64*)(r2 + 0) += r3
+    lock *(u64*)(r2 + 0) += r3
+    r0 = *(u64*)(r2 + 0)
+    exit
+  )";
+  EXPECT_EQ(ParseAndRun(src, ctx, sizeof(ctx)), 10);
+}
+
+TEST(TextAsm, ConditionalsAndLoops) {
+  uint8_t ctx[64] = {0};
+  // Sum 1..10 with a bounded loop.
+  std::string src = R"(
+    r2 = 10
+    r0 = 0
+    loop:
+    if r2 == 0 goto done
+    r0 += r2
+    r2 -= 1
+    goto loop
+    done:
+    exit
+  )";
+  EXPECT_EQ(ParseAndRun(src, ctx, sizeof(ctx)), 55);
+}
+
+TEST(TextAsm, SignedComparisons) {
+  uint8_t ctx[64] = {0};
+  std::string src = R"(
+    r2 = -5
+    if r2 s< 0 goto neg
+    r0 = 1
+    exit
+    neg:
+    r0 = 2
+    exit
+  )";
+  EXPECT_EQ(ParseAndRun(src, ctx, sizeof(ctx)), 2);
+}
+
+TEST(TextAsm, CallByName) {
+  auto p = ParseTextProgram(R"(
+    .heap 1048576
+    r1 = 64
+    call kflex_malloc
+    if r0 == 0 goto fail
+    *(u64*)(r0 + 0) = 1
+    r1 = r0
+    call kflex_free
+    fail:
+    r0 = 0
+    exit
+  )");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_TRUE(Verify(*p, VerifyOptions{}).ok());
+}
+
+TEST(TextAsm, ForwardAndBackwardLabels) {
+  uint8_t ctx[64] = {0};
+  std::string src = R"(
+    goto skip
+    dead:
+    r0 = 99
+    exit
+    skip:
+    r0 = 1
+    exit
+  )";
+  EXPECT_EQ(ParseAndRun(src, ctx, sizeof(ctx)), 1);
+}
+
+TEST(TextAsm, CommentsAndBlankLines) {
+  auto p = ParseTextProgram(R"(
+    ; full-line comment
+
+    r0 = 3   ; trailing comment
+    exit     ; done
+  )");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->size(), 2u);
+}
+
+// ---- Errors ----
+
+TEST(TextAsmErrors, UnknownStatementReportsLine) {
+  auto p = ParseTextProgram("r0 = 0\nfrobnicate the bits\nexit\n");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(TextAsmErrors, UnboundLabel) {
+  auto p = ParseTextProgram("goto nowhere\nexit\n");
+  EXPECT_FALSE(p.ok());
+}
+
+TEST(TextAsmErrors, DuplicateLabel) {
+  auto p = ParseTextProgram("x:\nr0 = 0\nx:\nexit\n");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("bound twice"), std::string::npos);
+}
+
+TEST(TextAsmErrors, UnknownHelper) {
+  auto p = ParseTextProgram("call not_a_helper\nexit\n");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("unknown helper"), std::string::npos);
+}
+
+TEST(TextAsmErrors, BadHookDirective) {
+  auto p = ParseTextProgram(".hook warp_drive\nr0 = 0\nexit\n");
+  EXPECT_FALSE(p.ok());
+}
+
+TEST(TextAsmErrors, BadMemorySize) {
+  auto p = ParseTextProgram("r2 = *(u128*)(r1 + 0)\nexit\n");
+  EXPECT_FALSE(p.ok());
+}
+
+}  // namespace
+}  // namespace kflex

@@ -1,0 +1,161 @@
+// Property tests for the tnum abstract domain: every abstract operation must
+// contain the concrete result of every pair of concretizations (soundness),
+// plus precision spot checks.
+#include "src/verifier/tnum.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/base/rng.h"
+
+namespace kflex {
+namespace {
+
+TEST(Tnum, ConstBasics) {
+  Tnum c = Tnum::Const(42);
+  EXPECT_TRUE(c.IsConst());
+  EXPECT_EQ(c.UMin(), 42u);
+  EXPECT_EQ(c.UMax(), 42u);
+  EXPECT_TRUE(c.ContainsValue(42));
+  EXPECT_FALSE(c.ContainsValue(43));
+}
+
+TEST(Tnum, UnknownContainsEverything) {
+  Tnum u = Tnum::Unknown();
+  EXPECT_TRUE(u.ContainsValue(0));
+  EXPECT_TRUE(u.ContainsValue(~0ULL));
+  EXPECT_TRUE(u.Contains(Tnum::Const(12345)));
+}
+
+TEST(Tnum, RangeContainsEndpoints) {
+  Tnum r = Tnum::Range(16, 255);
+  EXPECT_TRUE(r.ContainsValue(16));
+  EXPECT_TRUE(r.ContainsValue(255));
+  EXPECT_TRUE(r.ContainsValue(100));
+}
+
+TEST(Tnum, RangeOfSingleValue) {
+  Tnum r = Tnum::Range(7, 7);
+  EXPECT_TRUE(r.ContainsValue(7));
+}
+
+TEST(Tnum, AddConst) {
+  Tnum s = TnumAdd(Tnum::Const(10), Tnum::Const(32));
+  EXPECT_TRUE(s.IsConst());
+  EXPECT_EQ(s.value, 42u);
+}
+
+TEST(Tnum, AndWithMaskBoundsResult) {
+  // x & 0xFF has all high bits known zero.
+  Tnum r = TnumAnd(Tnum::Unknown(), Tnum::Const(0xFF));
+  EXPECT_EQ(r.UMax(), 0xFFu);
+  EXPECT_EQ(r.UMin(), 0u);
+}
+
+TEST(Tnum, LshiftKeepsLowZeros) {
+  Tnum r = TnumLshift(Tnum::Unknown(), 4);
+  EXPECT_FALSE(r.ContainsValue(1));
+  EXPECT_TRUE(r.ContainsValue(16));
+}
+
+TEST(Tnum, CastTruncates) {
+  Tnum r = TnumCast(Tnum::Const(0x1234567890ULL), 4);
+  EXPECT_EQ(r.value, 0x34567890u);
+  Tnum full = TnumCast(Tnum::Const(0x1234567890ULL), 8);
+  EXPECT_EQ(full.value, 0x1234567890ULL);
+}
+
+TEST(Tnum, UnionContainsBoth) {
+  Tnum u = TnumUnion(Tnum::Const(8), Tnum::Const(24));
+  EXPECT_TRUE(u.ContainsValue(8));
+  EXPECT_TRUE(u.ContainsValue(24));
+}
+
+TEST(Tnum, IntersectOfOverlapping) {
+  Tnum a{0x10, 0x0F};  // 0x10..0x1F
+  Tnum i = TnumIntersect(a, Tnum::Const(0x15));
+  EXPECT_TRUE(i.ContainsValue(0x15));
+  EXPECT_TRUE(i.IsConst());
+}
+
+// ---- Soundness sweep: abstract op contains concrete op ----
+
+struct TnumOpCase {
+  const char* name;
+  Tnum (*abstract)(Tnum, Tnum);
+  uint64_t (*concrete)(uint64_t, uint64_t);
+};
+
+class TnumSoundness : public ::testing::TestWithParam<TnumOpCase> {};
+
+// Draws a random tnum and a concrete member value.
+void RandomTnumAndValue(Rng& rng, Tnum& t, uint64_t& v) {
+  uint64_t mask = rng.Next() & rng.Next();  // biased toward fewer unknown bits
+  uint64_t value = rng.Next() & ~mask;
+  t = Tnum{value, mask};
+  v = value | (rng.Next() & mask);
+}
+
+TEST_P(TnumSoundness, AbstractContainsConcrete) {
+  const TnumOpCase& c = GetParam();
+  Rng rng(0xC0FFEE ^ reinterpret_cast<uintptr_t>(c.name));
+  for (int iter = 0; iter < 20000; iter++) {
+    Tnum ta, tb;
+    uint64_t va, vb;
+    RandomTnumAndValue(rng, ta, va);
+    RandomTnumAndValue(rng, tb, vb);
+    Tnum result = c.abstract(ta, tb);
+    uint64_t concrete = c.concrete(va, vb);
+    ASSERT_TRUE(result.ContainsValue(concrete))
+        << c.name << " a=" << ta.ToString() << " b=" << tb.ToString() << " va=" << va
+        << " vb=" << vb << " result=" << result.ToString() << " concrete=" << concrete;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, TnumSoundness,
+    ::testing::Values(
+        TnumOpCase{"add", TnumAdd, [](uint64_t a, uint64_t b) { return a + b; }},
+        TnumOpCase{"sub", TnumSub, [](uint64_t a, uint64_t b) { return a - b; }},
+        TnumOpCase{"and", TnumAnd, [](uint64_t a, uint64_t b) { return a & b; }},
+        TnumOpCase{"or", TnumOr, [](uint64_t a, uint64_t b) { return a | b; }},
+        TnumOpCase{"xor", TnumXor, [](uint64_t a, uint64_t b) { return a ^ b; }},
+        TnumOpCase{"mul", TnumMul, [](uint64_t a, uint64_t b) { return a * b; }},
+        TnumOpCase{"union", TnumUnion, [](uint64_t a, uint64_t b) { return a; }}),
+    [](const ::testing::TestParamInfo<TnumOpCase>& param_info) { return param_info.param.name; });
+
+class TnumShiftSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(TnumShiftSoundness, Shifts) {
+  int shift = GetParam();
+  Rng rng(0xBEEF + static_cast<uint64_t>(shift));
+  for (int iter = 0; iter < 5000; iter++) {
+    Tnum t;
+    uint64_t v;
+    RandomTnumAndValue(rng, t, v);
+    EXPECT_TRUE(TnumLshift(t, static_cast<uint8_t>(shift)).ContainsValue(v << shift));
+    EXPECT_TRUE(TnumRshift(t, static_cast<uint8_t>(shift)).ContainsValue(v >> shift));
+    EXPECT_TRUE(TnumArshift(t, static_cast<uint8_t>(shift))
+                    .ContainsValue(static_cast<uint64_t>(static_cast<int64_t>(v) >> shift)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShiftAmounts, TnumShiftSoundness,
+                         ::testing::Values(0, 1, 3, 7, 13, 31, 33, 63));
+
+TEST(TnumRange, SoundOverRandomRanges) {
+  Rng rng(777);
+  for (int iter = 0; iter < 20000; iter++) {
+    uint64_t a = rng.Next();
+    uint64_t b = rng.Next();
+    uint64_t lo = std::min(a, b);
+    uint64_t hi = std::max(a, b);
+    Tnum r = Tnum::Range(lo, hi);
+    uint64_t v = lo + rng.Next() % (hi - lo + 1);
+    ASSERT_TRUE(r.ContainsValue(v)) << "range [" << lo << "," << hi << "] v=" << v;
+  }
+}
+
+}  // namespace
+}  // namespace kflex

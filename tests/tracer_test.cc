@@ -1,0 +1,133 @@
+// Observability / security extensions: LSM syscall filtering with live
+// user-space policy updates, and the in-kernel latency histogram.
+#include "src/apps/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/verifier/verifier.h"
+
+namespace kflex {
+namespace {
+
+TEST(SyscallFilterTest, DenyListEnforced) {
+  MockKernel kernel;
+  auto filter = SyscallFilter::Create(kernel);
+  ASSERT_TRUE(filter.ok()) << filter.status().ToString();
+
+  EXPECT_EQ(filter->Check(0, 59), 0);  // execve allowed by default
+  filter->Deny(59);
+  EXPECT_EQ(filter->Check(0, 59), -1);
+  EXPECT_EQ(filter->Check(0, 60), 0);  // neighbours unaffected
+  EXPECT_EQ(filter->denied_hits(), 1u);
+
+  // Live policy update from user space: no reload involved.
+  filter->Allow(59);
+  EXPECT_EQ(filter->Check(0, 59), 0);
+  EXPECT_EQ(filter->denied_hits(), 1u);
+}
+
+TEST(SyscallFilterTest, OutOfRangeSyscallsAllowed) {
+  MockKernel kernel;
+  auto filter = SyscallFilter::Create(kernel);
+  ASSERT_TRUE(filter.ok());
+  EXPECT_EQ(filter->Check(0, SyscallFilterLayout::kMaxSyscalls), 0);
+  EXPECT_EQ(filter->Check(0, ~0ULL), 0);
+}
+
+TEST(SyscallFilterTest, RandomizedPolicySweep) {
+  MockKernel kernel;
+  auto filter = SyscallFilter::Create(kernel);
+  ASSERT_TRUE(filter.ok());
+  Rng rng(42);
+  std::set<uint64_t> denied;
+  for (int i = 0; i < 300; i++) {
+    uint64_t nr = rng.NextBounded(SyscallFilterLayout::kMaxSyscalls);
+    if (rng.NextBounded(2) == 0) {
+      filter->Deny(nr);
+      denied.insert(nr);
+    } else {
+      filter->Allow(nr);
+      denied.erase(nr);
+    }
+  }
+  for (int i = 0; i < 500; i++) {
+    uint64_t nr = rng.NextBounded(SyscallFilterLayout::kMaxSyscalls);
+    EXPECT_EQ(filter->Check(0, nr), denied.count(nr) ? -1 : 0) << "nr " << nr;
+  }
+}
+
+TEST(SyscallFilterTest, BitmapAccessesAreGuardFree) {
+  Program p = BuildSyscallFilterExtension();
+  auto analysis = Verify(p, VerifyOptions{});
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  // Every heap access is bounded by the syscall-number check: full elision.
+  EXPECT_EQ(analysis->required_guards, 0u);
+  EXPECT_EQ(analysis->formation_guards, 0u);
+  EXPECT_GE(analysis->elided_guards, 2u);
+}
+
+TEST(SyscallFilterTest, CancelledFilterDeniesByDefault) {
+  MockKernel kernel;
+  auto filter = SyscallFilter::Create(kernel);
+  ASSERT_TRUE(filter.ok());
+  kernel.runtime().Cancel(filter->id());
+  // No loops in this extension, so the armed terminate never fires for it;
+  // force-unload semantics are covered elsewhere. Here we check the verdict
+  // policy helper directly.
+  EXPECT_EQ(HookDefaultVerdict(Hook::kLsm), -1);
+}
+
+TEST(LatencyTracerTest, HistogramMatchesNativeLog2) {
+  MockKernel kernel;
+  auto tracer = LatencyTracer::Create(kernel);
+  ASSERT_TRUE(tracer.ok()) << tracer.status().ToString();
+
+  Rng rng(7);
+  std::array<uint64_t, 64> expect{};
+  uint64_t total = 0;
+  uint64_t sum = 0;
+  for (int i = 0; i < 2000; i++) {
+    uint64_t lat = 1 + (rng.Next() >> (rng.NextBounded(50)));
+    tracer->Record(0, lat);
+    int bucket = 0;
+    uint64_t v = lat;
+    while (v > 1 && bucket < 63) {
+      v >>= 1;
+      bucket++;
+    }
+    expect[static_cast<size_t>(bucket)]++;
+    total++;
+    sum += lat;
+  }
+  EXPECT_EQ(tracer->TotalCount(), total);
+  EXPECT_EQ(tracer->TotalSum(), sum);
+  for (int b = 0; b < 64; b++) {
+    EXPECT_EQ(tracer->BucketCount(b), expect[static_cast<size_t>(b)]) << "bucket " << b;
+  }
+}
+
+TEST(LatencyTracerTest, FullyStaticallyVerified) {
+  Program p = BuildLatencyTracerExtension();
+  auto analysis = Verify(p, VerifyOptions{});
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  EXPECT_EQ(analysis->required_guards, 0u);
+  EXPECT_EQ(analysis->formation_guards, 0u);
+  EXPECT_TRUE(analysis->cancellation_back_edges.empty())
+      << "the log2 loop is bounded and needs no cancellation point";
+}
+
+TEST(LatencyTracerTest, CoexistsWithSyscallFilter) {
+  MockKernel kernel;
+  auto filter = SyscallFilter::Create(kernel);
+  ASSERT_TRUE(filter.ok());
+  auto tracer = LatencyTracer::Create(kernel);
+  ASSERT_TRUE(tracer.ok());
+  filter->Deny(1);
+  tracer->Record(0, 4096);
+  EXPECT_EQ(filter->Check(0, 1), -1);
+  EXPECT_EQ(tracer->BucketCount(12), 1u);
+}
+
+}  // namespace
+}  // namespace kflex

@@ -1,0 +1,66 @@
+// User-space heap interface (§3.4): mapped views, fault behaviour, pointer
+// normalization helpers.
+#include "src/uapi/user_heap.h"
+
+#include <gtest/gtest.h>
+
+namespace kflex {
+namespace {
+
+TEST(UserHeapView, LoadStoreRoundTrip) {
+  HeapSpec spec;
+  spec.size = 1 << 20;
+  spec.static_bytes = 256;
+  auto heap = ExtensionHeap::Create(spec);
+  ASSERT_TRUE(heap.ok());
+  UserHeapView view(heap.value().get());
+
+  uint64_t addr = view.AddrOf(128);
+  ASSERT_TRUE(view.Store<uint64_t>(addr, 0xFEEDFACE));
+  uint64_t got = 0;
+  ASSERT_TRUE(view.Load(addr, got));
+  EXPECT_EQ(got, 0xFEEDFACEu);
+
+  // The kernel view observes the same bytes.
+  uint64_t kernel_word;
+  std::memcpy(&kernel_word, heap.value()->HostAt(128), 8);
+  EXPECT_EQ(kernel_word, 0xFEEDFACEu);
+}
+
+TEST(UserHeapView, UnpopulatedPageFaults) {
+  HeapSpec spec;
+  spec.size = 1 << 20;
+  auto heap = ExtensionHeap::Create(spec);
+  ASSERT_TRUE(heap.ok());
+  UserHeapView view(heap.value().get());
+  uint64_t out;
+  EXPECT_FALSE(view.Load(view.AddrOf(512 * 1024), out));
+  heap.value()->PopulatePages(512 * 1024, 8);
+  EXPECT_TRUE(view.Load(view.AddrOf(512 * 1024), out));
+}
+
+TEST(UserHeapView, OutOfRangeFaults) {
+  HeapSpec spec;
+  spec.size = 1 << 20;
+  auto heap = ExtensionHeap::Create(spec);
+  ASSERT_TRUE(heap.ok());
+  UserHeapView view(heap.value().get());
+  uint64_t out;
+  EXPECT_FALSE(view.Load(view.base() - 8, out));
+  EXPECT_FALSE(view.Load(view.base() + view.size(), out));
+  EXPECT_FALSE(view.Load<uint64_t>(0, out));
+}
+
+TEST(UserHeapView, OffsetOfNormalizesBothAddressSpaces) {
+  HeapSpec spec;
+  spec.size = 1 << 20;
+  auto heap = ExtensionHeap::Create(spec);
+  ASSERT_TRUE(heap.ok());
+  UserHeapView view(heap.value().get());
+  const HeapLayout& layout = heap.value()->layout();
+  EXPECT_EQ(view.OffsetOf(layout.user_base + 4242), 4242u);
+  EXPECT_EQ(view.OffsetOf(layout.kernel_base + 4242), 4242u);
+}
+
+}  // namespace
+}  // namespace kflex

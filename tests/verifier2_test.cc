@@ -1,0 +1,588 @@
+// Second verifier suite: branch refinement precision, 32-bit semantics,
+// widening/termination behaviour, translate-on-store typing, region
+// consistency, and rejection corner cases.
+#include <gtest/gtest.h>
+
+#include "src/ebpf/assembler.h"
+#include "src/ebpf/helper_ids.h"
+#include "src/verifier/verifier.h"
+
+namespace kflex {
+namespace {
+
+constexpr uint64_t kHeap = 1 << 20;
+
+Program Build(Assembler& a, ExtensionMode mode = ExtensionMode::kKflex,
+              uint64_t heap = kHeap) {
+  auto p = a.Finish("t2", Hook::kXdp, mode, heap);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return std::move(p).value();
+}
+
+// ---- Branch refinement drives elision ----
+
+TEST(VerifierRefine, JltBoundsIndexForElision) {
+  Assembler a;
+  a.Ldx(BPF_DW, R3, R1, 0);
+  auto done = a.NewLabel();
+  auto ok = a.NewLabel();
+  a.JmpImm(BPF_JLT, R3, 1024, ok);  // only proceed when R3 < 1024
+  a.MovImm(R0, 0);
+  a.Exit();
+  a.Bind(ok);
+  a.LshImm(R3, 3);
+  a.LoadHeapAddr(R2, 4096);
+  a.Add(R2, R3);
+  a.Ldx(BPF_DW, R0, R2, 0);  // provably within heap: elided
+  a.Jmp(done);
+  a.Bind(done);
+  a.Exit();
+  auto r = Verify(Build(a), {});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->elided_guards, 1u);
+  EXPECT_EQ(r->required_guards, 0u);
+}
+
+TEST(VerifierRefine, JgtOnWrongSideDoesNotElide) {
+  Assembler a;
+  a.Ldx(BPF_DW, R3, R1, 0);
+  auto ok = a.NewLabel();
+  a.JmpImm(BPF_JGT, R3, 1024, ok);  // proceed when R3 > 1024 (unbounded above)
+  a.MovImm(R0, 0);
+  a.Exit();
+  a.Bind(ok);
+  a.LoadHeapAddr(R2, 64);
+  a.Add(R2, R3);
+  a.Ldx(BPF_DW, R0, R2, 0);
+  a.Exit();
+  auto r = Verify(Build(a), {});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->required_guards, 1u);
+}
+
+TEST(VerifierRefine, JeqPinsConstant) {
+  Assembler a;
+  a.Ldx(BPF_DW, R3, R1, 0);
+  auto is_five = a.NewLabel();
+  a.JmpImm(BPF_JEQ, R3, 5, is_five);
+  a.MovImm(R0, 0);
+  a.Exit();
+  a.Bind(is_five);
+  a.LshImm(R3, 3);               // 40, known exactly
+  a.LoadHeapAddr(R2, 64);
+  a.Add(R2, R3);
+  a.Ldx(BPF_DW, R0, R2, 0);      // heap[104]: elided
+  a.Exit();
+  auto r = Verify(Build(a), {});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->elided_guards, 1u);
+}
+
+TEST(VerifierRefine, RegRegComparisonRefinesBoth) {
+  Assembler a;
+  a.Ldx(BPF_DW, R3, R1, 0);   // unknown
+  a.MovImm(R4, 512);
+  auto ok = a.NewLabel();
+  a.JmpReg(BPF_JLT, R3, R4, ok);  // R3 < 512 on the taken path
+  a.MovImm(R0, 0);
+  a.Exit();
+  a.Bind(ok);
+  a.LshImm(R3, 3);
+  a.LoadHeapAddr(R2, 64);
+  a.Add(R2, R3);
+  a.StImm(BPF_DW, R2, 0, 1);  // <= 64 + 511*8 + 8: elided
+  a.MovImm(R0, 0);
+  a.Exit();
+  auto r = Verify(Build(a), {});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->elided_guards, 1u);
+}
+
+TEST(VerifierRefine, SignedComparisonRefinesSignedBounds) {
+  Assembler a;
+  a.Ldx(BPF_DW, R3, R1, 0);
+  auto ok = a.NewLabel();
+  auto fail = a.NewLabel();
+  a.JmpImm(BPF_JSLT, R3, 0, fail);   // discard negative
+  a.JmpImm(BPF_JSGT, R3, 100, fail);  // discard > 100
+  a.Jmp(ok);
+  a.Bind(fail);
+  a.MovImm(R0, 0);
+  a.Exit();
+  a.Bind(ok);
+  a.LshImm(R3, 3);
+  a.LoadHeapAddr(R2, 64);
+  a.Add(R2, R3);
+  a.Ldx(BPF_DW, R0, R2, 0);  // [64, 864]: elided
+  a.Exit();
+  auto r = Verify(Build(a), {});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->elided_guards, 1u);
+}
+
+TEST(VerifierRefine, DeadBranchIsPruned) {
+  Assembler a;
+  a.MovImm(R2, 5);
+  auto never = a.NewLabel();
+  a.JmpImm(BPF_JEQ, R2, 6, never);  // statically false
+  a.MovImm(R0, 0);
+  a.Exit();
+  a.Bind(never);
+  // This path would be invalid (uninitialized R7) but is unreachable.
+  a.Mov(R0, R7);
+  a.Exit();
+  auto r = Verify(Build(a), {});
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+}
+
+// ---- Scalar op typing ----
+
+TEST(VerifierAlu, ModBoundsResult) {
+  Assembler a;
+  a.Ldx(BPF_DW, R3, R1, 0);
+  a.ModImm(R3, 100);  // [0, 99]
+  a.LshImm(R3, 3);
+  a.LoadHeapAddr(R2, 64);
+  a.Add(R2, R3);
+  a.Ldx(BPF_DW, R0, R2, 0);
+  a.Exit();
+  auto r = Verify(Build(a), {});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->elided_guards, 1u);
+}
+
+TEST(VerifierAlu, ByteLoadBoundsIndex) {
+  Assembler a;
+  a.Ldx(BPF_B, R3, R1, 0);  // [0, 255]
+  a.LshImm(R3, 3);
+  a.LoadHeapAddr(R2, 64);
+  a.Add(R2, R3);
+  a.StImm(BPF_DW, R2, 0, 1);  // <= 64 + 2040 + 8: elided
+  a.MovImm(R0, 0);
+  a.Exit();
+  auto r = Verify(Build(a), {});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->elided_guards, 1u);
+}
+
+TEST(VerifierAlu, MulOfBoundedValuesStaysBounded) {
+  Assembler a;
+  a.Ldx(BPF_B, R3, R1, 0);  // [0, 255]
+  a.MulImm(R3, 16);         // [0, 4080]
+  a.LoadHeapAddr(R2, 64);
+  a.Add(R2, R3);
+  a.Ldx(BPF_DW, R0, R2, 0);
+  a.Exit();
+  auto r = Verify(Build(a), {});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->elided_guards, 1u);
+}
+
+TEST(VerifierAlu, SubtractionUnderflowTrackedViaSignedBounds) {
+  // u8 - 10 wraps unsigned but stays in [-10, 245] signed: the resulting
+  // heap offset is provably within [base - 10, base + 245], which the guard
+  // zones absorb, so the access is still elidable (and still safe).
+  Assembler a;
+  a.Ldx(BPF_B, R3, R1, 0);
+  a.SubImm(R3, 10);
+  a.LoadHeapAddr(R2, 4096);
+  a.Add(R2, R3);
+  a.Ldx(BPF_DW, R0, R2, 0);
+  a.Exit();
+  auto r = Verify(Build(a), {});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->elided_guards, 1u);
+}
+
+TEST(VerifierAlu, UnknownDeltaNeedsGuard) {
+  Assembler a;
+  a.Ldx(BPF_B, R3, R1, 0);
+  a.LshImm(R3, 40);  // enormous possible offset
+  a.LoadHeapAddr(R2, 4096);
+  a.Add(R2, R3);
+  a.Ldx(BPF_DW, R0, R2, 0);
+  a.Exit();
+  auto r = Verify(Build(a), {});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->required_guards, 1u);
+}
+
+TEST(VerifierAlu, PtrMinusPtrIsScalar) {
+  Assembler a;
+  a.LoadHeapAddr(R2, 128);
+  a.LoadHeapAddr(R3, 64);
+  a.Sub(R2, R3);  // heap-ptr difference: a scalar
+  a.Mov(R0, R2);
+  a.Exit();
+  EXPECT_TRUE(Verify(Build(a), {}).ok());
+}
+
+TEST(VerifierAlu, ThirtyTwoBitTruncationLosesPointer) {
+  Assembler a;
+  a.LoadHeapAddr(R2, 64);
+  a.Mov32(R3, R2);           // truncated: scalar now
+  a.Ldx(BPF_DW, R0, R3, 0);  // formation guard, not elided
+  a.Exit();
+  auto r = Verify(Build(a), {});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->formation_guards, 1u);
+}
+
+// ---- Loops & widening ----
+
+TEST(VerifierLoops, NestedBoundedLoops) {
+  Assembler a;
+  a.MovImm(R0, 0);
+  a.MovImm(R2, 4);
+  auto outer = a.LoopBegin();
+  a.LoopBreakIfImm(outer, BPF_JEQ, R2, 0);
+  a.MovImm(R3, 4);
+  {
+    auto inner = a.LoopBegin();
+    a.LoopBreakIfImm(inner, BPF_JEQ, R3, 0);
+    a.AddImm(R0, 1);
+    a.SubImm(R3, 1);
+    a.LoopEnd(inner);
+  }
+  a.SubImm(R2, 1);
+  a.LoopEnd(outer);
+  a.Exit();
+  auto r = Verify(Build(a), {});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->cancellation_back_edges.empty());
+}
+
+TEST(VerifierLoops, UnboundedInnerBoundedOuter) {
+  Assembler a;
+  a.Ldx(BPF_DW, R4, R1, 0);
+  a.MovImm(R0, 0);
+  a.MovImm(R2, 3);
+  auto outer = a.LoopBegin();
+  a.LoopBreakIfImm(outer, BPF_JEQ, R2, 0);
+  a.Mov(R3, R4);
+  {
+    auto inner = a.LoopBegin();  // data-dependent: unbounded
+    a.LoopBreakIfImm(inner, BPF_JEQ, R3, 0);
+    a.SubImm(R3, 2);
+    a.LoopEnd(inner);
+  }
+  a.SubImm(R2, 1);
+  a.LoopEnd(outer);
+  a.Exit();
+  auto r = Verify(Build(a), {});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GE(r->cancellation_back_edges.size(), 1u);
+}
+
+TEST(VerifierLoops, RefsAcquiredMonotonicallyRejected) {
+  // Acquire a socket each iteration without releasing: violates the
+  // paper's loop-convergence requirement for kernel resources (§3.1).
+  Assembler a;
+  a.Mov(R8, R1);  // ctx survives helper calls
+  a.Ldx(BPF_DW, R6, R1, 0);
+  a.StImm(BPF_W, R10, -16, 1);
+  a.StImm(BPF_W, R10, -12, 2);
+  auto loop = a.LoopBegin();
+  a.LoopBreakIfImm(loop, BPF_JEQ, R6, 0);
+  a.Mov(R1, R8);
+  a.Mov(R2, R10);
+  a.AddImm(R2, -16);
+  a.MovImm(R3, 8);
+  a.MovImm(R4, 0);
+  a.MovImm(R5, 0);
+  a.Call(kHelperSkLookupUdp);
+  {
+    auto got = a.IfImm(BPF_JNE, R0, 0);
+    a.Mov(R7, R0);  // keep the newest; older ones leak
+    a.EndIf(got);
+  }
+  a.SubImm(R6, 1);
+  a.LoopEnd(loop);
+  a.MovImm(R0, 0);
+  a.Exit();
+  auto r = Verify(Build(a), {});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(VerifierLoops, RefsReleasedPerIterationAccepted) {
+  // The Listing-1 pattern: acquire and release within the iteration.
+  Assembler a;
+  a.Mov(R8, R1);  // ctx survives helper calls
+  a.Ldx(BPF_DW, R6, R1, 0);
+  a.StImm(BPF_W, R10, -16, 1);
+  a.StImm(BPF_W, R10, -12, 2);
+  auto loop = a.LoopBegin();
+  a.LoopBreakIfImm(loop, BPF_JEQ, R6, 0);
+  a.Mov(R1, R8);
+  a.Mov(R2, R10);
+  a.AddImm(R2, -16);
+  a.MovImm(R3, 8);
+  a.MovImm(R4, 0);
+  a.MovImm(R5, 0);
+  a.Call(kHelperSkLookupUdp);
+  {
+    auto got = a.IfImm(BPF_JNE, R0, 0);
+    a.Mov(R1, R0);
+    a.Call(kHelperSkRelease);
+    a.EndIf(got);
+  }
+  a.SubImm(R6, 1);
+  a.LoopEnd(loop);
+  a.MovImm(R0, 0);
+  a.Exit();
+  auto r = Verify(Build(a), {});
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+}
+
+// ---- Translate-on-store typing ----
+
+TEST(VerifierStores, HeapPointerStoreFlagged) {
+  Assembler a;
+  a.MovImm(R1, 64);
+  a.Call(kHelperKflexMalloc);
+  auto null = a.IfImm(BPF_JEQ, R0, 0);
+  a.MovImm(R0, 0);
+  a.Exit();
+  a.EndIf(null);
+  a.LoadHeapAddr(R2, 64);
+  a.Stx(BPF_DW, R2, 0, R0);  // stores a heap pointer
+  a.MovImm(R0, 0);
+  a.Exit();
+  auto r = Verify(Build(a), {});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  bool found = false;
+  for (const MemAccessInfo& info : r->mem) {
+    if (info.visited && info.stores_heap_ptr) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(VerifierStores, ScalarStoreNotFlagged) {
+  Assembler a;
+  a.LoadHeapAddr(R2, 64);
+  a.MovImm(R3, 77);
+  a.Stx(BPF_DW, R2, 0, R3);
+  a.MovImm(R0, 0);
+  a.Exit();
+  auto r = Verify(Build(a), {});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  for (const MemAccessInfo& info : r->mem) {
+    EXPECT_FALSE(info.stores_heap_ptr);
+  }
+}
+
+TEST(VerifierStores, MixedStoreSuppressesTranslation) {
+  Assembler a;
+  a.Ldx(BPF_DW, R6, R1, 0);
+  a.MovImm(R1, 64);
+  a.Call(kHelperKflexMalloc);
+  auto null = a.IfImm(BPF_JEQ, R0, 0);
+  a.MovImm(R0, 0);
+  a.Exit();
+  a.EndIf(null);
+  a.Mov(R3, R0);  // heap ptr
+  {
+    auto flag = a.IfImm(BPF_JEQ, R6, 0);
+    a.MovImm(R3, 1234);  // scalar on the other path
+    a.EndIf(flag);
+  }
+  a.LoadHeapAddr(R2, 64);
+  a.Stx(BPF_DW, R2, 0, R3);  // sometimes ptr, sometimes scalar
+  a.MovImm(R0, 0);
+  a.Exit();
+  auto r = Verify(Build(a), {});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  bool any_mixed = false;
+  for (const MemAccessInfo& info : r->mem) {
+    if (info.stores_mixed) {
+      any_mixed = true;
+      EXPECT_FALSE(info.stores_heap_ptr);
+    }
+  }
+  EXPECT_TRUE(any_mixed);
+}
+
+// ---- Misc rejections ----
+
+TEST(VerifierReject, SocketMemoryAccess) {
+  Assembler a;
+  a.StImm(BPF_W, R10, -16, 1);
+  a.StImm(BPF_W, R10, -12, 2);
+  a.Mov(R2, R10);
+  a.AddImm(R2, -16);
+  a.MovImm(R3, 8);
+  a.MovImm(R4, 0);
+  a.MovImm(R5, 0);
+  a.Call(kHelperSkLookupUdp);
+  auto got = a.IfImm(BPF_JNE, R0, 0);
+  a.Ldx(BPF_DW, R2, R0, 0);  // direct socket memory access: opaque object
+  a.Mov(R1, R0);
+  a.Call(kHelperSkRelease);
+  a.EndIf(got);
+  a.MovImm(R0, 0);
+  a.Exit();
+  EXPECT_FALSE(Verify(Build(a), {}).ok());
+}
+
+TEST(VerifierReject, VariableStackOffset) {
+  Assembler a;
+  a.Ldx(BPF_B, R2, R1, 0);
+  a.Mov(R3, R10);
+  a.Add(R3, R2);  // stack pointer + runtime value
+  a.MovImm(R0, 0);
+  a.Exit();
+  EXPECT_FALSE(Verify(Build(a), {}).ok());
+}
+
+TEST(VerifierReject, CmpxchgWithoutR0) {
+  Assembler a;
+  a.LoadHeapAddr(R2, 64);
+  a.MovImm(R3, 1);
+  a.AtomicCmpXchg(BPF_DW, R2, 0, R3);  // R0 never initialized
+  a.MovImm(R0, 0);
+  a.Exit();
+  EXPECT_FALSE(Verify(Build(a), {}).ok());
+}
+
+TEST(VerifierReject, MapHandleArithmetic) {
+  Assembler a;
+  a.LoadMapPtr(R2, 1);
+  a.AddImm(R2, 8);  // arithmetic on a map handle
+  a.MovImm(R0, 0);
+  a.Exit();
+  VerifyOptions opts;
+  opts.maps.push_back(MapDescriptor{1, 4, 8, 8});
+  EXPECT_FALSE(Verify(Build(a), {}).ok());
+}
+
+TEST(VerifierAccept, AtomicsOnHeapAndStack) {
+  Assembler a;
+  a.LoadHeapAddr(R2, 64);
+  a.MovImm(R3, 5);
+  a.AtomicAdd(BPF_DW, R2, 0, R3, /*fetch=*/true);   // R3 = old
+  a.StImm(BPF_DW, R10, -8, 0);
+  a.MovImm(R4, 1);
+  a.AtomicAdd(BPF_DW, R10, -8, R4);
+  a.MovImm(R0, 7);
+  a.AtomicCmpXchg(BPF_DW, R2, 0, R3);
+  a.Mov(R0, R3);
+  a.Exit();
+  auto r = Verify(Build(a), {});
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST(VerifierAccept, SpilledSocketStillReleasable) {
+  Assembler a;
+  a.StImm(BPF_W, R10, -16, 1);
+  a.StImm(BPF_W, R10, -12, 2);
+  a.Mov(R2, R10);
+  a.AddImm(R2, -16);
+  a.MovImm(R3, 8);
+  a.MovImm(R4, 0);
+  a.MovImm(R5, 0);
+  a.Call(kHelperSkLookupUdp);
+  auto got = a.IfImm(BPF_JNE, R0, 0);
+  a.Stx(BPF_DW, R10, -32, R0);  // spill the socket pointer
+  a.MovImm(R0, 0);
+  a.Ldx(BPF_DW, R1, R10, -32);  // restore it
+  a.Call(kHelperSkRelease);
+  a.EndIf(got);
+  a.MovImm(R0, 0);
+  a.Exit();
+  auto r = Verify(Build(a), {});
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST(VerifierAccept, ObjectTableUsesStackSlotForSpilledRef) {
+  Assembler a;
+  a.StImm(BPF_W, R10, -16, 1);
+  a.StImm(BPF_W, R10, -12, 2);
+  a.Mov(R2, R10);
+  a.AddImm(R2, -16);
+  a.MovImm(R3, 8);
+  a.MovImm(R4, 0);
+  a.MovImm(R5, 0);
+  a.Call(kHelperSkLookupUdp);
+  auto got = a.IfImm(BPF_JNE, R0, 0);
+  a.Stx(BPF_DW, R10, -32, R0);
+  a.MovImm(R0, 0);  // no register holds the ref now
+  a.MovImm(R1, 0);
+  a.MovImm(R2, 0);
+  a.MovImm(R3, 0);
+  a.MovImm(R4, 0);
+  a.MovImm(R5, 0);
+  a.LoadHeapAddr(R2, 64);
+  a.StImm(BPF_DW, R2, 0, 9);  // heap Cp while the ref lives only on the stack
+  a.Ldx(BPF_DW, R1, R10, -32);
+  a.Call(kHelperSkRelease);
+  a.EndIf(got);
+  a.MovImm(R0, 0);
+  a.Exit();
+  auto r = Verify(Build(a), {});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  bool stack_entry = false;
+  for (const auto& [pc, table] : r->object_tables) {
+    for (const ObjectTableEntry& e : table) {
+      if (e.stack_slot >= 0) {
+        stack_entry = true;
+      }
+    }
+  }
+  EXPECT_TRUE(stack_entry);
+}
+
+TEST(VerifierRefine, Jmp32RefinesWhenOperandsFit32Bits) {
+  // A u16 value shifted by 9 would span [0, 32 M) — way beyond the heap —
+  // unless the 32-bit branch refinement pins it below 64 first.
+  Assembler a;
+  a.Ldx(BPF_H, R3, R1, 0);  // [0, 65535]: fits 32 bits, refinement applies
+  auto ok = a.NewLabel();
+  a.JmpImm(BPF_JLT, R3, 64, ok, /*is64=*/false);
+  a.MovImm(R0, 0);
+  a.Exit();
+  a.Bind(ok);
+  a.LshImm(R3, 9);  // [0, 32256] with refinement
+  a.LoadHeapAddr(R2, 64);
+  a.Add(R2, R3);
+  a.Ldx(BPF_DW, R0, R2, 0);
+  a.Exit();
+  auto r = Verify(Build(a), {});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->elided_guards, 1u);
+  EXPECT_EQ(r->required_guards, 0u);
+}
+
+TEST(VerifierRefine, Jmp32ConservativeForWideValues) {
+  // A full-width value under JMP32: low-32-bit comparison says nothing
+  // about the 64-bit range, so the access must stay guarded.
+  Assembler a;
+  a.Ldx(BPF_DW, R3, R1, 0);  // unknown 64-bit
+  auto ok = a.NewLabel();
+  a.JmpImm(BPF_JLT, R3, 64, ok, /*is64=*/false);
+  a.MovImm(R0, 0);
+  a.Exit();
+  a.Bind(ok);
+  a.LoadHeapAddr(R2, 64);
+  a.Add(R2, R3);
+  a.Ldx(BPF_DW, R0, R2, 0);
+  a.Exit();
+  auto r = Verify(Build(a), {});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->required_guards, 1u);
+  EXPECT_EQ(r->elided_guards, 0u);
+}
+
+TEST(VerifierStats, ExplorationCountersPopulated) {
+  Assembler a;
+  a.MovImm(R0, 0);
+  a.Exit();
+  auto r = Verify(Build(a), {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r->explored_insns, 2u);
+  EXPECT_GE(r->explored_states, 1u);
+}
+
+}  // namespace
+}  // namespace kflex

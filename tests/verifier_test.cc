@@ -1,0 +1,514 @@
+// Verifier: acceptance/rejection suites for kernel-interface compliance,
+// eBPF-mode strictness, range analysis, loop classification, reference and
+// lock tracking, and object-table computation.
+#include "src/verifier/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ebpf/assembler.h"
+#include "src/ebpf/helper_ids.h"
+
+namespace kflex {
+namespace {
+
+constexpr uint64_t kHeap = 1 << 20;  // 1 MB test heap
+
+Program Build(Assembler& a, ExtensionMode mode, uint64_t heap = kHeap,
+              Hook hook = Hook::kXdp) {
+  auto p = a.Finish("t", hook, mode, heap);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return std::move(p).value();
+}
+
+StatusOr<Analysis> VerifyP(const Program& p, VerifyOptions opts = {}) { return Verify(p, opts); }
+
+void ExpectRejected(const Program& p, const std::string& substr, VerifyOptions opts = {}) {
+  auto r = Verify(p, opts);
+  ASSERT_FALSE(r.ok()) << "expected rejection containing '" << substr << "'";
+  EXPECT_NE(r.status().message().find(substr), std::string::npos)
+      << "actual: " << r.status().ToString();
+}
+
+// ---- Basic structure ----
+
+TEST(VerifierStructure, EmptyProgramRejected) {
+  Program p;
+  p.mode = ExtensionMode::kKflex;
+  ExpectRejected(p, "empty");
+}
+
+TEST(VerifierStructure, FallOffEndRejected) {
+  Assembler a;
+  a.MovImm(R0, 0);
+  ExpectRejected(Build(a, ExtensionMode::kKflex), "falls off");
+}
+
+TEST(VerifierStructure, ReservedRegisterRejected) {
+  Program p;
+  p.mode = ExtensionMode::kKflex;
+  p.insns.push_back(MovImmInsn(RAX, 1));
+  p.insns.push_back(ExitInsn());
+  ExpectRejected(p, "reserved");
+}
+
+TEST(VerifierStructure, WriteToR10Rejected) {
+  Program p;
+  p.mode = ExtensionMode::kKflex;
+  p.insns.push_back(MovImmInsn(R10, 1));
+  p.insns.push_back(ExitInsn());
+  ExpectRejected(p, "read-only");
+}
+
+TEST(VerifierStructure, DivByConstZeroRejected) {
+  Program p;
+  p.mode = ExtensionMode::kKflex;
+  p.insns.push_back(MovImmInsn(R0, 1));
+  p.insns.push_back(AluImmInsn(BPF_DIV, R0, 0));
+  p.insns.push_back(ExitInsn());
+  ExpectRejected(p, "division");
+}
+
+TEST(VerifierStructure, OversizedShiftRejected) {
+  Program p;
+  p.mode = ExtensionMode::kKflex;
+  p.insns.push_back(MovImmInsn(R0, 1));
+  p.insns.push_back(AluImmInsn(BPF_LSH, R0, 64));
+  p.insns.push_back(ExitInsn());
+  ExpectRejected(p, "shift");
+}
+
+TEST(VerifierStructure, JumpOutOfRangeRejected) {
+  Program p;
+  p.mode = ExtensionMode::kKflex;
+  p.insns.push_back(JmpAlwaysInsn(100));
+  p.insns.push_back(ExitInsn());
+  ExpectRejected(p, "jump out of range");
+}
+
+TEST(VerifierStructure, UnknownHelperRejected) {
+  Program p;
+  p.mode = ExtensionMode::kKflex;
+  p.insns.push_back(CallInsn(9999));
+  p.insns.push_back(ExitInsn());
+  ExpectRejected(p, "unknown helper");
+}
+
+// ---- Register / stack discipline ----
+
+TEST(VerifierState, UninitializedRegisterRejected) {
+  Assembler a;
+  a.Mov(R0, R3);  // R3 never written
+  a.Exit();
+  ExpectRejected(Build(a, ExtensionMode::kKflex), "uninitialized");
+}
+
+TEST(VerifierState, R0MustBeSetAtExit) {
+  Assembler a;
+  a.Exit();
+  ExpectRejected(Build(a, ExtensionMode::kKflex), "R0");
+}
+
+TEST(VerifierState, UninitializedStackReadRejected) {
+  Assembler a;
+  a.Ldx(BPF_DW, R0, R10, -8);
+  a.Exit();
+  ExpectRejected(Build(a, ExtensionMode::kKflex), "uninitialized stack");
+}
+
+TEST(VerifierState, StackSpillAndFillPreservesPointer) {
+  Assembler a;
+  a.LoadHeapAddr(R2, 64);
+  a.Stx(BPF_DW, R10, -8, R2);
+  a.Ldx(BPF_DW, R3, R10, -8);
+  a.Ldx(BPF_DW, R0, R3, 0);  // must still be a heap pointer -> allowed
+  a.Exit();
+  auto r = VerifyP(Build(a, ExtensionMode::kKflex));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Constant offset 64 is provably in bounds: no guard needed.
+  EXPECT_EQ(r->elided_guards, 1u);
+  EXPECT_EQ(r->required_guards, 0u);
+}
+
+TEST(VerifierState, StackOutOfBoundsRejected) {
+  Assembler a;
+  a.MovImm(R2, 7);
+  a.Stx(BPF_DW, R10, -520, R2);
+  a.Exit();
+  ExpectRejected(Build(a, ExtensionMode::kKflex), "stack access out of bounds");
+}
+
+TEST(VerifierState, CtxOutOfBoundsRejected) {
+  Assembler a;
+  a.Ldx(BPF_DW, R0, R1, 2044);  // 2044 + 8 > 2048
+  a.Exit();
+  ExpectRejected(Build(a, ExtensionMode::kKflex), "ctx access out of bounds");
+}
+
+TEST(VerifierState, CtxVariableOffsetWithinBoundsAccepted) {
+  Assembler a;
+  a.Ldx(BPF_B, R2, R1, 12);  // scalar in [0,255]
+  a.AndImm(R2, 31);          // [0,31]
+  a.Add(R2, R1);             // ctx + [0,31]
+  a.Ldx(BPF_B, R0, R2, 24);  // within 2048
+  a.Exit();
+  auto r = VerifyP(Build(a, ExtensionMode::kKflex));
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+}
+
+// ---- Heap access + range analysis / elision ----
+
+TEST(VerifierHeap, ConstantHeapAccessElided) {
+  Assembler a;
+  a.LoadHeapAddr(R2, 64);
+  a.StImm(BPF_DW, R2, 0, 42);
+  a.MovImm(R0, 0);
+  a.Exit();
+  auto r = VerifyP(Build(a, ExtensionMode::kKflex));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->heap_access_insns, 1u);
+  EXPECT_EQ(r->elided_guards, 1u);
+}
+
+TEST(VerifierHeap, MaskedIndexElided) {
+  // bucket array: base + (hash & 1023) * 8 stays in bounds -> elided.
+  Assembler a;
+  a.Ldx(BPF_DW, R3, R1, 0);  // unknown scalar from ctx
+  a.AndImm(R3, 1023);
+  a.LshImm(R3, 3);
+  a.LoadHeapAddr(R2, 4096);
+  a.Add(R2, R3);
+  a.Ldx(BPF_DW, R0, R2, 0);
+  a.Exit();
+  auto r = VerifyP(Build(a, ExtensionMode::kKflex));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->elided_guards, 1u);
+  EXPECT_EQ(r->required_guards, 0u);
+}
+
+TEST(VerifierHeap, UnboundedIndexNeedsGuard) {
+  Assembler a;
+  a.Ldx(BPF_DW, R3, R1, 0);  // unknown scalar
+  a.LoadHeapAddr(R2, 64);
+  a.Add(R2, R3);             // heap ptr + unknown
+  a.Ldx(BPF_DW, R0, R2, 0);
+  a.Exit();
+  auto r = VerifyP(Build(a, ExtensionMode::kKflex));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->required_guards, 1u);
+  EXPECT_EQ(r->elided_guards, 0u);
+}
+
+TEST(VerifierHeap, ScalarDereferenceIsFormationGuard) {
+  Assembler a;
+  a.LoadHeapAddr(R2, 64);
+  a.Ldx(BPF_DW, R3, R2, 0);  // load untrusted pointer from heap
+  a.Ldx(BPF_DW, R0, R3, 8);  // deref it: formation guard
+  a.Exit();
+  auto r = VerifyP(Build(a, ExtensionMode::kKflex));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->formation_guards, 1u);
+  EXPECT_EQ(r->elided_guards, 1u);  // the first, constant-offset load
+}
+
+TEST(VerifierHeap, MallocFieldAccessElidedViaGuardZone) {
+  Assembler a;
+  a.MovImm(R1, 128);
+  a.Call(kHelperKflexMalloc);
+  auto iff = a.IfImm(BPF_JNE, R0, 0);
+  a.StImm(BPF_DW, R0, 64, 7);  // field access within guard-zone slack
+  a.EndIf(iff);
+  a.MovImm(R0, 0);
+  a.Exit();
+  auto r = VerifyP(Build(a, ExtensionMode::kKflex));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->elided_guards, 1u);
+}
+
+TEST(VerifierHeap, NullCheckRequiredForMalloc) {
+  Assembler a;
+  a.MovImm(R1, 128);
+  a.Call(kHelperKflexMalloc);
+  a.StImm(BPF_DW, R0, 0, 7);  // no null check
+  a.MovImm(R0, 0);
+  a.Exit();
+  ExpectRejected(Build(a, ExtensionMode::kKflex), "null");
+}
+
+TEST(VerifierHeap, HeapVarBeyondHeapRejected) {
+  Assembler a;
+  a.LoadHeapAddr(R2, kHeap + 8);
+  a.Ldx(BPF_DW, R0, R2, 0);
+  a.Exit();
+  ExpectRejected(Build(a, ExtensionMode::kKflex), "beyond heap");
+}
+
+TEST(VerifierHeap, EbpfModeRejectsHeap) {
+  Assembler a;
+  a.LoadHeapAddr(R2, 64);
+  a.Ldx(BPF_DW, R0, R2, 0);
+  a.Exit();
+  ExpectRejected(Build(a, ExtensionMode::kEbpf), "KFlex mode");
+}
+
+TEST(VerifierHeap, EbpfModeRejectsScalarDeref) {
+  Assembler a;
+  a.MovImm(R2, 12345);
+  a.Ldx(BPF_DW, R0, R2, 0);
+  a.Exit();
+  ExpectRejected(Build(a, ExtensionMode::kEbpf, /*heap=*/0), "scalar");
+}
+
+// ---- Loops ----
+
+TEST(VerifierLoops, BoundedLoopAcceptedInEbpfMode) {
+  Assembler a;
+  a.MovImm(R2, 16);
+  a.MovImm(R0, 0);
+  auto loop = a.LoopBegin();
+  a.LoopBreakIfImm(loop, BPF_JEQ, R2, 0);
+  a.AddImm(R0, 1);
+  a.SubImm(R2, 1);
+  a.LoopEnd(loop);
+  a.Exit();
+  auto r = VerifyP(Build(a, ExtensionMode::kEbpf, /*heap=*/0));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->cancellation_back_edges.empty());
+}
+
+TEST(VerifierLoops, UnboundedLoopRejectedInEbpfMode) {
+  Assembler a;
+  a.Ldx(BPF_DW, R2, R1, 0);  // unknown trip count
+  a.MovImm(R0, 0);
+  auto loop = a.LoopBegin();
+  a.LoopBreakIfImm(loop, BPF_JEQ, R2, 0);
+  a.SubImm(R2, 2);  // may never hit 0
+  a.LoopEnd(loop);
+  a.Exit();
+  ExpectRejected(Build(a, ExtensionMode::kEbpf, /*heap=*/0), "termination");
+}
+
+TEST(VerifierLoops, UnboundedLoopAcceptedWithCancellationInKflexMode) {
+  Assembler a;
+  a.Ldx(BPF_DW, R2, R1, 0);
+  a.MovImm(R0, 0);
+  auto loop = a.LoopBegin();
+  a.LoopBreakIfImm(loop, BPF_JEQ, R2, 0);
+  a.SubImm(R2, 2);
+  a.LoopEnd(loop);
+  a.Exit();
+  auto r = VerifyP(Build(a, ExtensionMode::kKflex));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->cancellation_back_edges.size(), 1u);
+}
+
+TEST(VerifierLoops, BoundedLoopHasNoCancellationPointInKflexMode) {
+  Assembler a;
+  a.MovImm(R2, 32);
+  a.MovImm(R0, 0);
+  auto loop = a.LoopBegin();
+  a.LoopBreakIfImm(loop, BPF_JEQ, R2, 0);
+  a.AddImm(R0, 3);
+  a.SubImm(R2, 1);
+  a.LoopEnd(loop);
+  a.Exit();
+  auto r = VerifyP(Build(a, ExtensionMode::kKflex));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->cancellation_back_edges.empty());
+}
+
+// ---- References (sockets) ----
+
+void EmitTupleOnStack(Assembler& a) {
+  a.StImm(BPF_W, R10, -16, 0x0A000001);  // ip
+  a.StImm(BPF_W, R10, -12, 7000);        // port + pad
+}
+
+void EmitSkLookup(Assembler& a) {
+  EmitTupleOnStack(a);
+  // bpf_sk_lookup_udp(ctx, tuple, size, netns, flags)
+  a.Mov(R2, R10);
+  a.AddImm(R2, -16);
+  a.MovImm(R3, 8);
+  a.MovImm(R4, 0);
+  a.MovImm(R5, 0);
+  a.Call(kHelperSkLookupUdp);
+}
+
+TEST(VerifierRefs, LeakedSocketRejected) {
+  Assembler a;
+  EmitSkLookup(a);
+  a.MovImm(R0, 0);
+  a.Exit();  // socket (possibly) held
+  ExpectRejected(Build(a, ExtensionMode::kKflex), "unreleased");
+}
+
+TEST(VerifierRefs, AcquireReleaseAccepted) {
+  Assembler a;
+  EmitSkLookup(a);
+  auto iff = a.IfImm(BPF_JNE, R0, 0);
+  a.Mov(R1, R0);
+  a.Call(kHelperSkRelease);
+  a.EndIf(iff);
+  a.MovImm(R0, 0);
+  a.Exit();
+  auto r = VerifyP(Build(a, ExtensionMode::kKflex));
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST(VerifierRefs, DoubleReleaseRejected) {
+  Assembler a;
+  EmitSkLookup(a);
+  auto iff = a.IfImm(BPF_JNE, R0, 0);
+  a.Mov(R6, R0);
+  a.Mov(R1, R6);
+  a.Call(kHelperSkRelease);
+  a.Mov(R1, R6);
+  a.Call(kHelperSkRelease);
+  a.EndIf(iff);
+  a.MovImm(R0, 0);
+  a.Exit();
+  ExpectRejected(Build(a, ExtensionMode::kKflex), "socket");
+}
+
+TEST(VerifierRefs, ObjectTableRecordsSocketAtHeapAccess) {
+  Assembler a;
+  EmitSkLookup(a);
+  auto iff = a.IfImm(BPF_JNE, R0, 0);
+  a.Mov(R6, R0);
+  a.MovImm(R0, 0);  // drop the R0 alias so the table points at R6
+  a.LoadHeapAddr(R2, 64);
+  a.StImm(BPF_DW, R2, 0, 1);  // heap access while socket held -> C2 Cp
+  a.Mov(R1, R6);
+  a.Call(kHelperSkRelease);
+  a.EndIf(iff);
+  a.MovImm(R0, 0);
+  a.Exit();
+  auto r = VerifyP(Build(a, ExtensionMode::kKflex));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  bool found_socket_entry = false;
+  for (const auto& [pc, table] : r->object_tables) {
+    for (const ObjectTableEntry& e : table) {
+      if (e.kind == ResourceKind::kSocket && e.reg == R6) {
+        found_socket_entry = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_socket_entry);
+}
+
+// ---- Locks ----
+
+TEST(VerifierLocks, LockUnlockAccepted) {
+  Assembler a;
+  a.LoadHeapAddr(R1, 64);
+  a.Call(kHelperKflexSpinLock);
+  a.LoadHeapAddr(R1, 64);
+  a.Call(kHelperKflexSpinUnlock);
+  a.MovImm(R0, 0);
+  a.Exit();
+  auto r = VerifyP(Build(a, ExtensionMode::kKflex));
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST(VerifierLocks, LockLeakRejected) {
+  Assembler a;
+  a.LoadHeapAddr(R1, 64);
+  a.Call(kHelperKflexSpinLock);
+  a.MovImm(R0, 0);
+  a.Exit();
+  ExpectRejected(Build(a, ExtensionMode::kKflex), "still held");
+}
+
+TEST(VerifierLocks, RecursiveLockRejected) {
+  Assembler a;
+  a.LoadHeapAddr(R1, 64);
+  a.Call(kHelperKflexSpinLock);
+  a.LoadHeapAddr(R1, 64);
+  a.Call(kHelperKflexSpinLock);
+  a.MovImm(R0, 0);
+  a.Exit();
+  ExpectRejected(Build(a, ExtensionMode::kKflex), "deadlock");
+}
+
+TEST(VerifierLocks, TwoLocksAllowedInKflexMode) {
+  Assembler a;
+  a.LoadHeapAddr(R1, 64);
+  a.Call(kHelperKflexSpinLock);
+  a.LoadHeapAddr(R1, 72);
+  a.Call(kHelperKflexSpinLock);
+  a.LoadHeapAddr(R1, 72);
+  a.Call(kHelperKflexSpinUnlock);
+  a.LoadHeapAddr(R1, 64);
+  a.Call(kHelperKflexSpinUnlock);
+  a.MovImm(R0, 0);
+  a.Exit();
+  auto r = VerifyP(Build(a, ExtensionMode::kKflex));
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST(VerifierLocks, KflexHelpersRejectedInEbpfMode) {
+  // eBPF mode has no kflex helpers at all (heap pseudo rejected first, and
+  // the helper itself is flagged ebpf-incompatible).
+  Assembler a;
+  a.LoadHeapAddr(R1, 64);
+  a.Call(kHelperKflexSpinLock);
+  a.MovImm(R0, 0);
+  a.Exit();
+  ExpectRejected(Build(a, ExtensionMode::kEbpf), "KFlex mode");
+
+  Assembler b;
+  b.MovImm(R1, 16);
+  b.Call(kHelperKflexMalloc);
+  b.MovImm(R0, 0);
+  b.Exit();
+  ExpectRejected(Build(b, ExtensionMode::kEbpf, /*heap=*/0), "eBPF mode");
+}
+
+TEST(VerifierLocks, UnlockWithoutLockRejected) {
+  Assembler a;
+  a.LoadHeapAddr(R1, 64);
+  a.Call(kHelperKflexSpinUnlock);
+  a.MovImm(R0, 0);
+  a.Exit();
+  ExpectRejected(Build(a, ExtensionMode::kKflex), "not held");
+}
+
+// ---- Maps ----
+
+TEST(VerifierMaps, LookupRequiresKnownMap) {
+  Assembler a;
+  a.LoadMapPtr(R1, 1);
+  a.StImm(BPF_W, R10, -4, 0);
+  a.Mov(R2, R10);
+  a.AddImm(R2, -4);
+  a.Call(kHelperMapLookupElem);
+  a.MovImm(R0, 0);
+  a.Exit();
+  Program p = Build(a, ExtensionMode::kEbpf, /*heap=*/0);
+  ExpectRejected(p, "unknown map");
+  VerifyOptions opts;
+  opts.maps.push_back(MapDescriptor{1, 4, 8, 16});
+  auto r = Verify(p, opts);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST(VerifierMaps, MapValueBoundsEnforced) {
+  Assembler a;
+  a.LoadMapPtr(R1, 1);
+  a.StImm(BPF_W, R10, -4, 0);
+  a.Mov(R2, R10);
+  a.AddImm(R2, -4);
+  a.Call(kHelperMapLookupElem);
+  auto iff = a.IfImm(BPF_JNE, R0, 0);
+  a.StImm(BPF_DW, R0, 4, 1);  // 4 + 8 > value_size 8
+  a.EndIf(iff);
+  a.MovImm(R0, 0);
+  a.Exit();
+  VerifyOptions opts;
+  opts.maps.push_back(MapDescriptor{1, 4, 8, 16});
+  ExpectRejected(Build(a, ExtensionMode::kEbpf, /*heap=*/0), "map value access out of bounds",
+                 opts);
+}
+
+}  // namespace
+}  // namespace kflex

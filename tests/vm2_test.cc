@@ -1,0 +1,245 @@
+// Second VM suite: 32-bit jump semantics, partial-width loads/stores,
+// little-endian byte order, register-file behaviour across helpers,
+// multi-region translation, and object-registry handle hygiene.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/base/rng.h"
+#include "src/ebpf/assembler.h"
+#include "src/ebpf/helper_ids.h"
+#include "src/runtime/helpers.h"
+#include "src/runtime/object_registry.h"
+#include "src/runtime/vm.h"
+
+namespace kflex {
+namespace {
+
+VmResult RunRaw(const std::vector<Insn>& insns, uint8_t* ctx, uint32_t ctx_size) {
+  VmEnv env;
+  env.ctx = ctx;
+  env.ctx_size = ctx_size;
+  return VmRun(insns, env);
+}
+
+VmResult RunProgram(Assembler& a, uint8_t* ctx, uint32_t ctx_size) {
+  auto p = a.Finish("t", Hook::kTracepoint, ExtensionMode::kKflex, 0);
+  EXPECT_TRUE(p.ok());
+  return RunRaw(p->insns, ctx, ctx_size);
+}
+
+TEST(Vm2, Jmp32ComparesLowWordOnly) {
+  // 64-bit values differ, low 32 bits equal: JMP32 JEQ taken, JMP JEQ not.
+  for (bool is64 : {false, true}) {
+    Assembler a;
+    auto taken = a.NewLabel();
+    a.LoadImm64(R2, 0x1111111100000005ULL);
+    a.LoadImm64(R3, 0x2222222200000005ULL);
+    a.JmpReg(BPF_JEQ, R2, R3, taken, is64);
+    a.MovImm(R0, 0);
+    a.Exit();
+    a.Bind(taken);
+    a.MovImm(R0, 1);
+    a.Exit();
+    uint8_t ctx[64] = {0};
+    VmResult r = RunProgram(a, ctx, sizeof(ctx));
+    EXPECT_EQ(r.ret, is64 ? 0 : 1);
+  }
+}
+
+TEST(Vm2, Jmp32SignedUsesLowWordSign) {
+  // Low word 0xFFFFFFFF is -1 in 32-bit signed: s< 0 is true under JMP32.
+  Assembler a;
+  auto taken = a.NewLabel();
+  a.LoadImm64(R2, 0x00000000FFFFFFFFULL);  // +4294967295 as 64-bit
+  a.JmpImm(BPF_JSLT, R2, 0, taken, /*is64=*/false);
+  a.MovImm(R0, 0);
+  a.Exit();
+  a.Bind(taken);
+  a.MovImm(R0, 1);
+  a.Exit();
+  uint8_t ctx[64] = {0};
+  EXPECT_EQ(RunProgram(a, ctx, sizeof(ctx)).ret, 1);
+}
+
+TEST(Vm2, PartialLoadsAreLittleEndianAndZeroExtended) {
+  uint8_t ctx[64] = {0};
+  uint64_t value = 0x8877665544332211ULL;
+  std::memcpy(ctx, &value, 8);
+  struct Case {
+    MemSize size;
+    uint64_t expect;
+  };
+  for (const auto& c : {Case{BPF_B, 0x11}, Case{BPF_H, 0x2211}, Case{BPF_W, 0x44332211},
+                        Case{BPF_DW, value}}) {
+    Assembler a;
+    a.LoadImm64(R0, ~0ULL);  // poison: loads must fully overwrite
+    a.Ldx(c.size, R0, R1, 0);
+    a.Exit();
+    EXPECT_EQ(static_cast<uint64_t>(RunProgram(a, ctx, sizeof(ctx)).ret), c.expect);
+  }
+}
+
+TEST(Vm2, PartialStoresTouchOnlyTheirBytes) {
+  uint8_t ctx[64];
+  std::memset(ctx, 0xEE, sizeof(ctx));
+  Assembler a;
+  a.StImm(BPF_B, R1, 8, 0xAB);
+  a.StImm(BPF_H, R1, 16, 0x1234);
+  a.MovImm(R0, 0);
+  a.Exit();
+  RunProgram(a, ctx, sizeof(ctx));
+  EXPECT_EQ(ctx[8], 0xAB);
+  EXPECT_EQ(ctx[9], 0xEE);  // neighbour untouched
+  uint16_t h;
+  std::memcpy(&h, ctx + 16, 2);
+  EXPECT_EQ(h, 0x1234);
+  EXPECT_EQ(ctx[18], 0xEE);
+}
+
+TEST(Vm2, MovImmSignExtends64) {
+  Assembler a;
+  a.MovImm(R0, -1);
+  a.Exit();
+  uint8_t ctx[64] = {0};
+  EXPECT_EQ(static_cast<uint64_t>(RunProgram(a, ctx, sizeof(ctx)).ret), ~0ULL);
+}
+
+TEST(Vm2, Mov32ZeroExtends) {
+  Assembler a;
+  a.LoadImm64(R2, ~0ULL);
+  a.Mov32(R0, R2);  // low 32 bits, zero-extended
+  a.Exit();
+  uint8_t ctx[64] = {0};
+  EXPECT_EQ(static_cast<uint64_t>(RunProgram(a, ctx, sizeof(ctx)).ret), 0xFFFFFFFFULL);
+}
+
+TEST(Vm2, DivModByZeroSemantics) {
+  uint8_t ctx[64] = {0};
+  {
+    Assembler a;
+    a.MovImm(R2, 100);
+    a.MovImm(R3, 0);
+    a.AluReg(BPF_DIV, R2, R3);
+    a.Mov(R0, R2);
+    a.Exit();
+    EXPECT_EQ(RunProgram(a, ctx, sizeof(ctx)).ret, 0) << "x / 0 == 0";
+  }
+  {
+    Assembler a;
+    a.MovImm(R2, 100);
+    a.MovImm(R3, 0);
+    a.AluReg(BPF_MOD, R2, R3);
+    a.Mov(R0, R2);
+    a.Exit();
+    EXPECT_EQ(RunProgram(a, ctx, sizeof(ctx)).ret, 100) << "x % 0 == x";
+  }
+}
+
+TEST(Vm2, HelperPreservesCalleeSavedRegisters) {
+  HelperTable helpers;
+  RegisterCoreHelpers(helpers);
+  Assembler a;
+  a.MovImm(R6, 11);
+  a.MovImm(R7, 22);
+  a.MovImm(R8, 33);
+  a.MovImm(R9, 44);
+  a.Call(kHelperKtimeGetNs);
+  a.Mov(R0, R6);
+  a.Add(R0, R7);
+  a.Add(R0, R8);
+  a.Add(R0, R9);
+  a.Exit();
+  auto p = a.Finish("t", Hook::kTracepoint, ExtensionMode::kKflex, 0);
+  ASSERT_TRUE(p.ok());
+  VmEnv env;
+  uint8_t ctx[64] = {0};
+  env.ctx = ctx;
+  env.ctx_size = sizeof(ctx);
+  env.helpers = &helpers;
+  EXPECT_EQ(VmRun(p->insns, env).ret, 11 + 22 + 33 + 44);
+}
+
+TEST(Vm2, AtomicWord32Variants) {
+  HeapSpec spec;
+  spec.size = 1 << 20;
+  auto heap = ExtensionHeap::Create(spec);
+  ASSERT_TRUE(heap.ok());
+  uint64_t va = heap.value()->layout().kernel_base + 64;
+  std::vector<Insn> insns;
+  insns.push_back(LdImm64Insn(R2, va));
+  insns.push_back(LdImm64HiInsn(va));
+  insns.push_back(MovImmInsn(R3, 7));
+  insns.push_back(AtomicInsn(BPF_W, R2, 0, R3, BPF_ATOMIC_ADD));
+  insns.push_back(MovImmInsn(R4, 100));
+  insns.push_back(AtomicInsn(BPF_W, R2, 0, R4, BPF_ATOMIC_XCHG));  // R4 = 7
+  insns.push_back(MovRegInsn(R0, R4));
+  insns.push_back(ExitInsn());
+  VmEnv env;
+  uint8_t ctx[64] = {0};
+  env.ctx = ctx;
+  env.ctx_size = sizeof(ctx);
+  env.heap = heap.value().get();
+  VmResult r = VmRun(insns, env);
+  ASSERT_EQ(r.outcome, VmResult::Outcome::kOk);
+  EXPECT_EQ(r.ret, 7);
+  uint32_t word;
+  std::memcpy(&word, heap.value()->HostAt(64), 4);
+  EXPECT_EQ(word, 100u);
+}
+
+TEST(Vm2, CtxBoundaryIsExact) {
+  uint8_t ctx[64] = {0};
+  {
+    Assembler a;
+    a.Ldx(BPF_DW, R0, R1, 56);  // last valid 8-byte slot
+    a.Exit();
+    EXPECT_EQ(RunProgram(a, ctx, sizeof(ctx)).outcome, VmResult::Outcome::kOk);
+  }
+  {
+    // One past the end: raw VM faults (the verifier would reject earlier).
+    std::vector<Insn> insns;
+    insns.push_back(LdxInsn(BPF_DW, R0, R1, 57));
+    insns.push_back(ExitInsn());
+    EXPECT_EQ(RunRaw(insns, ctx, sizeof(ctx)).outcome, VmResult::Outcome::kFault);
+  }
+}
+
+TEST(ObjectRegistryTest, ExactlyOnceRelease) {
+  ObjectRegistry registry;
+  int released = 0;
+  uint64_t handle = registry.Register(ResourceKind::kSocket, [&released] { released++; });
+  EXPECT_TRUE(registry.IsLive(handle));
+  EXPECT_EQ(registry.KindOf(handle), ResourceKind::kSocket);
+  EXPECT_EQ(registry.live_count(), 1u);
+  EXPECT_TRUE(registry.Release(handle));
+  EXPECT_EQ(released, 1);
+  EXPECT_FALSE(registry.Release(handle)) << "double release must be a no-op";
+  EXPECT_EQ(released, 1);
+  EXPECT_FALSE(registry.IsLive(handle));
+  EXPECT_EQ(registry.live_count(), 0u);
+}
+
+TEST(ObjectRegistryTest, StaleHandleFromRecycledSlotRejected) {
+  ObjectRegistry registry;
+  uint64_t first = registry.Register(ResourceKind::kSocket, [] {});
+  registry.Release(first);
+  uint64_t second = registry.Register(ResourceKind::kSocket, [] {});
+  // The slot is recycled but the generation differs: the stale handle is dead.
+  EXPECT_NE(first, second);
+  EXPECT_FALSE(registry.IsLive(first));
+  EXPECT_TRUE(registry.IsLive(second));
+  EXPECT_FALSE(registry.Release(first));
+  EXPECT_TRUE(registry.Release(second));
+}
+
+TEST(ObjectRegistryTest, GarbageHandlesRejected) {
+  ObjectRegistry registry;
+  EXPECT_FALSE(registry.Release(0));
+  EXPECT_FALSE(registry.Release(12345));
+  EXPECT_FALSE(registry.Release(kKernelObjRegion + 99999));
+  EXPECT_EQ(registry.KindOf(777), ResourceKind::kNone);
+}
+
+}  // namespace
+}  // namespace kflex

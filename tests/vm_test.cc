@@ -1,0 +1,440 @@
+// VM semantics: ALU / jump behaviour checked against native C++ semantics
+// (parameterized property sweeps), memory translation, atomics, faults.
+#include "src/runtime/vm.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/base/rng.h"
+#include "src/ebpf/assembler.h"
+#include "src/ebpf/helper_ids.h"
+#include "src/kie/kie.h"
+#include "src/runtime/allocator.h"
+#include "src/runtime/helpers.h"
+#include "src/runtime/layout.h"
+
+namespace kflex {
+namespace {
+
+// Runs a tiny program computing `op(a, b)` into R0 and returns the result.
+uint64_t RunAlu(uint8_t op, bool is64, bool via_reg, uint64_t a_val, uint64_t b_val) {
+  Assembler a;
+  a.LoadImm64(R1, a_val);
+  if (via_reg) {
+    a.LoadImm64(R2, b_val);
+    a.AluReg(static_cast<AluOp>(op), R1, R2, is64);
+  } else {
+    a.AluImm(static_cast<AluOp>(op), R1, static_cast<int32_t>(b_val), is64);
+  }
+  a.Mov(R0, R1);
+  a.Exit();
+  auto p = a.Finish("alu", Hook::kTracepoint, ExtensionMode::kKflex, 0);
+  EXPECT_TRUE(p.ok());
+  VmEnv env;
+  uint8_t ctx[64] = {0};
+  env.ctx = ctx;
+  env.ctx_size = sizeof(ctx);
+  VmResult r = VmRun(p->insns, env);
+  EXPECT_EQ(r.outcome, VmResult::Outcome::kOk);
+  return static_cast<uint64_t>(r.ret);
+}
+
+uint64_t Native64(uint8_t op, uint64_t a, uint64_t b) {
+  switch (op) {
+    case BPF_ADD:
+      return a + b;
+    case BPF_SUB:
+      return a - b;
+    case BPF_MUL:
+      return a * b;
+    case BPF_DIV:
+      return b ? a / b : 0;
+    case BPF_MOD:
+      return b ? a % b : a;
+    case BPF_AND:
+      return a & b;
+    case BPF_OR:
+      return a | b;
+    case BPF_XOR:
+      return a ^ b;
+    case BPF_LSH:
+      return a << (b & 63);
+    case BPF_RSH:
+      return a >> (b & 63);
+    case BPF_ARSH:
+      return static_cast<uint64_t>(static_cast<int64_t>(a) >> (b & 63));
+  }
+  return 0;
+}
+
+class VmAluProperty : public ::testing::TestWithParam<uint8_t> {};
+
+TEST_P(VmAluProperty, MatchesNative64) {
+  uint8_t op = GetParam();
+  Rng rng(op * 977);
+  for (int i = 0; i < 40; i++) {
+    uint64_t a = rng.Next();
+    uint64_t b = rng.Next();
+    if (op == BPF_LSH || op == BPF_RSH || op == BPF_ARSH) {
+      b &= 63;
+    }
+    EXPECT_EQ(RunAlu(op, true, true, a, b), Native64(op, a, b))
+        << "op=" << int{op} << " a=" << a << " b=" << b;
+  }
+}
+
+TEST_P(VmAluProperty, MatchesNative32) {
+  uint8_t op = GetParam();
+  Rng rng(op * 1093);
+  for (int i = 0; i < 40; i++) {
+    uint32_t a = static_cast<uint32_t>(rng.Next());
+    uint32_t b = static_cast<uint32_t>(rng.Next());
+    if (op == BPF_LSH || op == BPF_RSH || op == BPF_ARSH) {
+      b &= 31;
+    }
+    uint32_t expect;
+    switch (op) {
+      case BPF_ADD:
+        expect = a + b;
+        break;
+      case BPF_SUB:
+        expect = a - b;
+        break;
+      case BPF_MUL:
+        expect = a * b;
+        break;
+      case BPF_DIV:
+        expect = b ? a / b : 0;
+        break;
+      case BPF_MOD:
+        expect = b ? a % b : a;
+        break;
+      case BPF_AND:
+        expect = a & b;
+        break;
+      case BPF_OR:
+        expect = a | b;
+        break;
+      case BPF_XOR:
+        expect = a ^ b;
+        break;
+      case BPF_LSH:
+        expect = a << b;
+        break;
+      case BPF_RSH:
+        expect = a >> b;
+        break;
+      case BPF_ARSH:
+        expect = static_cast<uint32_t>(static_cast<int32_t>(a) >> b);
+        break;
+      default:
+        expect = 0;
+    }
+    EXPECT_EQ(RunAlu(op, false, true, a, b), expect) << "op=" << int{op};
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, VmAluProperty,
+                         ::testing::Values(BPF_ADD, BPF_SUB, BPF_MUL, BPF_DIV, BPF_MOD, BPF_AND,
+                                           BPF_OR, BPF_XOR, BPF_LSH, BPF_RSH, BPF_ARSH));
+
+struct JmpCase {
+  uint8_t op;
+  uint64_t a;
+  uint64_t b;
+  bool expect_taken;
+};
+
+class VmJmpProperty : public ::testing::TestWithParam<JmpCase> {};
+
+TEST_P(VmJmpProperty, BranchDecision) {
+  const JmpCase& c = GetParam();
+  Assembler a;
+  auto taken = a.NewLabel();
+  a.LoadImm64(R1, c.a);
+  a.LoadImm64(R2, c.b);
+  a.JmpReg(static_cast<JmpOp>(c.op), R1, R2, taken);
+  a.MovImm(R0, 0);
+  a.Exit();
+  a.Bind(taken);
+  a.MovImm(R0, 1);
+  a.Exit();
+  auto p = a.Finish("jmp", Hook::kTracepoint, ExtensionMode::kKflex, 0);
+  ASSERT_TRUE(p.ok());
+  VmEnv env;
+  uint8_t ctx[64] = {0};
+  env.ctx = ctx;
+  env.ctx_size = sizeof(ctx);
+  VmResult r = VmRun(p->insns, env);
+  EXPECT_EQ(r.ret, c.expect_taken ? 1 : 0);
+}
+
+constexpr uint64_t kNeg1 = ~0ULL;
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, VmJmpProperty,
+    ::testing::Values(JmpCase{BPF_JEQ, 5, 5, true}, JmpCase{BPF_JEQ, 5, 6, false},
+                      JmpCase{BPF_JNE, 5, 6, true}, JmpCase{BPF_JGT, 6, 5, true},
+                      JmpCase{BPF_JGT, kNeg1, 0, true},   // unsigned
+                      JmpCase{BPF_JSGT, kNeg1, 0, false},  // signed: -1 > 0 is false
+                      JmpCase{BPF_JLT, 5, 6, true}, JmpCase{BPF_JSLT, kNeg1, 0, true},
+                      JmpCase{BPF_JGE, 5, 5, true}, JmpCase{BPF_JLE, 5, 5, true},
+                      JmpCase{BPF_JSGE, kNeg1, kNeg1, true},
+                      JmpCase{BPF_JSLE, 0, kNeg1, false}, JmpCase{BPF_JSET, 6, 2, true},
+                      JmpCase{BPF_JSET, 4, 2, false}));
+
+TEST(Vm, StackReadWrite) {
+  Assembler a;
+  a.LoadImm64(R2, 0x1122334455667788ULL);
+  a.Stx(BPF_DW, R10, -8, R2);
+  a.Ldx(BPF_W, R0, R10, -8);  // low word
+  a.Exit();
+  auto p = a.Finish("stk", Hook::kTracepoint, ExtensionMode::kKflex, 0);
+  ASSERT_TRUE(p.ok());
+  VmEnv env;
+  uint8_t ctx[64] = {0};
+  env.ctx = ctx;
+  env.ctx_size = sizeof(ctx);
+  VmResult r = VmRun(p->insns, env);
+  EXPECT_EQ(r.outcome, VmResult::Outcome::kOk);
+  EXPECT_EQ(static_cast<uint64_t>(r.ret), 0x55667788ULL);
+}
+
+TEST(Vm, CtxReadWrite) {
+  Assembler a;
+  a.Ldx(BPF_H, R2, R1, 0);
+  a.AddImm(R2, 1);
+  a.Stx(BPF_H, R1, 2, R2);
+  a.Mov(R0, R2);
+  a.Exit();
+  auto p = a.Finish("ctx", Hook::kTracepoint, ExtensionMode::kKflex, 0);
+  ASSERT_TRUE(p.ok());
+  VmEnv env;
+  uint8_t ctx[64] = {0};
+  ctx[0] = 41;
+  env.ctx = ctx;
+  env.ctx_size = sizeof(ctx);
+  VmResult r = VmRun(p->insns, env);
+  EXPECT_EQ(r.ret, 42);
+  EXPECT_EQ(ctx[2], 42);
+}
+
+TEST(Vm, UnmappedAccessFaults) {
+  Assembler a;
+  a.LoadImm64(R2, 0xDEAD0000ULL);
+  a.Ldx(BPF_DW, R0, R2, 0);
+  a.Exit();
+  auto p = a.Finish("bad", Hook::kTracepoint, ExtensionMode::kKflex, 1 << 20);
+  ASSERT_TRUE(p.ok());
+  VmEnv env;
+  uint8_t ctx[64] = {0};
+  env.ctx = ctx;
+  env.ctx_size = sizeof(ctx);
+  VmResult r = VmRun(p->insns, env);
+  EXPECT_EQ(r.outcome, VmResult::Outcome::kFault);
+  EXPECT_EQ(r.fault_kind, MemFaultKind::kBadAddress);
+  EXPECT_EQ(r.fault_pc, 2u);  // after the 2-slot ld_imm64
+}
+
+TEST(Vm, SanitizeMasksIntoHeap) {
+  HeapSpec spec;
+  spec.size = 1 << 20;
+  auto heap = ExtensionHeap::Create(spec);
+  ASSERT_TRUE(heap.ok());
+  const HeapLayout& layout = heap.value()->layout();
+
+  Assembler a;
+  a.LoadImm64(R2, layout.kernel_base + layout.size + 12345);  // out of bounds
+  a.Exit();  // placeholder; we splice SANITIZE manually below
+  auto p = a.Finish("san", Hook::kTracepoint, ExtensionMode::kKflex, spec.size);
+  ASSERT_TRUE(p.ok());
+  std::vector<Insn> insns = p->insns;
+  insns.pop_back();
+  insns.push_back(KieSanitizeInsn(R2));
+  insns.push_back(MovRegInsn(R0, R2));
+  insns.push_back(ExitInsn());
+
+  VmEnv env;
+  uint8_t ctx[64] = {0};
+  env.ctx = ctx;
+  env.ctx_size = sizeof(ctx);
+  env.heap = heap.value().get();
+  VmResult r = VmRun(insns, env);
+  EXPECT_EQ(r.outcome, VmResult::Outcome::kOk);
+  uint64_t sanitized = static_cast<uint64_t>(r.ret);
+  EXPECT_GE(sanitized, layout.kernel_base);
+  EXPECT_LT(sanitized, layout.kernel_end());
+  EXPECT_EQ(sanitized & layout.mask(), 12345u & layout.mask());
+}
+
+TEST(Vm, GuardZoneAccessFaults) {
+  HeapSpec spec;
+  spec.size = 1 << 20;
+  auto heap = ExtensionHeap::Create(spec);
+  ASSERT_TRUE(heap.ok());
+  const HeapLayout& layout = heap.value()->layout();
+
+  std::vector<Insn> insns;
+  insns.push_back(LdImm64Insn(R2, layout.kernel_base));
+  insns.push_back(LdImm64HiInsn(layout.kernel_base));
+  insns.push_back(LdxInsn(BPF_DW, R0, R2, -8));  // below heap start: guard zone
+  insns.push_back(ExitInsn());
+
+  VmEnv env;
+  uint8_t ctx[64] = {0};
+  env.ctx = ctx;
+  env.ctx_size = sizeof(ctx);
+  env.heap = heap.value().get();
+  VmResult r = VmRun(insns, env);
+  EXPECT_EQ(r.outcome, VmResult::Outcome::kFault);
+  EXPECT_EQ(r.fault_kind, MemFaultKind::kGuardZone);
+}
+
+TEST(Vm, UnpopulatedHeapPageFaults) {
+  HeapSpec spec;
+  spec.size = 1 << 20;
+  auto heap = ExtensionHeap::Create(spec);
+  ASSERT_TRUE(heap.ok());
+  const HeapLayout& layout = heap.value()->layout();
+
+  std::vector<Insn> insns;
+  uint64_t va = layout.kernel_base + 512 * 1024;  // never populated
+  insns.push_back(LdImm64Insn(R2, va));
+  insns.push_back(LdImm64HiInsn(va));
+  insns.push_back(LdxInsn(BPF_DW, R0, R2, 0));
+  insns.push_back(ExitInsn());
+
+  VmEnv env;
+  uint8_t ctx[64] = {0};
+  env.ctx = ctx;
+  env.ctx_size = sizeof(ctx);
+  env.heap = heap.value().get();
+  VmResult r = VmRun(insns, env);
+  EXPECT_EQ(r.outcome, VmResult::Outcome::kFault);
+  EXPECT_EQ(r.fault_kind, MemFaultKind::kNotPresent);
+}
+
+TEST(Vm, UserAliasAccessIsSmapFault) {
+  HeapSpec spec;
+  spec.size = 1 << 20;
+  auto heap = ExtensionHeap::Create(spec);
+  ASSERT_TRUE(heap.ok());
+  const HeapLayout& layout = heap.value()->layout();
+
+  std::vector<Insn> insns;
+  uint64_t va = layout.user_base + 64;
+  insns.push_back(LdImm64Insn(R2, va));
+  insns.push_back(LdImm64HiInsn(va));
+  insns.push_back(LdxInsn(BPF_DW, R0, R2, 0));
+  insns.push_back(ExitInsn());
+
+  VmEnv env;
+  uint8_t ctx[64] = {0};
+  env.ctx = ctx;
+  env.ctx_size = sizeof(ctx);
+  env.heap = heap.value().get();
+  VmResult r = VmRun(insns, env);
+  EXPECT_EQ(r.outcome, VmResult::Outcome::kFault);
+  EXPECT_EQ(r.fault_kind, MemFaultKind::kSmap);
+}
+
+TEST(Vm, AtomicAddFetchXchgCmpxchg) {
+  HeapSpec spec;
+  spec.size = 1 << 20;
+  auto heap = ExtensionHeap::Create(spec);
+  ASSERT_TRUE(heap.ok());
+  const HeapLayout& layout = heap.value()->layout();
+  uint64_t va = layout.kernel_base + 64;  // metadata page is populated
+
+  std::vector<Insn> insns;
+  insns.push_back(LdImm64Insn(R2, va));
+  insns.push_back(LdImm64HiInsn(va));
+  insns.push_back(MovImmInsn(R3, 5));
+  insns.push_back(AtomicInsn(BPF_DW, R2, 0, R3, BPF_ATOMIC_ADD));  // [va] = 5
+  insns.push_back(MovImmInsn(R4, 7));
+  insns.push_back(AtomicInsn(BPF_DW, R2, 0, R4, BPF_ATOMIC_ADD | BPF_ATOMIC_FETCH));
+  // R4 = old (5), [va] = 12
+  insns.push_back(MovImmInsn(R5, 100));
+  insns.push_back(AtomicInsn(BPF_DW, R2, 0, R5, BPF_ATOMIC_XCHG));  // R5 = 12, [va]=100
+  insns.push_back(MovImmInsn(R0, 100));                              // expected
+  insns.push_back(MovImmInsn(R6, 55));
+  insns.push_back(AtomicInsn(BPF_DW, R2, 0, R6, BPF_ATOMIC_CMPXCHG));  // [va]=55, R0=100
+  // result = R4 + R5 + R0 = 5 + 12 + 100 = 117
+  insns.push_back(AluRegInsn(BPF_ADD, R4, R5));
+  insns.push_back(AluRegInsn(BPF_ADD, R4, R0));
+  insns.push_back(MovRegInsn(R0, R4));
+  insns.push_back(ExitInsn());
+
+  VmEnv env;
+  uint8_t ctx[64] = {0};
+  env.ctx = ctx;
+  env.ctx_size = sizeof(ctx);
+  env.heap = heap.value().get();
+  VmResult r = VmRun(insns, env);
+  ASSERT_EQ(r.outcome, VmResult::Outcome::kOk);
+  EXPECT_EQ(r.ret, 117);
+  uint64_t final;
+  std::memcpy(&final, heap.value()->HostAt(64), 8);
+  EXPECT_EQ(final, 55u);
+}
+
+TEST(Vm, HelperCallMallocFree) {
+  HeapSpec spec;
+  spec.size = 1 << 20;
+  auto heap = ExtensionHeap::Create(spec);
+  ASSERT_TRUE(heap.ok());
+  HeapAllocator alloc(heap.value().get(), 2);
+  HelperTable helpers;
+  RegisterCoreHelpers(helpers);
+
+  Assembler a;
+  a.MovImm(R1, 64);
+  a.Call(kHelperKflexMalloc);
+  a.Mov(R6, R0);
+  auto iff = a.IfImm(BPF_JNE, R0, 0);
+  a.StImm(BPF_DW, R6, 0, 99);
+  a.Mov(R1, R6);
+  a.Call(kHelperKflexFree);
+  a.EndIf(iff);
+  a.Mov(R0, R6);
+  a.Exit();
+  auto p = a.Finish("mf", Hook::kTracepoint, ExtensionMode::kKflex, spec.size);
+  ASSERT_TRUE(p.ok());
+
+  VmEnv env;
+  uint8_t ctx[64] = {0};
+  env.ctx = ctx;
+  env.ctx_size = sizeof(ctx);
+  env.heap = heap.value().get();
+  env.allocator = &alloc;
+  env.helpers = &helpers;
+  VmResult r = VmRun(p->insns, env);
+  ASSERT_EQ(r.outcome, VmResult::Outcome::kOk);
+  EXPECT_NE(r.ret, 0);  // malloc succeeded
+  EXPECT_GE(static_cast<uint64_t>(r.ret), heap.value()->layout().kernel_base);
+  auto stats = alloc.GetStats();
+  EXPECT_EQ(stats.allocs, 1u);
+  EXPECT_EQ(stats.frees, 1u);
+}
+
+TEST(Vm, BudgetStopsRunawayLoop) {
+  Assembler a;
+  auto head = a.NewLabel();
+  a.MovImm(R0, 0);
+  a.Bind(head);
+  a.AddImm(R0, 1);
+  a.Jmp(head);
+  auto p = a.Finish("loop", Hook::kTracepoint, ExtensionMode::kKflex, 0);
+  ASSERT_TRUE(p.ok());
+  VmEnv env;
+  uint8_t ctx[64] = {0};
+  env.ctx = ctx;
+  env.ctx_size = sizeof(ctx);
+  env.insn_budget = 1000;
+  VmResult r = VmRun(p->insns, env);
+  EXPECT_EQ(r.outcome, VmResult::Outcome::kBudgetExceeded);
+}
+
+}  // namespace
+}  // namespace kflex

@@ -1,0 +1,129 @@
+// kflex_run: load and execute a .kasm extension through the full pipeline.
+//
+//   kflex_run FILE.kasm [--dump] [--invoke N] [--ctx BYTE...]
+//
+//   --dump       print the verified program and its instrumented form
+//   --invoke N   run the extension N times (default 1)
+//   --ctx HEX    fill the leading context bytes from a hex string
+//
+// Exit code: 0 on success, 1 on load/verification failure.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/ebpf/text_asm.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/packet.h"
+
+using namespace kflex;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr, "usage: kflex_run FILE.kasm [--dump] [--invoke N] [--ctx HEX]\n");
+  return 1;
+}
+
+bool ParseHex(const std::string& hex, uint8_t* out, size_t max) {
+  if (hex.size() % 2 != 0 || hex.size() / 2 > max) {
+    return false;
+  }
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    auto nibble = [](char c) -> int {
+      if (c >= '0' && c <= '9') {
+        return c - '0';
+      }
+      if (c >= 'a' && c <= 'f') {
+        return c - 'a' + 10;
+      }
+      if (c >= 'A' && c <= 'F') {
+        return c - 'A' + 10;
+      }
+      return -1;
+    };
+    int hi = nibble(hex[i]);
+    int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return false;
+    }
+    out[i / 2] = static_cast<uint8_t>(hi << 4 | lo);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  std::string path = argv[1];
+  bool dump = false;
+  int invocations = 1;
+  std::string ctx_hex;
+  for (int i = 2; i < argc; i++) {
+    std::string arg = argv[i];
+    if (arg == "--dump") {
+      dump = true;
+    } else if (arg == "--invoke" && i + 1 < argc) {
+      invocations = std::atoi(argv[++i]);
+    } else if (arg == "--ctx" && i + 1 < argc) {
+      ctx_hex = argv[++i];
+    } else {
+      return Usage();
+    }
+  }
+
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "kflex_run: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+
+  auto program = ParseTextProgram(buffer.str());
+  if (!program.ok()) {
+    std::fprintf(stderr, "kflex_run: parse error: %s\n", program.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("parsed '%s': %zu insns, hook=%s, heap=%llu\n", program->name.c_str(),
+              program->size(), HookName(program->hook),
+              static_cast<unsigned long long>(program->heap_size));
+
+  MockKernel kernel;
+  auto id = kernel.runtime().Load(*program, LoadOptions{});
+  if (!id.ok()) {
+    std::fprintf(stderr, "kflex_run: load rejected: %s\n", id.status().ToString().c_str());
+    return 1;
+  }
+  const InstrumentedProgram& ip = kernel.runtime().instrumented(*id);
+  std::printf(
+      "verified + instrumented: %zu insns out, %zu guards (%zu elided), %zu formation, "
+      "%zu cancellation points\n",
+      ip.stats.insns_out, ip.stats.guards_emitted, ip.stats.guards_elided,
+      ip.stats.formation_guards, ip.stats.cancellation_points);
+  if (dump) {
+    std::printf("---- verified program ----\n%s", ProgramToString(*program).c_str());
+    std::printf("---- instrumented program ----\n%s", ProgramToString(ip.program).c_str());
+  }
+  if (kernel.Attach(*id).ok()) {
+    uint8_t ctx[kCtxSize] = {0};
+    if (!ctx_hex.empty() && !ParseHex(ctx_hex, ctx, sizeof(ctx))) {
+      std::fprintf(stderr, "kflex_run: bad --ctx hex\n");
+      return 1;
+    }
+    for (int i = 0; i < invocations; i++) {
+      InvokeResult r = kernel.Deliver(program->hook, 0, ctx, sizeof(ctx));
+      std::printf("invocation %d: verdict=%lld insns=%llu%s\n", i + 1,
+                  static_cast<long long>(r.verdict), static_cast<unsigned long long>(r.insns),
+                  r.cancelled ? " (CANCELLED)" : "");
+      if (r.cancelled) {
+        break;
+      }
+    }
+  }
+  return 0;
+}
