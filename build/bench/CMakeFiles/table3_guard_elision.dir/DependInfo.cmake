@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table3_guard_elision.cc" "bench/CMakeFiles/table3_guard_elision.dir/table3_guard_elision.cc.o" "gcc" "bench/CMakeFiles/table3_guard_elision.dir/table3_guard_elision.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/kflex_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/kflex_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/kflex_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/uapi/CMakeFiles/kflex_uapi.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/kflex_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/kflex_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/kie/CMakeFiles/kflex_kie.dir/DependInfo.cmake"
+  "/root/repo/build/src/verifier/CMakeFiles/kflex_verifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/ebpf/CMakeFiles/kflex_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/kflex_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verifier/state.cc" "src/verifier/CMakeFiles/kflex_verifier.dir/state.cc.o" "gcc" "src/verifier/CMakeFiles/kflex_verifier.dir/state.cc.o.d"
+  "/root/repo/src/verifier/tnum.cc" "src/verifier/CMakeFiles/kflex_verifier.dir/tnum.cc.o" "gcc" "src/verifier/CMakeFiles/kflex_verifier.dir/tnum.cc.o.d"
+  "/root/repo/src/verifier/verifier.cc" "src/verifier/CMakeFiles/kflex_verifier.dir/verifier.cc.o" "gcc" "src/verifier/CMakeFiles/kflex_verifier.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ebpf/CMakeFiles/kflex_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/kflex_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

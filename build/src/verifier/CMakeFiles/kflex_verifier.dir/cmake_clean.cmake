@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kflex_verifier.dir/state.cc.o"
+  "CMakeFiles/kflex_verifier.dir/state.cc.o.d"
+  "CMakeFiles/kflex_verifier.dir/tnum.cc.o"
+  "CMakeFiles/kflex_verifier.dir/tnum.cc.o.d"
+  "CMakeFiles/kflex_verifier.dir/verifier.cc.o"
+  "CMakeFiles/kflex_verifier.dir/verifier.cc.o.d"
+  "libkflex_verifier.a"
+  "libkflex_verifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kflex_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
