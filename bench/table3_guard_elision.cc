@@ -8,6 +8,8 @@
 
 #include "src/apps/ds/ds.h"
 #include "src/apps/ds/harness.h"
+#include "src/ebpf/assembler.h"
+#include "src/ebpf/helper_ids.h"
 #include "src/kie/kie.h"
 #include "src/verifier/verifier.h"
 
@@ -19,8 +21,8 @@ int main() {
   std::printf("  paper: 76%% of pointer-manipulation guards elided on average;\n");
   std::printf("  100%% for several ops; sketches verify fully statically\n");
   std::printf("==========================================================================\n");
-  std::printf("  %-22s %8s %8s %8s %9s %10s\n", "function", "sites", "elided", "emitted",
-              "elided%", "formation");
+  std::printf("  %-22s %8s %8s %8s %9s %10s %7s %7s\n", "function", "sites", "elided",
+              "emitted", "elided%", "formation", "objtbl", "pruned");
 
   struct Case {
     const char* name;
@@ -35,6 +37,9 @@ int main() {
 
   size_t total_sites = 0;
   size_t total_elided = 0;
+  size_t total_objtbl = 0;
+  size_t total_pruned_entries = 0;
+  size_t total_pruned_edges = 0;
   for (const Case& c : cases) {
     for (DsOp op : {DsOp::kUpdate, DsOp::kLookup, DsOp::kDelete}) {
       DsBuild build = c.builder(op, kDsHeapSize);
@@ -58,15 +63,77 @@ int main() {
                        ? 100.0
                        : 100.0 * static_cast<double>(stats.guards_elided) /
                              static_cast<double>(stats.pointer_guard_sites);
-      std::printf("  %-22s %8zu %8zu %8zu %8.0f%% %10zu\n", label, stats.pointer_guard_sites,
-                  stats.guards_elided, stats.guards_emitted, pct, stats.formation_guards);
+      std::printf("  %-22s %8zu %8zu %8zu %8.0f%% %10zu %7zu %7zu\n", label,
+                  stats.pointer_guard_sites, stats.guards_elided, stats.guards_emitted, pct,
+                  stats.formation_guards, stats.object_table_entries,
+                  stats.pruned_object_entries);
       total_sites += stats.pointer_guard_sites;
       total_elided += stats.guards_elided;
+      total_objtbl += stats.object_table_entries;
+      total_pruned_entries += stats.pruned_object_entries;
+      total_pruned_edges += stats.pruned_back_edges;
     }
   }
+  // Liveness-pruned object tables need a program that actually holds a
+  // kernel resource across a Cp in several locations: a socket aliased in a
+  // dead register (never read again) and a live one (used for the release).
+  {
+    Assembler a;
+    a.Mov(R7, R1);
+    a.StImm(BPF_W, R10, -16, 1);
+    a.StImm(BPF_W, R10, -12, 2);
+    a.Mov(R2, R10);
+    a.AddImm(R2, -16);
+    a.MovImm(R3, 8);
+    a.MovImm(R4, 0);
+    a.MovImm(R5, 0);
+    a.Call(kHelperSkLookupUdp);
+    auto iff = a.IfImm(BPF_JNE, R0, 0);
+    a.Mov(R6, R0);  // dead alias: the old table policy would record it
+    a.Mov(R8, R0);  // live alias
+    a.MovImm(R0, 0);
+    a.Ldx(BPF_DW, R3, R7, 0);
+    a.LoadHeapAddr(R2, 64);
+    a.Add(R2, R3);
+    a.StImm(BPF_DW, R2, 0, 5);  // Cp while the socket is held
+    a.Mov(R1, R8);
+    a.Call(kHelperSkRelease);
+    a.EndIf(iff);
+    a.MovImm(R0, 0);
+    a.Exit();
+    auto p = a.Finish("sock_holder", Hook::kXdp, ExtensionMode::kKflex, kDsHeapSize);
+    auto analysis = p.ok() ? Verify(*p, VerifyOptions{}) : p.status();
+    auto ip = analysis.ok()
+                  ? Instrument(*p, *analysis, HeapLayout::ForSize(kDsHeapSize), {})
+                  : analysis.status();
+    if (!ip.ok()) {
+      std::fprintf(stderr, "Socket holder: %s\n", ip.status().ToString().c_str());
+      return 1;
+    }
+    const KieStats& stats = ip->stats;
+    std::printf("  %-22s %8zu %8zu %8zu %8.0f%% %10zu %7zu %7zu\n",
+                "Socket holder", stats.pointer_guard_sites, stats.guards_elided,
+                stats.guards_emitted,
+                stats.pointer_guard_sites == 0
+                    ? 100.0
+                    : 100.0 * static_cast<double>(stats.guards_elided) /
+                          static_cast<double>(stats.pointer_guard_sites),
+                stats.formation_guards, stats.object_table_entries,
+                stats.pruned_object_entries);
+    total_sites += stats.pointer_guard_sites;
+    total_elided += stats.guards_elided;
+    total_objtbl += stats.object_table_entries;
+    total_pruned_entries += stats.pruned_object_entries;
+    total_pruned_edges += stats.pruned_back_edges;
+  }
+
   std::printf("  %-22s %8zu %8zu %8s %8.0f%%\n", "TOTAL", total_sites, total_elided, "",
               total_sites == 0 ? 0.0
                                : 100.0 * static_cast<double>(total_elided) /
                                      static_cast<double>(total_sites));
+  std::printf(
+      "  object tables: %zu entries total; liveness pruned %zu dead handle entries;\n"
+      "  CFG loop scoping pruned %zu cancellation back edges\n",
+      total_objtbl, total_pruned_entries, total_pruned_edges);
   return 0;
 }

@@ -213,6 +213,12 @@ StatusOr<InstrumentedProgram> Instrument(const Program& program, const Analysis&
     out.object_tables[new_pc] = table;
   }
 
+  out.stats.pruned_back_edges = analysis.pruned_back_edges;
+  out.stats.pruned_object_entries = analysis.pruned_object_entries;
+  for (const auto& [pc, table] : out.object_tables) {
+    out.stats.object_table_entries += table.size();
+  }
+
   return out;
 }
 

@@ -93,6 +93,13 @@ struct KieStats {
   size_t cancellation_points = 0;  // C1 back-edge Cps inserted
   size_t insns_in = 0;
   size_t insns_out = 0;
+  // CFG/liveness refinements reported by the verifier (analysis.h): back
+  // edges the natural-loop scoping proved need no Cp, and object-table
+  // entries liveness redirected away from dead handle locations.
+  size_t pruned_back_edges = 0;
+  size_t pruned_object_entries = 0;
+  // Total object-table entries across all Cps of the instrumented program.
+  size_t object_table_entries = 0;
 };
 
 struct InstrumentedProgram {

@@ -68,6 +68,10 @@ struct Analysis {
   // Object table per potential cancellation point pc (heap accesses and
   // cancellation back edges). Empty table = nothing to release.
   std::map<size_t, std::set<ObjectTableEntry>> object_tables;
+  // Per-pc: 1 if symbolic execution reached the instruction. Stronger than
+  // CFG reachability (constant-folded branches never push the dead side);
+  // lint passes use it to skip code the verifier proved unreachable.
+  std::vector<uint8_t> insn_visited;
 
   // Statistics (feed Table 3 and EXPERIMENTS.md).
   size_t heap_access_insns = 0;   // accesses classified kHeap (incl. formation)
@@ -76,6 +80,11 @@ struct Analysis {
   size_t formation_guards = 0;    // untrusted-scalar guards (never elidable)
   size_t explored_insns = 0;      // total symbolic steps taken
   size_t explored_states = 0;     // states pushed on the exploration stack
+  // CFG/liveness refinements (cfg.h, dataflow.h): conservative back-edge
+  // marks the natural-loop scoping removed, and object-table entries the
+  // pre-liveness location policy would have emitted at a dead location.
+  size_t pruned_back_edges = 0;
+  size_t pruned_object_entries = 0;
 };
 
 }  // namespace kflex

@@ -1,0 +1,268 @@
+#include "src/verifier/cfg.h"
+
+#include <algorithm>
+
+namespace kflex {
+namespace {
+
+// Jump-taken target of a jump instruction at `pc` (not calls/exits).
+size_t JumpTarget(size_t pc, const Insn& insn) {
+  return pc + 1 + static_cast<size_t>(insn.off);
+}
+
+}  // namespace
+
+size_t Cfg::NextPc(size_t pc) const {
+  size_t next = pc + 1;
+  if (next < insn_start_.size() && !insn_start_[next]) {
+    next++;  // skip the hi slot of an ld_imm64
+  }
+  return next;
+}
+
+StatusOr<Cfg> Cfg::Build(const Program& program) {
+  const size_t n = program.size();
+  if (n == 0) {
+    return InvalidArgument("cfg: empty program");
+  }
+
+  Cfg cfg;
+  cfg.insn_start_.assign(n, false);
+  for (size_t pc = 0; pc < n; pc++) {
+    cfg.insn_start_[pc] = true;
+    if (program.insns[pc].IsLdImm64()) {
+      if (pc + 1 >= n) {
+        return InvalidArgument("cfg: truncated ld_imm64");
+      }
+      pc++;  // hi slot stays marked false
+    }
+  }
+
+  // Leaders: pc 0, every jump target, and the instruction after every
+  // jump/exit (start of the fall-through or dead-code region).
+  std::vector<bool> leader(n, false);
+  leader[0] = true;
+  for (size_t pc = 0; pc < n; pc++) {
+    if (!cfg.insn_start_[pc]) {
+      continue;
+    }
+    const Insn& insn = program.insns[pc];
+    size_t next = pc + (insn.IsLdImm64() ? 2 : 1);
+    if (insn.IsExit() || insn.IsUncondJmp() || insn.IsCondJmp()) {
+      if (next < n) {
+        leader[next] = true;
+      }
+      if (!insn.IsExit()) {
+        size_t target = JumpTarget(pc, insn);
+        if (target >= n || !cfg.insn_start_[target]) {
+          return InvalidArgument("cfg: jump target out of range or mid-instruction");
+        }
+        leader[target] = true;
+      }
+    }
+  }
+
+  // Carve blocks.
+  cfg.block_of_.assign(n, 0);
+  for (size_t pc = 0; pc < n;) {
+    BasicBlock bb;
+    bb.id = cfg.blocks_.size();
+    bb.start = pc;
+    size_t cur = pc;
+    while (true) {
+      const Insn& insn = program.insns[cur];
+      size_t next = cur + (insn.IsLdImm64() ? 2 : 1);
+      bool terminates = insn.IsExit() || insn.IsUncondJmp() || insn.IsCondJmp();
+      if (terminates || next >= n || leader[next]) {
+        bb.end = next;
+        break;
+      }
+      cur = next;
+    }
+    for (size_t p = bb.start; p < bb.end && p < n; p++) {
+      cfg.block_of_[p] = bb.id;
+    }
+    cfg.blocks_.push_back(bb);
+    pc = bb.end;
+  }
+
+  // Successor edges. Jump-taken edge first so callers can distinguish it.
+  for (BasicBlock& bb : cfg.blocks_) {
+    size_t last = bb.start;
+    for (size_t p = bb.start; p < bb.end; p = p + (program.insns[p].IsLdImm64() ? 2 : 1)) {
+      last = p;
+    }
+    const Insn& term = program.insns[last];
+    if (term.IsExit()) {
+      // no successors
+    } else if (term.IsUncondJmp()) {
+      bb.succs.push_back(cfg.block_of_[JumpTarget(last, term)]);
+    } else if (term.IsCondJmp()) {
+      bb.succs.push_back(cfg.block_of_[JumpTarget(last, term)]);
+      if (bb.end < n) {
+        bb.succs.push_back(cfg.block_of_[bb.end]);
+      }
+    } else if (bb.end < n) {
+      bb.succs.push_back(cfg.block_of_[bb.end]);
+    }
+  }
+  for (const BasicBlock& bb : cfg.blocks_) {
+    for (size_t s : bb.succs) {
+      cfg.blocks_[s].preds.push_back(bb.id);
+    }
+  }
+
+  // Reachability + postorder DFS from the entry block (iterative).
+  const size_t nb = cfg.blocks_.size();
+  cfg.reachable_.assign(nb, false);
+  std::vector<size_t> postorder;
+  {
+    std::vector<size_t> next_child(nb, 0);
+    std::vector<size_t> stack;
+    stack.push_back(0);
+    cfg.reachable_[0] = true;
+    while (!stack.empty()) {
+      size_t b = stack.back();
+      if (next_child[b] < cfg.blocks_[b].succs.size()) {
+        size_t s = cfg.blocks_[b].succs[next_child[b]++];
+        if (!cfg.reachable_[s]) {
+          cfg.reachable_[s] = true;
+          stack.push_back(s);
+        }
+      } else {
+        postorder.push_back(b);
+        stack.pop_back();
+      }
+    }
+  }
+  cfg.rpo_.assign(postorder.rbegin(), postorder.rend());
+  cfg.rpo_index_.assign(nb, nb);
+  for (size_t i = 0; i < cfg.rpo_.size(); i++) {
+    cfg.rpo_index_[cfg.rpo_[i]] = i;
+  }
+
+  // Iterative dominators (Cooper/Harvey/Kennedy) over reachable blocks.
+  constexpr size_t kUndef = static_cast<size_t>(-1);
+  std::vector<size_t> idom(nb, kUndef);
+  idom[0] = 0;
+  auto intersect = [&](size_t a, size_t b) {
+    while (a != b) {
+      while (cfg.rpo_index_[a] > cfg.rpo_index_[b]) {
+        a = idom[a];
+      }
+      while (cfg.rpo_index_[b] > cfg.rpo_index_[a]) {
+        b = idom[b];
+      }
+    }
+    return a;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t b : cfg.rpo_) {
+      if (b == 0) {
+        continue;
+      }
+      size_t new_idom = kUndef;
+      for (size_t p : cfg.blocks_[b].preds) {
+        if (!cfg.reachable_[p] || idom[p] == kUndef) {
+          continue;
+        }
+        new_idom = (new_idom == kUndef) ? p : intersect(p, new_idom);
+      }
+      if (new_idom != kUndef && idom[b] != new_idom) {
+        idom[b] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  cfg.idom_.assign(nb, 0);
+  for (size_t b = 0; b < nb; b++) {
+    cfg.idom_[b] = (idom[b] == kUndef) ? b : idom[b];
+  }
+
+  // Natural loops: for each backward jump pc whose target block dominates
+  // the source block, collect the loop body by walking predecessors from the
+  // tail until the head.
+  for (size_t pc = 0; pc < n; pc++) {
+    if (!cfg.insn_start_[pc]) {
+      continue;
+    }
+    const Insn& insn = program.insns[pc];
+    if (!(insn.IsUncondJmp() || insn.IsCondJmp())) {
+      continue;
+    }
+    size_t target = JumpTarget(pc, insn);
+    if (target > pc) {
+      continue;  // forward edge
+    }
+    size_t tail = cfg.block_of_[pc];
+    size_t head = cfg.block_of_[target];
+    if (!cfg.reachable_[tail] || !cfg.reachable_[head] || !cfg.Dominates(head, tail) ||
+        target != cfg.blocks_[head].start) {
+      // Retreating edge that does not close a natural loop (irreducible
+      // region, or a jump into the middle of a block — the latter cannot
+      // happen since targets are leaders, kept for clarity).
+      cfg.irreducible_edge_pcs_.insert(pc);
+      continue;
+    }
+    Loop loop;
+    loop.back_edge_pc = pc;
+    loop.head = head;
+    loop.blocks.insert(head);
+    std::vector<size_t> work;
+    if (loop.blocks.insert(tail).second) {
+      work.push_back(tail);
+    }
+    while (!work.empty()) {
+      size_t b = work.back();
+      work.pop_back();
+      for (size_t p : cfg.blocks_[b].preds) {
+        if (cfg.reachable_[p] && loop.blocks.insert(p).second) {
+          work.push_back(p);
+        }
+      }
+    }
+    cfg.loops_.push_back(std::move(loop));
+  }
+
+  return cfg;
+}
+
+bool Cfg::Dominates(size_t a, size_t b) const {
+  if (!reachable_[a] || !reachable_[b]) {
+    return a == b;
+  }
+  // Walk b's dominator chain toward the entry.
+  size_t cur = b;
+  while (true) {
+    if (cur == a) {
+      return true;
+    }
+    size_t up = idom_[cur];
+    if (up == cur) {
+      return false;  // reached the entry (or a self-idom'd unreachable block)
+    }
+    cur = up;
+  }
+}
+
+bool Cfg::IsNaturalBackEdge(size_t back_edge_pc) const {
+  for (const Loop& loop : loops_) {
+    if (loop.back_edge_pc == back_edge_pc) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Cfg::InLoopOfBackEdge(size_t back_edge_pc, size_t pc) const {
+  for (const Loop& loop : loops_) {
+    if (loop.back_edge_pc == back_edge_pc) {
+      return loop.blocks.count(block_of_[pc]) > 0;
+    }
+  }
+  return false;
+}
+
+}  // namespace kflex

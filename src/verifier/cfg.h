@@ -1,0 +1,105 @@
+// Control-flow graph over extension bytecode: basic blocks, reachability,
+// reverse postorder, immediate dominators, and natural loops.
+//
+// This is the whole-program skeleton the dataflow solvers (dataflow.h) and
+// the lint passes (lint.h) walk, and what the verifier consults to decide
+// which loop back edges genuinely need cancellation points and which object
+// table entries are live at a Cp (§3.2, §3.3). It is purely structural: no
+// value tracking, so it can be built for any structurally valid program,
+// including ones the symbolic verifier later rejects.
+#ifndef SRC_VERIFIER_CFG_H_
+#define SRC_VERIFIER_CFG_H_
+
+#include <cstddef>
+#include <set>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ebpf/program.h"
+
+namespace kflex {
+
+// Half-open pc range [start, end) of straight-line code. `end` points one
+// past the last slot of the terminator (so an ld_imm64 pair contributes two
+// slots but one instruction).
+struct BasicBlock {
+  size_t id = 0;
+  size_t start = 0;
+  size_t end = 0;
+  std::vector<size_t> succs;  // successor block ids, jump-taken edge first
+  std::vector<size_t> preds;  // predecessor block ids
+};
+
+class Cfg {
+ public:
+  // Requires a structurally valid program (in-range jump targets, no jump
+  // into the hi slot of an ld_imm64, non-empty). Returns InvalidArgument
+  // otherwise.
+  static StatusOr<Cfg> Build(const Program& program);
+
+  const std::vector<BasicBlock>& blocks() const { return blocks_; }
+  size_t num_blocks() const { return blocks_.size(); }
+
+  // Block containing `pc` (valid for any slot, including ld_imm64 hi slots).
+  size_t BlockOf(size_t pc) const { return block_of_[pc]; }
+
+  // True if the block is reachable from the entry block.
+  bool Reachable(size_t block) const { return reachable_[block]; }
+
+  // True if `pc` is the first slot of an instruction (not an ld_imm64 hi
+  // slot).
+  bool IsInsnStart(size_t pc) const { return insn_start_[pc]; }
+
+  // Pc of the instruction following the one at `pc` in program order
+  // (pc + 2 for ld_imm64, else pc + 1).
+  size_t NextPc(size_t pc) const;
+
+  // Reachable blocks in reverse postorder (entry first).
+  const std::vector<size_t>& rpo() const { return rpo_; }
+
+  // Immediate dominator of a reachable block; the entry block is its own
+  // idom. Unreachable blocks report themselves.
+  size_t ImmediateDominator(size_t block) const { return idom_[block]; }
+
+  // True if block `a` dominates block `b` (reflexive). Unreachable blocks
+  // are dominated by nothing but themselves.
+  bool Dominates(size_t a, size_t b) const;
+
+  // A natural loop: the back edge's jump pc, its head block, and the set of
+  // blocks in the loop (head and tail included).
+  struct Loop {
+    size_t back_edge_pc = 0;  // pc of the backward jump forming the edge
+    size_t head = 0;          // loop header block id (dominates the tail)
+    std::set<size_t> blocks;  // block ids in the natural loop
+  };
+  const std::vector<Loop>& loops() const { return loops_; }
+
+  // True if `back_edge_pc` closes a natural loop (its target dominates its
+  // source). Retreating edges of irreducible control flow return false and
+  // must be treated conservatively by callers.
+  bool IsNaturalBackEdge(size_t back_edge_pc) const;
+
+  // True if the instruction at `pc` lies inside the natural loop closed by
+  // the back edge at `back_edge_pc`. False if that edge is not a natural
+  // back edge.
+  bool InLoopOfBackEdge(size_t back_edge_pc, size_t pc) const;
+
+  // Backward jump pcs (target <= source) that do NOT close a natural loop:
+  // retreating edges of irreducible regions.
+  const std::set<size_t>& irreducible_edge_pcs() const { return irreducible_edge_pcs_; }
+
+ private:
+  std::vector<BasicBlock> blocks_;
+  std::vector<size_t> block_of_;   // pc -> block id
+  std::vector<bool> insn_start_;   // pc -> first slot of an instruction?
+  std::vector<bool> reachable_;    // block id -> reachable from entry?
+  std::vector<size_t> rpo_;        // reachable block ids, reverse postorder
+  std::vector<size_t> rpo_index_;  // block id -> position in rpo_
+  std::vector<size_t> idom_;       // block id -> immediate dominator
+  std::vector<Loop> loops_;
+  std::set<size_t> irreducible_edge_pcs_;
+};
+
+}  // namespace kflex
+
+#endif  // SRC_VERIFIER_CFG_H_

@@ -1,0 +1,158 @@
+// Generic bit-vector dataflow over the CFG, plus the backward liveness
+// analysis (registers + stack slots) the verifier uses to prune object-table
+// entries whose handle location is dead at a cancellation point (§3.3) and
+// the lint passes use to find dead stores.
+#ifndef SRC_VERIFIER_DATAFLOW_H_
+#define SRC_VERIFIER_DATAFLOW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/ebpf/program.h"
+#include "src/verifier/analysis.h"
+#include "src/verifier/cfg.h"
+
+namespace kflex {
+
+// Dense fixed-width bitset sized at construction.
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(size_t bits) : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  size_t size() const { return bits_; }
+  void Set(size_t i) { words_[i / 64] |= 1ULL << (i % 64); }
+  void Clear(size_t i) { words_[i / 64] &= ~(1ULL << (i % 64)); }
+  bool Test(size_t i) const { return (words_[i / 64] >> (i % 64)) & 1; }
+  void SetAll() {
+    for (auto& w : words_) {
+      w = ~0ULL;
+    }
+    TrimTail();
+  }
+  void ClearAll() {
+    for (auto& w : words_) {
+      w = 0;
+    }
+  }
+
+  // In-place set operations; the mutating forms report whether bits changed.
+  bool UnionWith(const BitVec& o) {
+    bool changed = false;
+    for (size_t i = 0; i < words_.size(); i++) {
+      uint64_t next = words_[i] | o.words_[i];
+      changed |= next != words_[i];
+      words_[i] = next;
+    }
+    return changed;
+  }
+  bool IntersectWith(const BitVec& o) {
+    bool changed = false;
+    for (size_t i = 0; i < words_.size(); i++) {
+      uint64_t next = words_[i] & o.words_[i];
+      changed |= next != words_[i];
+      words_[i] = next;
+    }
+    return changed;
+  }
+  void Subtract(const BitVec& o) {
+    for (size_t i = 0; i < words_.size(); i++) {
+      words_[i] &= ~o.words_[i];
+    }
+  }
+
+  bool operator==(const BitVec& o) const = default;
+
+ private:
+  void TrimTail() {
+    if (bits_ % 64 != 0 && !words_.empty()) {
+      words_.back() &= (1ULL << (bits_ % 64)) - 1;
+    }
+  }
+  size_t bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+enum class DataflowDirection { kForward, kBackward };
+enum class MeetOp { kUnion, kIntersect };
+
+// A gen/kill style problem over a finite bit domain. Transfer() is applied
+// per instruction in execution order (forward) or reverse execution order
+// (backward); the solver handles block iteration and the meet.
+class DataflowProblem {
+ public:
+  virtual ~DataflowProblem() = default;
+  virtual size_t NumBits() const = 0;
+  virtual DataflowDirection Direction() const = 0;
+  virtual MeetOp Meet() const = 0;
+  // Value at the entry point (forward) or at every exit (backward).
+  virtual BitVec Boundary() const { return BitVec(NumBits()); }
+  // Mutate `v` through the instruction at `pc`.
+  virtual void Transfer(size_t pc, const Insn& insn, BitVec& v) const = 0;
+};
+
+// Fixed-point solution with a per-instruction value:
+//   forward problems:  At(pc) = facts holding immediately BEFORE pc executes
+//   backward problems: At(pc) = facts holding immediately BEFORE pc executes
+//                      (i.e. live-in for liveness)
+class DataflowSolution {
+ public:
+  const BitVec& At(size_t pc) const { return at_[pc]; }
+
+ private:
+  friend DataflowSolution SolveDataflow(const Program&, const Cfg&, const DataflowProblem&);
+  std::vector<BitVec> at_;
+};
+
+DataflowSolution SolveDataflow(const Program& program, const Cfg& cfg,
+                               const DataflowProblem& problem);
+
+// ---- Liveness ---------------------------------------------------------------
+
+inline constexpr int kStackSlotCount = kStackSize / 8;
+
+// Bit layout of the liveness domain: [0, kNumRegs) are registers,
+// [kNumRegs, kNumRegs + kStackSlotCount) are 8-byte stack slots (slot i
+// covers bytes [R10 - kStackSize + 8*i, +8)).
+class Liveness {
+ public:
+  // `analysis` (from a successful Verify) sharpens stack-slot tracking:
+  // loads through non-R10 registers only touch stack slots when the
+  // verifier classified the access kStack. Pass nullptr for unverified
+  // programs; every load through a non-R10 register then conservatively
+  // reads all slots.
+  static Liveness Compute(const Program& program, const Cfg& cfg,
+                          const Analysis* analysis = nullptr);
+
+  bool RegLiveIn(size_t pc, int reg) const { return solution_.At(pc).Test(reg); }
+  bool SlotLiveIn(size_t pc, int slot) const {
+    return solution_.At(pc).Test(static_cast<size_t>(kNumRegs) + slot);
+  }
+  // Live after the instruction at `pc` (union over successors for
+  // terminators).
+  bool RegLiveOut(size_t pc, int reg) const { return out_[pc].Test(reg); }
+  bool SlotLiveOut(size_t pc, int slot) const {
+    return out_[pc].Test(static_cast<size_t>(kNumRegs) + slot);
+  }
+
+  const BitVec& LiveIn(size_t pc) const { return solution_.At(pc); }
+  const BitVec& LiveOut(size_t pc) const { return out_[pc]; }
+
+  // Stack slot index for a frame-pointer offset, or -1 if out of frame.
+  static int SlotForOffset(int64_t off) {
+    int64_t byte = off + kStackSize;
+    if (byte < 0 || byte >= kStackSize) {
+      return -1;
+    }
+    return static_cast<int>(byte / 8);
+  }
+
+ private:
+  DataflowSolution solution_;
+  std::vector<BitVec> out_;
+};
+
+}  // namespace kflex
+
+#endif  // SRC_VERIFIER_DATAFLOW_H_

@@ -1,0 +1,578 @@
+#include "src/verifier/lint.h"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "src/ebpf/helper_ids.h"
+
+namespace kflex {
+
+const char* LintSeverityName(LintSeverity severity) {
+  switch (severity) {
+    case LintSeverity::kNote:
+      return "note";
+    case LintSeverity::kWarning:
+      return "warning";
+    case LintSeverity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string RegName(int reg) { return "r" + std::to_string(reg); }
+
+// ---- Local constant propagation ---------------------------------------------
+//
+// A tiny block-local abstract value: statically known scalar, or statically
+// known extension-heap offset (lock identity). Block entries start unknown,
+// which keeps every derived finding provable regardless of path.
+
+struct AbsVal {
+  enum Kind { kUnknown, kConst, kHeapOff } kind = kUnknown;
+  uint64_t v = 0;
+
+  static AbsVal Const(uint64_t v) { return {kConst, v}; }
+  static AbsVal HeapOff(uint64_t v) { return {kHeapOff, v}; }
+};
+
+struct AbsRegs {
+  std::array<AbsVal, kNumRegs> r;
+};
+
+void AbsStep(const Program& prog, size_t pc, AbsRegs& regs) {
+  const Insn& insn = prog.insns[pc];
+  if (insn.IsLdImm64()) {
+    uint64_t imm = LdImm64Value(insn, prog.insns[pc + 1]);
+    if (insn.src == kPseudoHeapVar) {
+      regs.r[insn.dst] = AbsVal::HeapOff(imm);
+    } else if (insn.src == kPseudoNone) {
+      regs.r[insn.dst] = AbsVal::Const(imm);
+    } else {
+      regs.r[insn.dst] = AbsVal();
+    }
+    return;
+  }
+  if (insn.IsAlu()) {
+    bool is64 = insn.Class() == BPF_ALU64;
+    uint8_t op = insn.AluOpField();
+    AbsVal src = insn.SrcField() == BPF_X
+                     ? regs.r[insn.src]
+                     : AbsVal::Const(is64 ? static_cast<uint64_t>(static_cast<int64_t>(insn.imm))
+                                          : static_cast<uint32_t>(insn.imm));
+    AbsVal& dst = regs.r[insn.dst];
+    switch (op) {
+      case BPF_MOV:
+        dst = src;
+        if (!is64 && dst.kind == AbsVal::kConst) {
+          dst.v = static_cast<uint32_t>(dst.v);
+        } else if (!is64) {
+          dst = AbsVal();
+        }
+        break;
+      case BPF_ADD:
+        if (dst.kind != AbsVal::kUnknown && src.kind == AbsVal::kConst) {
+          dst.v += src.v;
+        } else if (dst.kind == AbsVal::kConst && src.kind == AbsVal::kHeapOff) {
+          dst = AbsVal::HeapOff(dst.v + src.v);
+        } else {
+          dst = AbsVal();
+        }
+        if (!is64 && dst.kind == AbsVal::kConst) {
+          dst.v = static_cast<uint32_t>(dst.v);
+        }
+        break;
+      case BPF_SUB:
+        if (dst.kind != AbsVal::kUnknown && src.kind == AbsVal::kConst) {
+          dst.v -= src.v;
+          if (!is64 && dst.kind == AbsVal::kConst) {
+            dst.v = static_cast<uint32_t>(dst.v);
+          }
+        } else {
+          dst = AbsVal();
+        }
+        break;
+      default:
+        dst = AbsVal();
+        break;
+    }
+    return;
+  }
+  if (insn.IsLoad()) {
+    regs.r[insn.dst] = AbsVal();
+    return;
+  }
+  if (insn.IsAtomic()) {
+    if (insn.imm == BPF_ATOMIC_CMPXCHG) {
+      regs.r[R0] = AbsVal();
+    } else if (insn.imm == BPF_ATOMIC_XCHG || (insn.imm & BPF_ATOMIC_FETCH) != 0) {
+      regs.r[insn.src] = AbsVal();
+    }
+    return;
+  }
+  if (insn.IsCall()) {
+    for (int r = R0; r <= R5; r++) {
+      regs.r[r] = AbsVal();
+    }
+    return;
+  }
+}
+
+// ---- Pass: dead-code --------------------------------------------------------
+
+void DeadCodePass(const LintContext& ctx, std::vector<Finding>& out) {
+  const Program& prog = ctx.program;
+  for (const BasicBlock& bb : ctx.cfg.blocks()) {
+    if (!ctx.cfg.Reachable(bb.id)) {
+      out.push_back({bb.start, LintSeverity::kWarning, "dead-code",
+                     "unreachable code: no path from the entry reaches this instruction"});
+      continue;
+    }
+    for (size_t pc = bb.start; pc < bb.end; pc = ctx.cfg.NextPc(pc)) {
+      const Insn& insn = prog.insns[pc];
+      if (insn.IsAlu() || insn.IsLdImm64()) {
+        if (!ctx.liveness.RegLiveOut(pc, insn.dst)) {
+          out.push_back({pc, LintSeverity::kWarning, "dead-code",
+                         "dead store: value written to " + RegName(insn.dst) +
+                             " is never read"});
+        }
+      } else if (insn.IsLoad()) {
+        if (!ctx.liveness.RegLiveOut(pc, insn.dst)) {
+          out.push_back({pc, LintSeverity::kNote, "dead-code",
+                         "load result in " + RegName(insn.dst) + " is never read"});
+        }
+      } else if (insn.IsStore() && insn.dst == R10 && insn.AccessSize() == 8 &&
+                 (insn.off + kStackSize) % 8 == 0) {
+        int slot = Liveness::SlotForOffset(insn.off);
+        if (slot >= 0 && !ctx.liveness.SlotLiveOut(pc, slot)) {
+          out.push_back({pc, LintSeverity::kWarning, "dead-code",
+                         "dead store: stack slot at fp" + std::to_string(insn.off) +
+                             " is never read"});
+        }
+      }
+    }
+  }
+}
+
+// ---- Pass: lock-order -------------------------------------------------------
+//
+// Must-hold analysis over constant lock identities (heap offsets). The held
+// set meets by intersection, so a lock is only "held" at a program point if
+// it is held on EVERY path reaching it — acquisition-order facts derived
+// from it are provable, never speculative.
+
+// True when the verifier's symbolic execution proved this pc unreachable
+// (a constant-folded branch never pushed the dead side). Resource facts
+// from such code are not real: the runtime can never execute it.
+bool VerifierUnreached(const LintContext& ctx, size_t pc) {
+  return ctx.analysis != nullptr && pc < ctx.analysis->insn_visited.size() &&
+         ctx.analysis->insn_visited[pc] == 0;
+}
+
+struct LockState {
+  bool known = false;          // block visited by the fixpoint yet?
+  std::set<uint64_t> held;     // lock heap offsets held on all paths
+};
+
+bool MeetLockState(LockState& into, const LockState& from) {
+  if (!from.known) {
+    return false;
+  }
+  if (!into.known) {
+    into = from;
+    return true;
+  }
+  size_t before = into.held.size();
+  for (auto it = into.held.begin(); it != into.held.end();) {
+    if (from.held.count(*it) == 0) {
+      it = into.held.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return into.held.size() != before;
+}
+
+void LockOrderPass(const LintContext& ctx, std::vector<Finding>& out) {
+  const Program& prog = ctx.program;
+  const size_t nb = ctx.cfg.num_blocks();
+  std::vector<LockState> entry(nb);
+  entry[0].known = true;
+
+  // (outer lock, inner lock) -> pc where inner was acquired under outer.
+  std::map<std::pair<uint64_t, uint64_t>, size_t> order;
+  std::vector<Finding> reacquire;
+
+  auto transfer = [&](const BasicBlock& bb, LockState s, bool collect) {
+    AbsRegs regs;
+    for (size_t pc = bb.start; pc < bb.end; pc = ctx.cfg.NextPc(pc)) {
+      const Insn& insn = prog.insns[pc];
+      if (insn.IsCall()) {
+        const HelperContract* contract = FindHelperContract(insn.imm);
+        if (contract != nullptr && contract->acquires == ResourceKind::kLock &&
+            !VerifierUnreached(ctx, pc)) {
+          if (regs.r[R1].kind == AbsVal::kHeapOff) {
+            uint64_t off = regs.r[R1].v;
+            if (collect) {
+              for (uint64_t outer : s.held) {
+                order.emplace(std::make_pair(outer, off), pc);
+              }
+              if (s.held.count(off) != 0) {
+                reacquire.push_back(
+                    {pc, LintSeverity::kError, "lock-order",
+                     "deadlock: lock at heap offset " + std::to_string(off) +
+                         " re-acquired while already held"});
+              }
+            }
+            s.held.insert(off);
+          }
+          // Unknown lock identity: leaves the must-held set untouched.
+        } else if (contract != nullptr && contract->releases == ResourceKind::kLock) {
+          if (regs.r[R1].kind == AbsVal::kHeapOff) {
+            s.held.erase(regs.r[R1].v);
+          } else {
+            s.held.clear();  // released *some* lock; drop all must-hold facts
+          }
+        }
+      }
+      AbsStep(prog, pc, regs);
+    }
+    return s;
+  };
+
+  // Fixpoint, then one collecting sweep with converged entry states.
+  std::deque<size_t> work(ctx.cfg.rpo().begin(), ctx.cfg.rpo().end());
+  while (!work.empty()) {
+    size_t b = work.front();
+    work.pop_front();
+    if (!entry[b].known) {
+      continue;
+    }
+    LockState exit = transfer(ctx.cfg.blocks()[b], entry[b], /*collect=*/false);
+    for (size_t succ : ctx.cfg.blocks()[b].succs) {
+      if (MeetLockState(entry[succ], exit)) {
+        work.push_back(succ);
+      }
+    }
+  }
+  for (size_t b : ctx.cfg.rpo()) {
+    if (entry[b].known) {
+      transfer(ctx.cfg.blocks()[b], entry[b], /*collect=*/true);
+    }
+  }
+
+  for (const auto& [pair, pc] : order) {
+    auto inverse = order.find({pair.second, pair.first});
+    if (pair.first < pair.second && inverse != order.end()) {
+      out.push_back({pc, LintSeverity::kError, "lock-order",
+                     "lock-order inversion: lock at heap offset " +
+                         std::to_string(pair.second) + " acquired while holding " +
+                         std::to_string(pair.first) + ", but insn " +
+                         std::to_string(inverse->second) +
+                         " acquires them in the opposite order (deadlock risk)"});
+    }
+  }
+  out.insert(out.end(), reacquire.begin(), reacquire.end());
+}
+
+// ---- Pass: ref-leak ---------------------------------------------------------
+//
+// May-leak analysis of acquired kernel references (sockets). Handles are
+// tracked through moves, spills and fills; a JEQ/JNE null check retires the
+// acquisition on the NULL branch exactly like the verifier does. A release
+// through an untracked register conservatively clears every open
+// acquisition, so a finding means: some path provably reaches this exit
+// with the reference still held.
+
+struct RefLeakState {
+  bool known = false;
+  std::set<size_t> open;                        // acquire pcs possibly live
+  std::array<size_t, kNumRegs> reg{};           // tag: acquire pc + 1, 0 = none
+  std::array<size_t, kStackSlotCount> slot{};
+};
+
+bool MeetRefLeakState(RefLeakState& into, const RefLeakState& from) {
+  if (!from.known) {
+    return false;
+  }
+  if (!into.known) {
+    into = from;
+    return true;
+  }
+  bool changed = false;
+  for (size_t pc : from.open) {
+    changed |= into.open.insert(pc).second;
+  }
+  for (size_t i = 0; i < into.reg.size(); i++) {
+    if (into.reg[i] != from.reg[i] && into.reg[i] != 0) {
+      into.reg[i] = 0;
+      changed = true;
+    }
+  }
+  for (size_t i = 0; i < into.slot.size(); i++) {
+    if (into.slot[i] != from.slot[i] && into.slot[i] != 0) {
+      into.slot[i] = 0;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+void RefLeakKill(RefLeakState& s, size_t tag) {
+  s.open.erase(tag - 1);
+  for (auto& t : s.reg) {
+    if (t == tag) {
+      t = 0;
+    }
+  }
+  for (auto& t : s.slot) {
+    if (t == tag) {
+      t = 0;
+    }
+  }
+}
+
+void RefLeakPass(const LintContext& ctx, std::vector<Finding>& out) {
+  const Program& prog = ctx.program;
+  const size_t nb = ctx.cfg.num_blocks();
+  std::vector<RefLeakState> entry(nb);
+  entry[0].known = true;
+
+  auto transfer = [&](const BasicBlock& bb, RefLeakState s,
+                      std::vector<Finding>* findings) {
+    for (size_t pc = bb.start; pc < bb.end; pc = ctx.cfg.NextPc(pc)) {
+      const Insn& insn = prog.insns[pc];
+      if (insn.IsCall()) {
+        const HelperContract* contract = FindHelperContract(insn.imm);
+        if (contract != nullptr && contract->releases == ResourceKind::kSocket) {
+          size_t tag = s.reg[R1];
+          if (tag != 0) {
+            RefLeakKill(s, tag);
+          } else {
+            s.open.clear();  // released an untracked handle: assume any
+          }
+        }
+        for (int r = R0; r <= R5; r++) {
+          s.reg[r] = 0;
+        }
+        if (contract != nullptr && contract->acquires == ResourceKind::kSocket &&
+            !VerifierUnreached(ctx, pc)) {
+          s.open.insert(pc);
+          s.reg[R0] = pc + 1;
+        }
+      } else if (insn.IsAlu()) {
+        if (insn.AluOpField() == BPF_MOV && insn.SrcField() == BPF_X &&
+            insn.Class() == BPF_ALU64) {
+          s.reg[insn.dst] = s.reg[insn.src];
+        } else {
+          s.reg[insn.dst] = 0;
+        }
+      } else if (insn.IsLdImm64()) {
+        s.reg[insn.dst] = 0;
+      } else if (insn.IsLoad()) {
+        int slot = -1;
+        if (insn.src == R10 && insn.AccessSize() == 8 && (insn.off + kStackSize) % 8 == 0) {
+          slot = Liveness::SlotForOffset(insn.off);
+        }
+        s.reg[insn.dst] = slot >= 0 ? s.slot[slot] : 0;
+      } else if (insn.IsStore() && insn.dst == R10) {
+        int first = Liveness::SlotForOffset(insn.off);
+        int last = Liveness::SlotForOffset(insn.off + insn.AccessSize() - 1);
+        bool full = insn.AccessSize() == 8 && (insn.off + kStackSize) % 8 == 0;
+        if (full && first >= 0 && insn.Class() == BPF_STX) {
+          s.slot[first] = s.reg[insn.src];
+        } else if (first >= 0 && last >= 0) {
+          for (int sl = first; sl <= last; sl++) {
+            s.slot[sl] = 0;
+          }
+        }
+      } else if (insn.IsAtomic()) {
+        if (insn.imm == BPF_ATOMIC_CMPXCHG) {
+          s.reg[R0] = 0;
+        } else if (insn.imm == BPF_ATOMIC_XCHG || (insn.imm & BPF_ATOMIC_FETCH) != 0) {
+          s.reg[insn.src] = 0;
+        }
+      } else if (insn.IsExit() && findings != nullptr && !VerifierUnreached(ctx, pc)) {
+        for (size_t acquire_pc : s.open) {
+          findings->push_back({pc, LintSeverity::kError, "ref-leak",
+                               "kernel reference acquired at insn " +
+                                   std::to_string(acquire_pc) +
+                                   " may still be held on this exit path"});
+        }
+      }
+    }
+    return s;
+  };
+
+  // Null checks retire the acquisition on the NULL edge (succ 0 = taken).
+  auto edge_state = [&](const BasicBlock& bb, const RefLeakState& exit,
+                        size_t succ_index) {
+    RefLeakState s = exit;
+    size_t last = bb.start;
+    for (size_t p = bb.start; p < bb.end; p = ctx.cfg.NextPc(p)) {
+      last = p;
+    }
+    const Insn& term = prog.insns[last];
+    if (term.IsCondJmp() && term.SrcField() == BPF_K && term.imm == 0 &&
+        term.Class() == BPF_JMP) {
+      size_t tag = s.reg[term.dst];
+      uint8_t op = term.AluOpField();
+      if (tag != 0 &&
+          ((op == BPF_JEQ && succ_index == 0) || (op == BPF_JNE && succ_index == 1))) {
+        RefLeakKill(s, tag);  // this edge is the handle == NULL branch
+      }
+    }
+    return s;
+  };
+
+  std::deque<size_t> work(ctx.cfg.rpo().begin(), ctx.cfg.rpo().end());
+  while (!work.empty()) {
+    size_t b = work.front();
+    work.pop_front();
+    if (!entry[b].known) {
+      continue;
+    }
+    const BasicBlock& bb = ctx.cfg.blocks()[b];
+    RefLeakState exit = transfer(bb, entry[b], nullptr);
+    for (size_t i = 0; i < bb.succs.size(); i++) {
+      if (MeetRefLeakState(entry[bb.succs[i]], edge_state(bb, exit, i))) {
+        work.push_back(bb.succs[i]);
+      }
+    }
+  }
+  for (size_t b : ctx.cfg.rpo()) {
+    if (entry[b].known) {
+      transfer(ctx.cfg.blocks()[b], entry[b], &out);
+    }
+  }
+}
+
+// ---- Pass: helper-contract --------------------------------------------------
+//
+// Flags helper calls whose constant-folded arguments provably violate the
+// helper's contract or can never succeed at runtime. Anything not statically
+// known is left to the verifier's path-sensitive typing.
+
+void HelperContractPass(const LintContext& ctx, std::vector<Finding>& out) {
+  const Program& prog = ctx.program;
+  for (const BasicBlock& bb : ctx.cfg.blocks()) {
+    if (!ctx.cfg.Reachable(bb.id)) {
+      continue;
+    }
+    AbsRegs regs;
+    for (size_t pc = bb.start; pc < bb.end; pc = ctx.cfg.NextPc(pc)) {
+      const Insn& insn = prog.insns[pc];
+      if (insn.IsCall()) {
+        const HelperContract* contract = FindHelperContract(insn.imm);
+        if (contract != nullptr) {
+          for (int i = 0; i < 5; i++) {
+            if (contract->args[i] != HelperArgType::kMemSize) {
+              continue;
+            }
+            const AbsVal& v = regs.r[R1 + i];
+            if (v.kind == AbsVal::kConst && (v.v == 0 || v.v > kStackSize)) {
+              out.push_back({pc, LintSeverity::kError, "helper-contract",
+                             std::string(contract->name) + ": size argument " +
+                                 std::to_string(v.v) +
+                                 " is outside the valid stack-memory range [1, " +
+                                 std::to_string(kStackSize) + "]"});
+            }
+          }
+          const AbsVal& arg1 = regs.r[R1];
+          switch (contract->id) {
+            case kHelperKflexMalloc:
+              if (arg1.kind == AbsVal::kConst) {
+                if (arg1.v == 0) {
+                  out.push_back({pc, LintSeverity::kWarning, "helper-contract",
+                                 "kflex_malloc(0): zero-byte allocation"});
+                } else if (prog.heap_size != 0 && arg1.v > prog.heap_size) {
+                  out.push_back({pc, LintSeverity::kError, "helper-contract",
+                                 "kflex_malloc(" + std::to_string(arg1.v) +
+                                     ") can never succeed: request exceeds the " +
+                                     std::to_string(prog.heap_size) +
+                                     "-byte extension heap"});
+                }
+              }
+              break;
+            case kHelperKflexFree:
+              if (arg1.kind == AbsVal::kConst && arg1.v == 0) {
+                out.push_back({pc, LintSeverity::kWarning, "helper-contract",
+                               "kflex_free(NULL) has no effect"});
+              }
+              break;
+            case kHelperKflexSpinLock:
+            case kHelperKflexSpinUnlock:
+              if (arg1.kind == AbsVal::kHeapOff) {
+                if (arg1.v % 8 != 0) {
+                  out.push_back({pc, LintSeverity::kWarning, "helper-contract",
+                                 std::string(contract->name) +
+                                     ": lock address at heap offset " +
+                                     std::to_string(arg1.v) + " is not 8-byte aligned"});
+                }
+                if (prog.heap_size != 0 && arg1.v + 8 > prog.heap_size) {
+                  out.push_back({pc, LintSeverity::kError, "helper-contract",
+                                 std::string(contract->name) + ": lock at heap offset " +
+                                     std::to_string(arg1.v) +
+                                     " lies outside the extension heap"});
+                }
+              }
+              break;
+            default:
+              break;
+          }
+        }
+      }
+      AbsStep(prog, pc, regs);
+    }
+  }
+}
+
+// ---- Registry ---------------------------------------------------------------
+
+std::vector<LintPass>& MutablePasses() {
+  static std::vector<LintPass>* passes = new std::vector<LintPass>{
+      {"dead-code", "dead stores and unreachable basic blocks", DeadCodePass},
+      {"lock-order", "lock-order inversions and re-acquisition deadlocks", LockOrderPass},
+      {"ref-leak", "kernel references that may leak on an exit path", RefLeakPass},
+      {"helper-contract", "helper calls with provably invalid constant arguments",
+       HelperContractPass},
+  };
+  return *passes;
+}
+
+}  // namespace
+
+const std::vector<LintPass>& LintPasses() { return MutablePasses(); }
+
+bool RegisterLintPass(const LintPass& pass) {
+  for (const LintPass& existing : MutablePasses()) {
+    if (std::string(existing.name) == pass.name) {
+      return false;
+    }
+  }
+  MutablePasses().push_back(pass);
+  return true;
+}
+
+StatusOr<std::vector<Finding>> RunLint(const Program& program, const Analysis* analysis) {
+  auto cfg = Cfg::Build(program);
+  if (!cfg.ok()) {
+    return cfg.status();
+  }
+  Liveness liveness = Liveness::Compute(program, *cfg, analysis);
+  LintContext ctx{program, *cfg, liveness, analysis};
+  std::vector<Finding> findings;
+  for (const LintPass& pass : LintPasses()) {
+    pass.run(ctx, findings);
+  }
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.pc, a.pass, a.message) < std::tie(b.pc, b.pass, b.message);
+  });
+  return findings;
+}
+
+}  // namespace kflex

@@ -1,0 +1,71 @@
+// Pluggable lint passes over extension bytecode, built on the CFG/dataflow
+// framework (cfg.h, dataflow.h). Lint findings are advisory diagnostics —
+// they never gate loading — but each pass is engineered for zero false
+// positives: a finding only fires when the defect is provable from the
+// whole-program structure (must-hold lock sets, constant-folded arguments,
+// liveness). The kflex-lint CLI (tools/kflex_lint.cc) runs every registered
+// pass and reports findings alongside the verifier's elision statistics.
+#ifndef SRC_VERIFIER_LINT_H_
+#define SRC_VERIFIER_LINT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ebpf/program.h"
+#include "src/verifier/analysis.h"
+#include "src/verifier/cfg.h"
+#include "src/verifier/dataflow.h"
+
+namespace kflex {
+
+enum class LintSeverity { kNote = 0, kWarning = 1, kError = 2 };
+
+const char* LintSeverityName(LintSeverity severity);
+
+// One diagnostic from one pass, anchored to an instruction pc.
+struct Finding {
+  size_t pc = 0;
+  LintSeverity severity = LintSeverity::kWarning;
+  std::string pass;     // registry name of the emitting pass
+  std::string message;  // human-readable description
+
+  bool operator==(const Finding& other) const = default;
+};
+
+// Everything a pass may consult. `analysis` is the verifier's output when
+// the program verified, nullptr otherwise — passes must work without it
+// (lint runs on rejected programs too, to explain why).
+struct LintContext {
+  const Program& program;
+  const Cfg& cfg;
+  const Liveness& liveness;
+  const Analysis* analysis = nullptr;
+};
+
+using LintPassFn = void (*)(const LintContext& ctx, std::vector<Finding>& findings);
+
+struct LintPass {
+  const char* name;         // stable identifier, e.g. "dead-code"
+  const char* description;  // one-line summary for --help style output
+  LintPassFn run;
+};
+
+// All registered passes, built-ins first. Built-ins: "dead-code",
+// "lock-order", "ref-leak", "helper-contract".
+const std::vector<LintPass>& LintPasses();
+
+// Registers an additional pass (e.g. from a tool or test). Returns false if
+// a pass with the same name already exists.
+bool RegisterLintPass(const LintPass& pass);
+
+// Builds the CFG + liveness for `program` and runs every registered pass.
+// Findings are sorted by (pc, pass). Fails only if the program is too
+// malformed to build a CFG for.
+StatusOr<std::vector<Finding>> RunLint(const Program& program,
+                                       const Analysis* analysis = nullptr);
+
+}  // namespace kflex
+
+#endif  // SRC_VERIFIER_LINT_H_

@@ -4,11 +4,14 @@
 #include <cstdio>
 #include <limits>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 
 #include "src/base/logging.h"
 #include "src/ebpf/helper_ids.h"
+#include "src/verifier/cfg.h"
+#include "src/verifier/dataflow.h"
 #include "src/verifier/state.h"
 
 namespace kflex {
@@ -322,6 +325,7 @@ class VerifierImpl {
     ctx_size_ = options.ctx_size != 0 ? options.ctx_size : DefaultCtxSize(program.hook);
     mode_ = program.mode;
     analysis_.mem.resize(program.insns.size());
+    analysis_.insn_visited.assign(program.insns.size(), 0);
     visit_count_.resize(program.insns.size(), 0);
   }
 
@@ -364,6 +368,11 @@ class VerifierImpl {
   enum class PruneResult { kContinue, kPrune, kError };
   PruneResult PruneOrWiden(size_t pc, VerifierState& st, Status& error);
 
+  // A path failed to converge concretely at `converge_pc` with `edges` on
+  // its active back-edge set: decide which of them become cancellation
+  // points.
+  void MarkCancellationEdges(size_t converge_pc, const std::vector<size_t>& edges);
+
   bool IsValidTarget(size_t pc) const {
     return pc < prog_.insns.size() && valid_start_[pc];
   }
@@ -389,6 +398,18 @@ class VerifierImpl {
   std::set<size_t> prune_points_;
   std::map<size_t, std::vector<VerifierState>> stored_;
   std::vector<size_t> visit_count_;
+
+  // Whole-program structure (built once after ValidateStructure) used to
+  // scope cancellation points to the loops that actually fail to converge
+  // and to prune dead object-table entries.
+  std::optional<Cfg> cfg_;
+  std::optional<Liveness> liveness_;
+  // Every back edge the path-sensitive rule would have marked (the
+  // pre-refinement, conservative set), for the pruned_back_edges counter.
+  std::set<size_t> conservative_edges_;
+  // Object-table entries the conservative location policy would have used
+  // but liveness replaced with a live alias, per pc.
+  std::map<size_t, std::set<ObjectTableEntry>> pruned_entry_candidates_;
 };
 
 Status VerifierImpl::ValidateStructure() {
@@ -1182,32 +1203,51 @@ Status VerifierImpl::RecordObjectTable(size_t pc, const VerifierState& st) {
   }
   auto& table = analysis_.object_tables[pc];
   for (const RefInfo& ref : st.refs) {
-    ObjectTableEntry entry;
-    entry.kind = ref.kind;
-    entry.destructor = ref.destructor;
-    bool located = false;
+    ObjectTableEntry base;
+    base.kind = ref.kind;
+    base.destructor = ref.destructor;
+    // Collect every location aliasing the handle, in the conservative scan
+    // order (registers ascending, then spilled stack slots) the table used
+    // before liveness pruning.
+    std::vector<ObjectTableEntry> aliases;
+    std::vector<bool> alias_live;
     for (int r = 0; r <= kMaxUserReg; r++) {
       if (st.regs[static_cast<size_t>(r)].ref_id == ref.id) {
-        entry.reg = r;
-        located = true;
-        break;
+        ObjectTableEntry e = base;
+        e.reg = r;
+        aliases.push_back(e);
+        alias_live.push_back(!liveness_ || liveness_->RegLiveIn(pc, r));
       }
     }
-    if (!located) {
-      for (int s = 0; s < kStackSlots; s++) {
-        const StackSlot& slot = st.stack[static_cast<size_t>(s)];
-        if (slot.kind == StackSlot::Kind::kSpill && slot.spill.ref_id == ref.id) {
-          entry.stack_slot = s;
-          located = true;
-          break;
-        }
+    for (int s = 0; s < kStackSlots; s++) {
+      const StackSlot& slot = st.stack[static_cast<size_t>(s)];
+      if (slot.kind == StackSlot::Kind::kSpill && slot.spill.ref_id == ref.id) {
+        ObjectTableEntry e = base;
+        e.stack_slot = s;
+        aliases.push_back(e);
+        alias_live.push_back(!liveness_ || liveness_->SlotLiveIn(pc, s));
       }
     }
-    if (!located) {
+    if (aliases.empty()) {
       return VerificationFailed(PcMsg(
           pc, "acquired reference is not addressable at a cancellation point"));
     }
-    table.insert(entry);
+    // Exactly one entry per reference (the runtime releases every table
+    // entry on cancellation). Prefer the first location the program still
+    // reads — a dead location may be clobbered by Kie or later code before
+    // the fault surfaces. A handle that is dead everywhere must still be
+    // released, so fall back to the first alias.
+    size_t chosen = 0;
+    for (size_t i = 0; i < aliases.size(); i++) {
+      if (alias_live[i]) {
+        chosen = i;
+        break;
+      }
+    }
+    table.insert(aliases[chosen]);
+    if (chosen != 0) {
+      pruned_entry_candidates_[pc].insert(aliases[0]);
+    }
   }
   for (const LockInfo& lock : st.locks) {
     ObjectTableEntry entry;
@@ -1234,9 +1274,7 @@ VerifierImpl::PruneResult VerifierImpl::PruneOrWiden(size_t pc, VerifierState& s
                                            "back edge with unprovable termination (eBPF mode)"));
           return PruneResult::kError;
         }
-        for (size_t edge_pc : st.active_edges) {
-          analysis_.cancellation_back_edges.insert(edge_pc);
-        }
+        MarkCancellationEdges(pc, st.active_edges);
       }
       return PruneResult::kPrune;
     }
@@ -1260,14 +1298,28 @@ VerifierImpl::PruneResult VerifierImpl::PruneOrWiden(size_t pc, VerifierState& s
       widened.JoinWith(st);
       widened.active_edges = st.active_edges;
       st = widened;
-      for (size_t edge_pc : st.active_edges) {
-        analysis_.cancellation_back_edges.insert(edge_pc);
-      }
+      MarkCancellationEdges(pc, st.active_edges);
       break;
     }
   }
   stored.push_back(st);
   return PruneResult::kContinue;
+}
+
+void VerifierImpl::MarkCancellationEdges(size_t converge_pc, const std::vector<size_t>& edges) {
+  for (size_t edge_pc : edges) {
+    conservative_edges_.insert(edge_pc);
+    // Only the loops that contain the point where convergence was forced
+    // can actually iterate unboundedly: a loop whose body was fully
+    // unrolled from concrete states never fails to converge at any pc
+    // inside itself (its header is a prune point revisited each iteration).
+    // Back edges that don't close a natural loop (irreducible control flow)
+    // keep the conservative treatment.
+    if (!cfg_ || !cfg_->IsNaturalBackEdge(edge_pc) ||
+        cfg_->InLoopOfBackEdge(edge_pc, converge_pc)) {
+      analysis_.cancellation_back_edges.insert(edge_pc);
+    }
+  }
 }
 
 Status VerifierImpl::ExplorePath(size_t start_pc, VerifierState start_st) {
@@ -1290,6 +1342,7 @@ Status VerifierImpl::ExplorePath(size_t start_pc, VerifierState start_st) {
       if (analysis_.explored_insns > opts_.max_states * 8) {
         return VerificationFailed("program too complex: instruction visit limit exceeded");
       }
+      analysis_.insn_visited[pc] = 1;
 
       if (prune_points_.count(pc) != 0) {
         Status error = OkStatus();
@@ -1543,7 +1596,53 @@ StatusOr<Analysis> VerifierImpl::Run() {
   if (heap_size_ != 0 && (heap_size_ & (heap_size_ - 1)) != 0) {
     return VerificationFailed("heap size must be a power of two");
   }
+
+  // Whole-program structure: the CFG scopes cancellation points to the
+  // loops that fail to converge, and liveness steers object-table entries
+  // toward locations the program still reads.
+  auto cfg = Cfg::Build(prog_);
+  if (!cfg.ok()) {
+    return Internal("cfg construction failed on a validated program: " +
+                    cfg.status().ToString());
+  }
+  cfg_ = std::move(cfg).value();
+  liveness_ = Liveness::Compute(prog_, *cfg_);
+
   KFLEX_RETURN_IF_ERROR(ExplorePath(0, VerifierState::Initial()));
+
+  // Back edges the conservative path rule would have marked but the CFG
+  // refinement exonerated are not cancellation points; neither are back
+  // edges of loops that unrolled concretely. Drop their provisional object
+  // tables so Kie never anchors a table to a plain jump.
+  for (auto it = analysis_.object_tables.begin(); it != analysis_.object_tables.end();) {
+    const Insn& insn = prog_.insns[it->first];
+    bool non_cp_jump = (insn.IsUncondJmp() || insn.IsCondJmp()) &&
+                       analysis_.cancellation_back_edges.count(it->first) == 0;
+    if (non_cp_jump || it->second.empty()) {
+      it = analysis_.object_tables.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (size_t edge_pc : conservative_edges_) {
+    if (analysis_.cancellation_back_edges.count(edge_pc) == 0) {
+      analysis_.pruned_back_edges++;
+    }
+  }
+  // Count entries the pre-liveness policy would have emitted that no state
+  // ended up needing (a state with no live alias re-inserts the fallback
+  // entry, which then must not count as pruned).
+  for (const auto& [pc, candidates] : pruned_entry_candidates_) {
+    auto it = analysis_.object_tables.find(pc);
+    if (it == analysis_.object_tables.end()) {
+      continue;
+    }
+    for (const ObjectTableEntry& e : candidates) {
+      if (it->second.count(e) == 0) {
+        analysis_.pruned_object_entries++;
+      }
+    }
+  }
 
   // Final statistics over statically classified accesses.
   for (const MemAccessInfo& info : analysis_.mem) {
@@ -1558,6 +1657,10 @@ StatusOr<Analysis> VerifierImpl::Run() {
     } else {
       analysis_.elided_guards++;
     }
+  }
+  if (analysis_.heap_access_insns !=
+      analysis_.elided_guards + analysis_.required_guards + analysis_.formation_guards) {
+    return Internal("analysis statistics inconsistent: heap accesses != elided + required + formation");
   }
   return analysis_;
 }

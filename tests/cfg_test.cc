@@ -1,0 +1,364 @@
+// CFG construction (blocks, reachability, dominators, natural loops,
+// irreducible retreating edges), the generic dataflow solver, and the
+// backward liveness analysis from src/verifier/{cfg,dataflow}.h.
+#include "src/verifier/cfg.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ebpf/assembler.h"
+#include "src/ebpf/text_asm.h"
+#include "src/verifier/dataflow.h"
+
+namespace kflex {
+namespace {
+
+Program MustFinish(Assembler& a) {
+  auto p = a.Finish("cfg_test", Hook::kTracepoint, ExtensionMode::kKflex);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return *p;
+}
+
+TEST(Cfg, StraightLineIsOneBlock) {
+  Assembler a;
+  a.MovImm(R0, 0);
+  a.MovImm(R1, 1);
+  a.Exit();
+  Program p = MustFinish(a);
+
+  auto cfg = Cfg::Build(p);
+  ASSERT_TRUE(cfg.ok()) << cfg.status().ToString();
+  ASSERT_EQ(cfg->num_blocks(), 1u);
+  EXPECT_EQ(cfg->blocks()[0].start, 0u);
+  EXPECT_EQ(cfg->blocks()[0].end, 3u);
+  EXPECT_TRUE(cfg->blocks()[0].succs.empty());
+  EXPECT_TRUE(cfg->Reachable(0));
+  EXPECT_TRUE(cfg->loops().empty());
+}
+
+TEST(Cfg, LdImm64OccupiesTwoSlotsOneInsn) {
+  Assembler a;
+  a.LoadImm64(R2, 0x1122334455667788ULL);
+  a.MovImm(R0, 0);
+  a.Exit();
+  Program p = MustFinish(a);
+
+  auto cfg = Cfg::Build(p);
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_TRUE(cfg->IsInsnStart(0));
+  EXPECT_FALSE(cfg->IsInsnStart(1));  // hi slot
+  EXPECT_TRUE(cfg->IsInsnStart(2));
+  EXPECT_EQ(cfg->NextPc(0), 2u);
+  EXPECT_EQ(cfg->BlockOf(1), cfg->BlockOf(0));
+}
+
+TEST(Cfg, DiamondDominators) {
+  Assembler a;
+  // entry -> {then, else} -> merge
+  auto iff = a.IfImm(BPF_JEQ, R1, 0);
+  a.MovImm(R2, 1);
+  a.Else(iff);
+  a.MovImm(R2, 2);
+  a.EndIf(iff);
+  size_t merge_pc = a.CurrentPc();
+  a.MovImm(R0, 0);
+  a.Exit();
+  Program p = MustFinish(a);
+
+  auto cfg = Cfg::Build(p);
+  ASSERT_TRUE(cfg.ok());
+  ASSERT_EQ(cfg->num_blocks(), 4u);
+  size_t entry = cfg->BlockOf(0);
+  size_t merge = cfg->BlockOf(merge_pc);
+  EXPECT_EQ(cfg->ImmediateDominator(merge), entry);
+  for (size_t b = 0; b < cfg->num_blocks(); b++) {
+    EXPECT_TRUE(cfg->Dominates(entry, b));
+  }
+  // Neither arm dominates the merge.
+  for (size_t b = 0; b < cfg->num_blocks(); b++) {
+    if (b != entry && b != merge) {
+      EXPECT_FALSE(cfg->Dominates(b, merge));
+    }
+  }
+  EXPECT_TRUE(cfg->loops().empty());
+}
+
+TEST(Cfg, UnreachableBlockDetected) {
+  Assembler a;
+  a.MovImm(R0, 0);
+  a.Exit();
+  size_t dead_pc = a.CurrentPc();
+  a.MovImm(R0, 1);
+  a.Exit();
+  Program p = MustFinish(a);
+
+  auto cfg = Cfg::Build(p);
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_TRUE(cfg->Reachable(cfg->BlockOf(0)));
+  EXPECT_FALSE(cfg->Reachable(cfg->BlockOf(dead_pc)));
+}
+
+TEST(Cfg, NaturalLoopMembership) {
+  Assembler a;
+  a.MovImm(R2, 10);
+  auto loop = a.LoopBegin();
+  a.LoopBreakIfImm(loop, BPF_JEQ, R2, 0);
+  size_t body_pc = a.CurrentPc();
+  a.SubImm(R2, 1);
+  a.LoopEnd(loop);
+  size_t after_pc = a.CurrentPc();
+  a.MovImm(R0, 0);
+  a.Exit();
+  Program p = MustFinish(a);
+
+  auto cfg = Cfg::Build(p);
+  ASSERT_TRUE(cfg.ok());
+  ASSERT_EQ(cfg->loops().size(), 1u);
+  const Cfg::Loop& l = cfg->loops()[0];
+  EXPECT_TRUE(cfg->IsNaturalBackEdge(l.back_edge_pc));
+  EXPECT_TRUE(cfg->InLoopOfBackEdge(l.back_edge_pc, body_pc));
+  EXPECT_TRUE(cfg->InLoopOfBackEdge(l.back_edge_pc, l.back_edge_pc));
+  EXPECT_FALSE(cfg->InLoopOfBackEdge(l.back_edge_pc, after_pc));
+  // The head dominates every block in the loop.
+  for (size_t b : l.blocks) {
+    EXPECT_TRUE(cfg->Dominates(l.head, b));
+  }
+  EXPECT_TRUE(cfg->irreducible_edge_pcs().empty());
+}
+
+TEST(Cfg, NestedLoopsAreNested) {
+  Assembler a;
+  a.MovImm(R2, 3);
+  auto outer = a.LoopBegin();
+  a.LoopBreakIfImm(outer, BPF_JEQ, R2, 0);
+  a.MovImm(R3, 3);
+  auto inner = a.LoopBegin();
+  a.LoopBreakIfImm(inner, BPF_JEQ, R3, 0);
+  a.SubImm(R3, 1);
+  a.LoopEnd(inner);
+  a.SubImm(R2, 1);
+  a.LoopEnd(outer);
+  a.MovImm(R0, 0);
+  a.Exit();
+  Program p = MustFinish(a);
+
+  auto cfg = Cfg::Build(p);
+  ASSERT_TRUE(cfg.ok());
+  ASSERT_EQ(cfg->loops().size(), 2u);
+  // Identify inner vs outer by block-set size.
+  const Cfg::Loop* lo = &cfg->loops()[0];
+  const Cfg::Loop* hi = &cfg->loops()[1];
+  if (lo->blocks.size() > hi->blocks.size()) {
+    std::swap(lo, hi);
+  }
+  EXPECT_LT(lo->blocks.size(), hi->blocks.size());
+  for (size_t b : lo->blocks) {
+    EXPECT_TRUE(hi->blocks.count(b)) << "inner loop block not inside outer loop";
+  }
+  EXPECT_NE(lo->head, hi->head);
+}
+
+TEST(Cfg, IrreducibleRetreatingEdgeFlagged) {
+  // entry branches both to `head` and into the middle of the cycle, so the
+  // backward edge's target does not dominate its source: no natural loop.
+  Assembler a;
+  auto head = a.NewLabel();
+  auto mid = a.NewLabel();
+  a.JmpImm(BPF_JEQ, R0, 0, mid);
+  a.Bind(head);
+  a.MovImm(R1, 1);
+  a.Bind(mid);
+  a.MovImm(R2, 2);
+  size_t back_pc = a.CurrentPc();
+  a.JmpImm(BPF_JNE, R2, 0, head);
+  a.MovImm(R0, 0);
+  a.Exit();
+  Program p = MustFinish(a);
+
+  auto cfg = Cfg::Build(p);
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_TRUE(cfg->loops().empty());
+  EXPECT_EQ(cfg->irreducible_edge_pcs().count(back_pc), 1u);
+  EXPECT_FALSE(cfg->IsNaturalBackEdge(back_pc));
+  EXPECT_FALSE(cfg->InLoopOfBackEdge(back_pc, back_pc));
+}
+
+TEST(Cfg, RejectsJumpIntoLdImm64HiSlot) {
+  Program p;
+  p.insns.push_back(JmpAlwaysInsn(1));  // into the hi slot of the ld_imm64
+  p.insns.push_back(LdImm64Insn(R1, 7));
+  p.insns.push_back(LdImm64HiInsn(7));
+  p.insns.push_back(ExitInsn());
+  EXPECT_FALSE(Cfg::Build(p).ok());
+}
+
+// ---- Generic dataflow solver ------------------------------------------------
+
+// Toy forward problem: bit r set iff register r provably (intersect) or
+// possibly (union) holds a constant written by `mov rX, imm`.
+class ConstBits : public DataflowProblem {
+ public:
+  explicit ConstBits(MeetOp meet) : meet_(meet) {}
+  size_t NumBits() const override { return kNumRegs; }
+  DataflowDirection Direction() const override { return DataflowDirection::kForward; }
+  MeetOp Meet() const override { return meet_; }
+  BitVec Boundary() const override { return BitVec(NumBits()); }
+  void Transfer(size_t, const Insn& insn, BitVec& v) const override {
+    if (insn.IsAlu() && insn.AluOpField() == BPF_MOV && insn.SrcField() == BPF_K) {
+      v.Set(insn.dst);
+    } else if (insn.IsAlu() || insn.IsLoad() || insn.IsLdImm64()) {
+      v.Clear(insn.dst);
+    } else if (insn.IsCall()) {
+      for (int r = R0; r <= R5; r++) {
+        v.Clear(r);
+      }
+    }
+  }
+
+ private:
+  MeetOp meet_;
+};
+
+TEST(Dataflow, ForwardMeetUnionVsIntersect) {
+  Assembler a;
+  a.MovImm(R3, 7);
+  auto iff = a.IfImm(BPF_JEQ, R1, 0);
+  a.MovImm(R2, 1);  // only one arm defines R2
+  a.EndIf(iff);
+  size_t merge_pc = a.CurrentPc();
+  a.MovImm(R0, 0);
+  a.Exit();
+  Program p = MustFinish(a);
+
+  auto cfg = Cfg::Build(p);
+  ASSERT_TRUE(cfg.ok());
+
+  DataflowSolution may = SolveDataflow(p, *cfg, ConstBits(MeetOp::kUnion));
+  EXPECT_TRUE(may.At(merge_pc).Test(R2));
+  EXPECT_TRUE(may.At(merge_pc).Test(R3));
+
+  DataflowSolution must = SolveDataflow(p, *cfg, ConstBits(MeetOp::kIntersect));
+  EXPECT_FALSE(must.At(merge_pc).Test(R2));
+  EXPECT_TRUE(must.At(merge_pc).Test(R3));
+}
+
+// ---- Liveness ---------------------------------------------------------------
+
+TEST(Liveness, OverwrittenRegisterIsDead) {
+  Assembler a;
+  a.MovImm(R2, 5);  // pc 0: dead, R2 overwritten before any read
+  a.MovImm(R2, 7);  // pc 1: live, feeds R0
+  a.Mov(R0, R2);    // pc 2
+  a.Exit();         // pc 3
+  Program p = MustFinish(a);
+  auto cfg = Cfg::Build(p);
+  ASSERT_TRUE(cfg.ok());
+  Liveness live = Liveness::Compute(p, *cfg);
+
+  EXPECT_FALSE(live.RegLiveOut(0, R2));
+  EXPECT_TRUE(live.RegLiveOut(1, R2));
+  EXPECT_TRUE(live.RegLiveIn(2, R2));
+  EXPECT_TRUE(live.RegLiveOut(2, R0));  // exit reads R0
+  EXPECT_FALSE(live.RegLiveOut(2, R2));
+}
+
+TEST(Liveness, BranchKeepsRegisterLiveAcrossMerge) {
+  Assembler a;
+  a.MovImm(R6, 42);  // pc 0: read only on one arm -> still live here
+  auto iff = a.IfImm(BPF_JEQ, R1, 0);
+  a.Mov(R0, R6);
+  a.Else(iff);
+  a.MovImm(R0, 0);
+  a.EndIf(iff);
+  a.Exit();
+  Program p = MustFinish(a);
+  auto cfg = Cfg::Build(p);
+  ASSERT_TRUE(cfg.ok());
+  Liveness live = Liveness::Compute(p, *cfg);
+
+  EXPECT_TRUE(live.RegLiveOut(0, R6));
+}
+
+TEST(Liveness, SpillAndFillTracksStackSlot) {
+  Assembler a;
+  a.MovImm(R6, 9);
+  size_t spill_pc = a.CurrentPc();
+  a.Stx(BPF_DW, R10, -8, R6);  // slot 63
+  a.MovImm(R6, 0);
+  size_t fill_pc = a.CurrentPc();
+  a.Ldx(BPF_DW, R0, R10, -8);
+  a.Exit();
+  Program p = MustFinish(a);
+  auto cfg = Cfg::Build(p);
+  ASSERT_TRUE(cfg.ok());
+  Liveness live = Liveness::Compute(p, *cfg);
+
+  int slot = Liveness::SlotForOffset(-8);
+  ASSERT_EQ(slot, 63);
+  EXPECT_TRUE(live.SlotLiveOut(spill_pc, slot));
+  EXPECT_TRUE(live.SlotLiveIn(fill_pc, slot));
+  EXPECT_FALSE(live.SlotLiveOut(fill_pc, slot));
+}
+
+TEST(Liveness, DeadSpillWithNoFill) {
+  Assembler a;
+  a.MovImm(R6, 9);
+  size_t spill_pc = a.CurrentPc();
+  a.Stx(BPF_DW, R10, -16, R6);
+  a.MovImm(R0, 0);
+  a.Exit();
+  Program p = MustFinish(a);
+  auto cfg = Cfg::Build(p);
+  ASSERT_TRUE(cfg.ok());
+  Liveness live = Liveness::Compute(p, *cfg);
+
+  EXPECT_FALSE(live.SlotLiveOut(spill_pc, Liveness::SlotForOffset(-16)));
+}
+
+TEST(Liveness, CallKeepsArgumentRegistersAndStackLive) {
+  Assembler a;
+  size_t store_pc = a.CurrentPc();
+  a.StImm(BPF_DW, R10, -8, 1);  // helper may read stack memory
+  a.MovImm(R1, 4);
+  a.Call(kHelperKflexMalloc);
+  a.MovImm(R0, 0);
+  a.Exit();
+  Program p = MustFinish(a);
+  auto cfg = Cfg::Build(p);
+  ASSERT_TRUE(cfg.ok());
+  Liveness live = Liveness::Compute(p, *cfg);
+
+  EXPECT_TRUE(live.SlotLiveOut(store_pc, Liveness::SlotForOffset(-8)));
+  EXPECT_TRUE(live.RegLiveOut(1, R1));  // consumed by the call
+}
+
+TEST(Liveness, HandWrittenTextAsmProgram) {
+  // The liveness facts a reader would derive by hand from the counter
+  // example: every written value flows somewhere (no dead stores).
+  const char* kSrc = R"(
+.name  liveness_probe
+.hook  tracepoint
+.mode  kflex
+.heap  1048576
+  r2 = *(u64*)(r1 + 0)
+  if r2 != 0 goto used
+  r2 = 1
+used:
+  r0 = r2
+  exit
+)";
+  auto p = ParseTextProgram(kSrc);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  auto cfg = Cfg::Build(*p);
+  ASSERT_TRUE(cfg.ok());
+  Liveness live = Liveness::Compute(*p, *cfg);
+
+  for (size_t pc = 0; pc < p->size(); pc++) {
+    const Insn& insn = p->insns[pc];
+    if (insn.IsAlu() || insn.IsLoad()) {
+      EXPECT_TRUE(live.RegLiveOut(pc, insn.dst)) << "dead store at pc " << pc;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kflex

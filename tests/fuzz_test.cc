@@ -19,6 +19,7 @@
 #include "src/ebpf/helper_ids.h"
 #include "src/kernel/kernel.h"
 #include "src/runtime/runtime.h"
+#include "src/verifier/lint.h"
 #include "src/verifier/verifier.h"
 
 namespace kflex {
@@ -32,7 +33,12 @@ constexpr uint64_t kHeap = 1 << 20;
 // safety, not termination).
 class ProgramGenerator {
  public:
-  ProgramGenerator(Rng& rng, bool kflex) : rng_(rng), kflex_(kflex) {}
+  // `resources` additionally emits lock pairs and socket acquire/release
+  // sequences (sometimes deliberately broken) for the lint-vs-verifier
+  // consistency test; those helpers are not wired into the fuzz Runtime, so
+  // the runtime soundness tests keep it off.
+  ProgramGenerator(Rng& rng, bool kflex, bool resources = false)
+      : rng_(rng), kflex_(kflex), resources_(resources) {}
 
   Program Generate() {
     Assembler a;
@@ -74,8 +80,50 @@ class ProgramGenerator {
     }
   }
 
+  // Spin-lock pair on a constant heap offset, occasionally nested with a
+  // second lock (and occasionally the SAME lock: a provable deadlock the
+  // verifier rejects and the lock-order lint pass must also explain).
+  void EmitLockPair(Assembler& a) {
+    int32_t off_a = static_cast<int32_t>(8u << rng_.NextBounded(2));  // 8 or 16
+    a.Stx(BPF_DW, R10, -512, R1);  // stash ctx: calls clobber R1-R5
+    a.LoadHeapAddr(R1, static_cast<uint64_t>(off_a));
+    a.Call(kHelperKflexSpinLock);
+    if (rng_.NextBounded(3) == 0) {  // nested pair, maybe colliding with A
+      int32_t off_b = static_cast<int32_t>(8u << rng_.NextBounded(2));
+      a.LoadHeapAddr(R1, static_cast<uint64_t>(off_b));
+      a.Call(kHelperKflexSpinLock);
+      a.LoadHeapAddr(R1, static_cast<uint64_t>(off_b));
+      a.Call(kHelperKflexSpinUnlock);
+    }
+    a.LoadHeapAddr(R1, static_cast<uint64_t>(off_a));
+    a.Call(kHelperKflexSpinUnlock);
+    a.Ldx(BPF_DW, R1, R10, -512);  // restore ctx
+  }
+
+  // Socket lookup with contract-conforming arguments; with probability 1/4
+  // the non-null branch "forgets" the release (verifier rejects with an
+  // unreleased-reference error; the ref-leak lint pass must agree).
+  void EmitSocketPair(Assembler& a) {
+    a.Stx(BPF_DW, R10, -512, R1);
+    a.StImm(BPF_W, R10, -16, 1);
+    a.StImm(BPF_W, R10, -12, 2);
+    a.Mov(R2, R10);
+    a.AddImm(R2, -16);
+    a.MovImm(R3, 8);
+    a.MovImm(R4, 0);
+    a.MovImm(R5, 0);
+    a.Call(kHelperSkLookupUdp);
+    auto iff = a.IfImm(BPF_JNE, R0, 0);
+    if (rng_.NextBounded(4) != 0) {
+      a.Mov(R1, R0);
+      a.Call(kHelperSkRelease);
+    }
+    a.EndIf(iff);
+    a.Ldx(BPF_DW, R1, R10, -512);
+  }
+
   void EmitRandomOp(Assembler& a, int depth) {
-    switch (rng_.NextBounded(kflex_ ? 10u : 7u)) {
+    switch (rng_.NextBounded(resources_ ? 12u : (kflex_ ? 10u : 7u))) {
       case 0: {  // ALU immediate
         static constexpr AluOp kOps[] = {BPF_ADD, BPF_SUB, BPF_AND, BPF_OR,
                                          BPF_XOR, BPF_MUL, BPF_LSH, BPF_RSH};
@@ -159,11 +207,19 @@ class ProgramGenerator {
         a.Ldx(BPF_W, R6, R1, static_cast<int16_t>(rng_.NextBounded(32)));
         a.Add(R9, R6);
         break;
+      // ---- resource ops (lint-consistency fuzzing only) ----
+      case 10:
+        EmitLockPair(a);
+        break;
+      case 11:
+        EmitSocketPair(a);
+        break;
     }
   }
 
   Rng& rng_;
   bool kflex_;
+  bool resources_;
 };
 
 class FuzzSoundness : public ::testing::TestWithParam<int> {};
@@ -175,6 +231,8 @@ TEST_P(FuzzSoundness, AcceptedKflexProgramsNeverEscapeTheHeap) {
   for (int n = 0; n < kPrograms; n++) {
     ProgramGenerator gen(rng, /*kflex=*/true);
     Program p = gen.Generate();
+    auto lint = RunLint(p, nullptr);  // every fuzz program must lint cleanly
+    ASSERT_TRUE(lint.ok()) << lint.status().ToString() << "\n" << ProgramToString(p);
     Runtime runtime{RuntimeOptions{1, 1'000'000'000ULL}};
     LoadOptions lo;
     lo.kie.performance_mode = rng.NextBounded(2) == 0;
@@ -219,6 +277,8 @@ TEST_P(FuzzSoundness, AcceptedEbpfProgramsAlwaysCompleteCleanly) {
   for (int n = 0; n < kPrograms; n++) {
     ProgramGenerator gen(rng, /*kflex=*/false);
     Program p = gen.Generate();
+    auto lint = RunLint(p, nullptr);
+    ASSERT_TRUE(lint.ok()) << lint.status().ToString() << "\n" << ProgramToString(p);
     Runtime runtime{RuntimeOptions{1, 1'000'000'000ULL}};
     auto id = runtime.Load(p, LoadOptions{});
     if (!id.ok()) {
@@ -241,6 +301,59 @@ TEST_P(FuzzSoundness, AcceptedEbpfProgramsAlwaysCompleteCleanly) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSoundness, ::testing::Range(0, 6));
+
+// Lint findings must never contradict the verifier's verdict on programs
+// exercising kernel resources (locks + socket references): when the verifier
+// rejects for a provable deadlock or reference leak, the corresponding lint
+// pass must produce an error-severity explanation; when the verifier accepts,
+// those passes must stay silent (zero false positives).
+TEST(FuzzLintConsistency, LintAgreesWithVerifierOnResourceBugs) {
+  Rng rng(0xCAFE);
+  size_t leaks_explained = 0;
+  size_t deadlocks_explained = 0;
+  for (int n = 0; n < 200; n++) {
+    ProgramGenerator gen(rng, /*kflex=*/true, /*resources=*/true);
+    Program p = gen.Generate();
+    auto analysis = Verify(p, VerifyOptions{});
+    auto lint = RunLint(p, analysis.ok() ? &*analysis : nullptr);
+    ASSERT_TRUE(lint.ok()) << lint.status().ToString() << "\n" << ProgramToString(p);
+    size_t ref_leak_errors = 0;
+    size_t reacquire_errors = 0;
+    for (const Finding& f : *lint) {
+      if (f.severity != LintSeverity::kError) {
+        continue;
+      }
+      if (f.pass == "ref-leak") {
+        ref_leak_errors++;
+      }
+      if (f.pass == "lock-order" && f.message.find("re-acquired") != std::string::npos) {
+        reacquire_errors++;
+      }
+    }
+    if (analysis.ok()) {
+      // Accepted program: no provable leak and no provable self-deadlock.
+      EXPECT_EQ(ref_leak_errors, 0u)
+          << "ref-leak false positive on verified program:\n" << ProgramToString(p);
+      EXPECT_EQ(reacquire_errors, 0u)
+          << "lock-order false positive on verified program:\n" << ProgramToString(p);
+      continue;
+    }
+    const std::string why = analysis.status().ToString();
+    if (why.find("unreleased kernel reference") != std::string::npos) {
+      EXPECT_GE(ref_leak_errors, 1u)
+          << "verifier found a leak lint missed: " << why << "\n" << ProgramToString(p);
+      leaks_explained++;
+    }
+    if (why.find("deadlock: lock already held") != std::string::npos) {
+      EXPECT_GE(reacquire_errors, 1u)
+          << "verifier found a deadlock lint missed: " << why << "\n" << ProgramToString(p);
+      deadlocks_explained++;
+    }
+  }
+  // The generator must actually exercise both defect classes.
+  EXPECT_GT(leaks_explained, 0u) << "generator drifted: no leaky programs produced";
+  EXPECT_GT(deadlocks_explained, 0u) << "generator drifted: no deadlocking programs produced";
+}
 
 // The verifier must reject (not crash on) byte-level garbage programs.
 TEST(FuzzRobustness, GarbageBytecodeIsRejectedNotCrashed) {

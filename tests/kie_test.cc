@@ -233,6 +233,55 @@ TEST(Kie, ObjectTablesRemapToInstrumentedPcs) {
   }
 }
 
+TEST(Kie, DeadHandlePrunedFromObjectTable) {
+  // The socket handle is copied into R6 (never used again: dead at the Cp)
+  // and R8 (used for the release: live at the Cp). Liveness-driven entry
+  // selection must record the live alias only -- the old location policy
+  // would have picked the first alias in register order (R6).
+  Assembler a;
+  a.Mov(R7, R1);  // save ctx: R1-R5 are clobbered by the call
+  a.StImm(BPF_W, R10, -16, 1);
+  a.StImm(BPF_W, R10, -12, 2);
+  a.Mov(R2, R10);
+  a.AddImm(R2, -16);
+  a.MovImm(R3, 8);
+  a.MovImm(R4, 0);
+  a.MovImm(R5, 0);
+  a.Call(kHelperSkLookupUdp);
+  auto iff = a.IfImm(BPF_JNE, R0, 0);
+  a.Mov(R6, R0);  // dead alias
+  a.Mov(R8, R0);  // live alias
+  a.MovImm(R0, 0);
+  a.Ldx(BPF_DW, R3, R7, 0);
+  a.LoadHeapAddr(R2, 64);
+  a.Add(R2, R3);
+  a.StImm(BPF_DW, R2, 0, 5);  // guarded heap access (C2 Cp) while socket held
+  a.Mov(R1, R8);
+  a.Call(kHelperSkRelease);
+  a.EndIf(iff);
+  a.MovImm(R0, 0);
+  a.Exit();
+  Pipeline pl = VerifyProgram(a);
+
+  EXPECT_GE(pl.analysis.pruned_object_entries, 1u);
+  bool saw_socket_entry = false;
+  for (const auto& [pc, table] : pl.analysis.object_tables) {
+    for (const ObjectTableEntry& e : table) {
+      if (e.kind == ResourceKind::kSocket) {
+        saw_socket_entry = true;
+        EXPECT_EQ(e.reg, R8) << "entry must use the live alias, not dead R6/R0";
+      }
+    }
+  }
+  EXPECT_TRUE(saw_socket_entry);
+
+  // The pruning is accounting-only: instrumentation still succeeds and the
+  // surviving entry remaps like any other.
+  auto ip = Instrument(pl.program, pl.analysis, pl.layout, KieOptions{});
+  ASSERT_TRUE(ip.ok()) << ip.status().ToString();
+  EXPECT_EQ(ip->stats.pruned_object_entries, pl.analysis.pruned_object_entries);
+}
+
 TEST(Kie, GuardAndTranslateComposeWithTwoScratchRegisters) {
   // Store of a heap pointer through an UNPROVEN base: needs both the
   // translate (src -> RAX) and the guard (base -> RBX).

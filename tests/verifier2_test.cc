@@ -574,6 +574,54 @@ TEST(VerifierRefine, Jmp32ConservativeForWideValues) {
   EXPECT_EQ(r->elided_guards, 0u);
 }
 
+TEST(VerifierLoops, BoundedLoopBeforeUnboundedIsNotACancellationPoint) {
+  // The concrete loop unrolls fully; its back edge stays on the path's
+  // active-edge list when the later data-dependent loop forces convergence.
+  // Natural-loop scoping must keep only the unbounded loop's edge and count
+  // the bounded one as pruned.
+  Assembler a;
+  a.Ldx(BPF_DW, R4, R1, 0);
+  a.MovImm(R0, 0);
+  a.MovImm(R2, 4);
+  auto bounded = a.LoopBegin();
+  a.LoopBreakIfImm(bounded, BPF_JEQ, R2, 0);
+  a.AddImm(R0, 1);
+  a.SubImm(R2, 1);
+  a.LoopEnd(bounded);
+  auto unbounded = a.LoopBegin();  // data-dependent trip count
+  a.LoopBreakIfImm(unbounded, BPF_JEQ, R4, 0);
+  a.SubImm(R4, 2);
+  a.LoopEnd(unbounded);
+  a.Exit();
+  auto r = Verify(Build(a), {});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->cancellation_back_edges.size(), 1u);
+  EXPECT_GE(r->pruned_back_edges, 1u);
+}
+
+TEST(VerifierStats, GuardAccountingPinsExactCounts) {
+  // Regression pin for the Verify() self-consistency invariant:
+  // heap_access_insns == elided_guards + required_guards + formation_guards.
+  Assembler a;
+  a.Ldx(BPF_DW, R3, R1, 0);   // ctx load: not a heap access
+  a.LoadHeapAddr(R2, 64);
+  a.StImm(BPF_DW, R2, 0, 1);  // elided
+  a.Ldx(BPF_DW, R4, R2, 8);   // elided; R4 becomes an untrusted scalar
+  a.LoadHeapAddr(R5, 128);
+  a.Add(R5, R3);              // unproven base
+  a.StImm(BPF_DW, R5, 0, 2);  // required guard
+  a.Ldx(BPF_DW, R0, R4, 0);   // formation guard
+  a.Exit();
+  auto r = Verify(Build(a), {});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->heap_access_insns, 4u);
+  EXPECT_EQ(r->elided_guards, 2u);
+  EXPECT_EQ(r->required_guards, 1u);
+  EXPECT_EQ(r->formation_guards, 1u);
+  EXPECT_EQ(r->heap_access_insns,
+            r->elided_guards + r->required_guards + r->formation_guards);
+}
+
 TEST(VerifierStats, ExplorationCountersPopulated) {
   Assembler a;
   a.MovImm(R0, 0);

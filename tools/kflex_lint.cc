@@ -1,0 +1,226 @@
+// kflex-lint: static analysis front end for text-asm extensions.
+//
+//   kflex-lint [--json] [--Werror] FILE.kasm...
+//
+// Assembles each file, runs the verifier, then every registered lint pass
+// (src/verifier/lint.h), and reports findings together with the verifier's
+// Table-3-style elision and object-table statistics.
+//
+//   --json     machine-readable report on stdout (one object for all files)
+//   --Werror   treat warnings as errors for the exit code
+//
+// Exit code: 0 clean, 1 usage/file/parse error, 2 error-severity findings
+// (or verification failure).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/ebpf/text_asm.h"
+#include "src/verifier/lint.h"
+#include "src/verifier/verifier.h"
+
+using namespace kflex;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr, "usage: kflex-lint [--json] [--Werror] FILE.kasm...\n");
+  return 1;
+}
+
+struct FileReport {
+  std::string file;
+  bool parsed = false;
+  bool verified = false;
+  std::string error;  // parse or verification failure message
+  size_t insns = 0;
+  Analysis analysis;
+  size_t object_table_entries = 0;
+  std::vector<Finding> findings;
+};
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void PrintJson(const std::vector<FileReport>& reports, size_t errors, size_t warnings) {
+  std::printf("{\n  \"files\": [\n");
+  for (size_t i = 0; i < reports.size(); i++) {
+    const FileReport& r = reports[i];
+    std::printf("    {\n");
+    std::printf("      \"file\": \"%s\",\n", JsonEscape(r.file).c_str());
+    std::printf("      \"parsed\": %s,\n", r.parsed ? "true" : "false");
+    std::printf("      \"verified\": %s,\n", r.verified ? "true" : "false");
+    std::printf("      \"error\": \"%s\",\n", JsonEscape(r.error).c_str());
+    const Analysis& a = r.analysis;
+    std::printf(
+        "      \"stats\": {\"insns\": %zu, \"heap_accesses\": %zu, \"elided\": %zu, "
+        "\"required\": %zu, \"formation\": %zu, \"cancellation_back_edges\": %zu, "
+        "\"pruned_back_edges\": %zu, \"object_table_entries\": %zu, "
+        "\"pruned_object_entries\": %zu},\n",
+        r.insns, a.heap_access_insns, a.elided_guards, a.required_guards, a.formation_guards,
+        a.cancellation_back_edges.size(), a.pruned_back_edges, r.object_table_entries,
+        a.pruned_object_entries);
+    std::printf("      \"findings\": [");
+    for (size_t j = 0; j < r.findings.size(); j++) {
+      const Finding& f = r.findings[j];
+      std::printf("%s\n        {\"pc\": %zu, \"severity\": \"%s\", \"pass\": \"%s\", "
+                  "\"message\": \"%s\"}",
+                  j == 0 ? "" : ",", f.pc, LintSeverityName(f.severity), f.pass.c_str(),
+                  JsonEscape(f.message).c_str());
+    }
+    std::printf("%s]\n", r.findings.empty() ? "" : "\n      ");
+    std::printf("    }%s\n", i + 1 < reports.size() ? "," : "");
+  }
+  std::printf("  ],\n  \"errors\": %zu,\n  \"warnings\": %zu\n}\n", errors, warnings);
+}
+
+void PrintText(const FileReport& r) {
+  if (!r.parsed) {
+    std::printf("%s: parse error: %s\n", r.file.c_str(), r.error.c_str());
+    return;
+  }
+  if (r.verified) {
+    const Analysis& a = r.analysis;
+    std::printf(
+        "%s: verified: %zu insns, %zu heap accesses (%zu elided, %zu required, "
+        "%zu formation), %zu cancellation back edges (%zu pruned), "
+        "%zu object-table entries (%zu pruned)\n",
+        r.file.c_str(), r.insns, a.heap_access_insns, a.elided_guards, a.required_guards,
+        a.formation_guards, a.cancellation_back_edges.size(), a.pruned_back_edges,
+        r.object_table_entries, a.pruned_object_entries);
+  } else {
+    std::printf("%s: verification FAILED: %s\n", r.file.c_str(), r.error.c_str());
+  }
+  for (const Finding& f : r.findings) {
+    std::printf("%s:%zu: %s: [%s] %s\n", r.file.c_str(), f.pc, LintSeverityName(f.severity),
+                f.pass.c_str(), f.message.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool werror = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; i++) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--Werror") {
+      werror = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    return Usage();
+  }
+
+  std::vector<FileReport> reports;
+  bool io_error = false;
+  size_t errors = 0;
+  size_t warnings = 0;
+  for (const std::string& path : files) {
+    FileReport report;
+    report.file = path;
+    std::ifstream file(path);
+    if (!file) {
+      report.error = "cannot open file";
+      io_error = true;
+      reports.push_back(std::move(report));
+      continue;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    auto program = ParseTextProgram(buffer.str());
+    if (!program.ok()) {
+      report.error = program.status().ToString();
+      io_error = true;
+      reports.push_back(std::move(report));
+      continue;
+    }
+    report.parsed = true;
+    report.insns = program->size();
+
+    auto analysis = Verify(*program, VerifyOptions{});
+    const Analysis* analysis_ptr = nullptr;
+    if (analysis.ok()) {
+      report.verified = true;
+      report.analysis = *analysis;
+      analysis_ptr = &report.analysis;
+      for (const auto& [pc, table] : report.analysis.object_tables) {
+        report.object_table_entries += table.size();
+      }
+    } else {
+      report.error = analysis.status().ToString();
+      errors++;  // an example that fails verification is an error-level event
+    }
+
+    auto findings = RunLint(*program, analysis_ptr);
+    if (findings.ok()) {
+      report.findings = *findings;
+    } else {
+      report.error += (report.error.empty() ? "" : "; ") + findings.status().ToString();
+      io_error = true;
+    }
+    for (const Finding& f : report.findings) {
+      if (f.severity == LintSeverity::kError) {
+        errors++;
+      } else if (f.severity == LintSeverity::kWarning) {
+        warnings++;
+      }
+    }
+    reports.push_back(std::move(report));
+  }
+
+  if (json) {
+    PrintJson(reports, errors, warnings);
+  } else {
+    for (const FileReport& r : reports) {
+      PrintText(r);
+    }
+    if (errors + warnings > 0) {
+      std::printf("%zu error(s), %zu warning(s)\n", errors, warnings);
+    }
+  }
+
+  if (io_error) {
+    return 1;
+  }
+  if (errors > 0 || (werror && warnings > 0)) {
+    return 2;
+  }
+  return 0;
+}
