@@ -88,6 +88,20 @@ const char* SizeName(uint8_t size) {
 
 std::string InsnToString(const Insn& insn) {
   char buf[128];
+  // Kie instrumentation pseudo-instructions (insn.h): LD-class encodings
+  // that are not LD_IMM64; print them by name rather than as raw bytes.
+  if (insn.opcode == kKieSanitizeOpcode) {
+    std::snprintf(buf, sizeof(buf), "sanitize r%d", insn.dst);
+    return buf;
+  }
+  if (insn.opcode == kKieTranslateOpcode) {
+    std::snprintf(buf, sizeof(buf), "translate r%d", insn.dst);
+    return buf;
+  }
+  if (insn.opcode == kKieFuelCheckOpcode) {
+    std::snprintf(buf, sizeof(buf), "fuelcheck");
+    return buf;
+  }
   if (insn.IsLdImm64()) {
     std::snprintf(buf, sizeof(buf), "r%d = imm64(lo=0x%x, pseudo=%d)", insn.dst,
                   static_cast<uint32_t>(insn.imm), insn.src);

@@ -243,6 +243,23 @@ inline uint64_t LdImm64Value(const Insn& lo, const Insn& hi) {
 // Human-readable rendering of one instruction (for diagnostics and tests).
 std::string InsnToString(const Insn& insn);
 
+// ---- Kie instrumentation pseudo-instructions ---------------------------------
+// Encoded in otherwise-unused LD-class opcodes; emitted only by the Kie
+// instrumentation engine (src/kie) and executed only by the KFlex-extended VM.
+// The encodings live here, at the ISA layer, so the disassembler can name
+// them without depending on Kie.
+//
+//   SANITIZE dst: dst = heap_kernel_base + (dst & (heap_size - 1))
+//   TRANSLATE dst: dst = heap_user_base + (dst & (heap_size - 1))
+//   FUELCHECK: trap when the invocation exceeded its cycle quantum
+inline constexpr uint8_t kKieSanitizeOpcode = BPF_LD | BPF_DW | 0x20;   // 0x38
+inline constexpr uint8_t kKieTranslateOpcode = BPF_LD | BPF_DW | 0x40;  // 0x58
+inline constexpr uint8_t kKieFuelCheckOpcode = BPF_LD | BPF_DW | 0x60;  // 0x78
+
+inline Insn KieSanitizeInsn(Reg dst) { return Insn{kKieSanitizeOpcode, dst, 0, 0, 0}; }
+inline Insn KieTranslateInsn(Reg dst) { return Insn{kKieTranslateOpcode, dst, 0, 0, 0}; }
+inline Insn KieFuelCheckInsn() { return Insn{kKieFuelCheckOpcode, 0, 0, 0, 0}; }
+
 }  // namespace kflex
 
 #endif  // SRC_EBPF_INSN_H_

@@ -23,7 +23,19 @@ bool IsMemAccess(const Insn& insn) {
 }  // namespace
 
 StatusOr<InstrumentedProgram> Instrument(const Program& program, const Analysis& analysis,
-                                         const HeapLayout& heap, const KieOptions& options) {
+                                         const HeapLayout& heap, const KieOptions& options,
+                                         const GuardPlan* plan) {
+  if (plan != nullptr && (plan->dominated.size() != program.insns.size() ||
+                          plan->removed.size() != program.insns.size())) {
+    return InvalidArgument("guard plan does not match program");
+  }
+  // Dominated-guard elision is only sound under the option combination the
+  // optimizer's availability model assumed: every guarded site writes RAX via
+  // MOV+SANITIZE (no translate scratch use, no read-skipping performance
+  // mode, no forced guards on elided sites). Removal of dead instructions is
+  // valid regardless.
+  const bool use_plan = plan != nullptr && options.sfi && options.elide_guards &&
+                        !options.performance_mode && !options.translate_on_store;
   if (program.heap_size != 0) {
     if (heap.size != program.heap_size) {
       return InvalidArgument("heap layout size does not match program declaration");
@@ -46,6 +58,18 @@ StatusOr<InstrumentedProgram> Instrument(const Program& program, const Analysis&
   for (size_t pc = 0; pc < program.insns.size(); pc++) {
     const Insn& insn = program.insns[pc];
     Replacement& r = repl[pc];
+
+    if (plan != nullptr && plan->removed[pc]) {
+      // Semantic no-op (folded fall-through branch, dead stack store, or
+      // unreachable code): contribute zero instructions. Jumps whose target
+      // was removed land on the next retained instruction, which is exactly
+      // where execution would have continued.
+      if (insn.IsLdImm64()) {
+        repl[pc + 1].skip = true;
+        pc++;
+      }
+      continue;
+    }
 
     if (insn.IsLdImm64()) {
       uint64_t imm = LdImm64Value(insn, program.insns[pc + 1]);
@@ -72,6 +96,11 @@ StatusOr<InstrumentedProgram> Instrument(const Program& program, const Analysis&
       bool translate = options.translate_on_store && insn.Class() == BPF_STX &&
                        !insn.IsAtomic() && insn.AccessSize() == 8 && info.stores_heap_ptr &&
                        !info.stores_mixed;
+      // A dominated site (opt.h): RAX still holds sanitize(base) from an
+      // earlier guard on every path here, so the MOV+SANITIZE pair is
+      // skipped and the access goes through RAX directly. Formation guards
+      // are never in the plan (§5.4), but keep the belt-and-suspenders check.
+      bool dominated = use_plan && plan->dominated[pc] && guard && !info.formation;
 
       // Table 3 accounting: guards on pointer manipulation vs. guards forming
       // a new heap pointer (the latter are never elidable).
@@ -79,7 +108,9 @@ StatusOr<InstrumentedProgram> Instrument(const Program& program, const Analysis&
         out.stats.formation_guards++;
       } else {
         out.stats.pointer_guard_sites++;
-        if (guard) {
+        if (dominated) {
+          out.stats.guards_dominated++;
+        } else if (guard) {
           out.stats.guards_emitted++;
         } else if (options.sfi && !info.needs_guard) {
           out.stats.guards_elided++;
@@ -87,7 +118,15 @@ StatusOr<InstrumentedProgram> Instrument(const Program& program, const Analysis&
       }
 
       Reg base = static_cast<Reg>(pure_load ? insn.src : insn.dst);
-      if (guard && translate) {
+      if (dominated) {
+        Insn anchored = insn;
+        if (pure_load) {
+          anchored.src = RAX;
+        } else {
+          anchored.dst = RAX;
+        }
+        r.insns.push_back(anchored);
+      } else if (guard && translate) {
         out.stats.translations++;
         r.insns.push_back(MovRegInsn(RAX, static_cast<Reg>(insn.src)));
         r.insns.push_back(KieTranslateInsn(RAX));
@@ -215,6 +254,10 @@ StatusOr<InstrumentedProgram> Instrument(const Program& program, const Analysis&
 
   out.stats.pruned_back_edges = analysis.pruned_back_edges;
   out.stats.pruned_object_entries = analysis.pruned_object_entries;
+  if (plan != nullptr) {
+    out.stats.const_branches_folded = plan->stats.const_branches_folded;
+    out.stats.dead_stores_removed = plan->stats.dead_stores_removed;
+  }
   for (const auto& [pc, table] : out.object_tables) {
     out.stats.object_table_entries += table.size();
   }

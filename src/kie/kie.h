@@ -32,29 +32,18 @@
 #include "src/ebpf/program.h"
 #include "src/runtime/layout.h"
 #include "src/verifier/analysis.h"
+#include "src/verifier/opt.h"
 
 namespace kflex {
 
-// Instrumentation pseudo-instructions, understood only by the KFlex-extended
-// VM ("we augment the eBPF JIT to ensure that the added instrumentation is
-// correctly compiled", §3). Encoded in otherwise-unused LD-class opcodes.
-//
-//   SANITIZE dst: dst = heap_kernel_base + (dst & (heap_size - 1))
-//   TRANSLATE dst: dst = heap_user_base + (dst & (heap_size - 1))
-//
-// On real hardware SANITIZE compiles to a single AND plus indexed addressing
-// with the base held in a reserved register (§4.2).
-inline constexpr uint8_t kKieSanitizeOpcode = BPF_LD | BPF_DW | 0x20;   // 0x38
-inline constexpr uint8_t kKieTranslateOpcode = BPF_LD | BPF_DW | 0x40;  // 0x58
-// FUELCHECK: traps when the invocation exceeded its cycle quantum or its
-// cancel flag is set. Models the clock-sampling back-edge checks the paper
-// proposes for sub-second stall recovery (§6, "Faster extension stall
-// recovery"); compiles to a TSC read + compare on real hardware.
-inline constexpr uint8_t kKieFuelCheckOpcode = BPF_LD | BPF_DW | 0x60;  // 0x78
-
-inline Insn KieSanitizeInsn(Reg dst) { return Insn{kKieSanitizeOpcode, dst, 0, 0, 0}; }
-inline Insn KieTranslateInsn(Reg dst) { return Insn{kKieTranslateOpcode, dst, 0, 0, 0}; }
-inline Insn KieFuelCheckInsn() { return Insn{kKieFuelCheckOpcode, 0, 0, 0, 0}; }
+// The instrumentation pseudo-instructions (SANITIZE/TRANSLATE/FUELCHECK) are
+// understood only by the KFlex-extended VM ("we augment the eBPF JIT to
+// ensure that the added instrumentation is correctly compiled", §3). Their
+// encodings and constructors live in src/ebpf/insn.h so the disassembler can
+// print them by name. On real hardware SANITIZE compiles to a single AND
+// plus indexed addressing with the base held in a reserved register (§4.2);
+// FUELCHECK models the clock-sampling back-edge checks the paper proposes
+// for sub-second stall recovery (§6) and compiles to a TSC read + compare.
 
 // How C1 cancellation points are realized (§3.3 vs §6).
 enum class CancellationMode {
@@ -89,6 +78,13 @@ struct KieStats {
   size_t guards_elided = 0;        // of those, elided by range analysis
   size_t guards_emitted = 0;       // of those, materialized as SANITIZE
   size_t formation_guards = 0;     // untrusted-scalar guards (never elided)
+  // Optimizer (opt.h) contributions, present when a GuardPlan was consumed:
+  // guard sites whose SANITIZE is covered by a dominating guard (the access
+  // is rewritten through the still-sanitized scratch register instead), plus
+  // the SCCP/DSE static counts copied from the plan.
+  size_t guards_dominated = 0;
+  size_t const_branches_folded = 0;
+  size_t dead_stores_removed = 0;
   size_t translations = 0;
   size_t cancellation_points = 0;  // C1 back-edge Cps inserted
   size_t insns_in = 0;
@@ -124,8 +120,17 @@ struct InstrumentedProgram {
 // Instruments `program` using the verifier's `analysis`. `heap` must describe
 // the already-created extension heap (empty layout allowed iff the program
 // declares no heap).
+//
+// `plan`, when non-null, is the optimizer's output for this exact
+// program/analysis pair (pass the three members of one OptResult together):
+// instructions the plan marks removed are dropped during relayout, and —
+// when the option combination matches the availability model the optimizer
+// assumed (sfi + elide_guards, no performance mode, no translate-on-store) —
+// dominated guard sites skip their MOV+SANITIZE and access the heap through
+// the scratch register still holding the dominating guard's result.
 StatusOr<InstrumentedProgram> Instrument(const Program& program, const Analysis& analysis,
-                                         const HeapLayout& heap, const KieOptions& options);
+                                         const HeapLayout& heap, const KieOptions& options,
+                                         const GuardPlan* plan = nullptr);
 
 }  // namespace kflex
 

@@ -72,9 +72,26 @@ StatusOr<ExtensionId> Runtime::Load(const Program& program, const LoadOptions& o
     layout = ext->heap->layout();
   }
 
+  // Step 1.5: bytecode optimizer (SCCP + dominated guards + DSE). The
+  // optimized program keeps the verified program's pc layout, so the
+  // (cleaned) analysis stays aligned for Kie.
+  const Program* to_instrument = &program;
+  const GuardPlan* plan = nullptr;
+  OptResult opt;
+  if (options.optimize) {
+    StatusOr<OptResult> optimized = Optimize(program, ext->analysis);
+    if (!optimized.ok()) {
+      return optimized.status();
+    }
+    opt = std::move(optimized.value());
+    ext->analysis = opt.analysis;
+    to_instrument = &opt.program;
+    plan = &opt.plan;
+  }
+
   // Step 2 (Figure 1): Kie instrumentation.
   StatusOr<InstrumentedProgram> iprog =
-      Instrument(program, ext->analysis, layout, options.kie);
+      Instrument(*to_instrument, ext->analysis, layout, options.kie, plan);
   if (!iprog.ok()) {
     return iprog.status();
   }
@@ -136,6 +153,11 @@ int64_t Runtime::Unwind(Extension& ext, VmEnv& env, size_t fault_pc) {
 }
 
 InvokeResult Runtime::Invoke(ExtensionId id, int cpu, uint8_t* ctx, uint32_t ctx_size) {
+  return Invoke(id, cpu, ctx, ctx_size, nullptr);
+}
+
+InvokeResult Runtime::Invoke(ExtensionId id, int cpu, uint8_t* ctx, uint32_t ctx_size,
+                             std::vector<std::pair<int32_t, uint64_t>>* helper_trace) {
   InvokeResult result;
   Extension* ext = Get(id);
   if (ext == nullptr || ext->unloaded.load(std::memory_order_acquire) || cpu < 0 ||
@@ -157,6 +179,7 @@ InvokeResult Runtime::Invoke(ExtensionId id, int cpu, uint8_t* ctx, uint32_t ctx
   env.insn_budget = 0;
   env.fuel_quantum = options_.fuel_quantum_insns;
   env.instrumentation_mask = &ext->iprog.instrumentation_mask;
+  env.helper_trace = helper_trace;
 
   auto& running = *ext->running_since[static_cast<size_t>(cpu)];
   running.store(KtimeNowNs(), std::memory_order_release);

@@ -49,6 +49,11 @@ struct LoadOptions {
   KieOptions kie;
   // Extra verifier knobs (maps are filled in from the registry).
   VerifyOptions verify;
+  // Run the bytecode optimizer (opt.h) between verification and Kie:
+  // tnum-SCCP constant folding, dominated-guard elision, and dead stack
+  // store elimination. Off reproduces the unoptimized PR-1 pipeline (and is
+  // what the differential fuzzer compares against).
+  bool optimize = true;
   // Static-globals bytes at the front of the heap (kflex_heap file scope
   // data). Ignored when the program declares no heap.
   uint64_t heap_static_bytes = 0;
@@ -91,6 +96,10 @@ class Runtime {
   // Runs one invocation of the extension on `cpu` with the given context
   // object (the hook input). ctx must stay valid for the call.
   InvokeResult Invoke(ExtensionId id, int cpu, uint8_t* ctx, uint32_t ctx_size);
+  // As above, additionally recording every helper call as (id, return value)
+  // into `helper_trace` (may be null). Used by differential tests.
+  InvokeResult Invoke(ExtensionId id, int cpu, uint8_t* ctx, uint32_t ctx_size,
+                      std::vector<std::pair<int32_t, uint64_t>>* helper_trace);
 
   // Requests cancellation of all invocations of the extension (§4.3: scope
   // is the whole extension across CPUs).

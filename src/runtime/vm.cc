@@ -369,6 +369,9 @@ VmResult VmRun(std::span<const Insn> insns, VmEnv& env) {
           executed += helper->virtual_cost;
           uint64_t args[5] = {regs[R1], regs[R2], regs[R3], regs[R4], regs[R5]};
           HelperOutcome out = (helper->fn)(env, args);
+          if (env.helper_trace != nullptr) {
+            env.helper_trace->emplace_back(insn.imm, out.ret);
+          }
           if (out.cancel) {
             result.outcome = VmResult::Outcome::kHelperCancel;
             result.fault_pc = pc;

@@ -15,6 +15,7 @@
 #include <functional>
 #include <map>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "src/ebpf/insn.h"
@@ -79,6 +80,10 @@ struct VmEnv {
   // Optional per-pc flags marking Kie-inserted instructions (guards,
   // terminate loads); counted separately in VmResult.
   const std::vector<uint8_t>* instrumentation_mask = nullptr;
+  // Optional helper-call trace: (helper id, returned value) appended per
+  // call in execution order. Differential tests compare traces across
+  // optimized/unoptimized runs of the same program.
+  std::vector<std::pair<int32_t, uint64_t>>* helper_trace = nullptr;
 
   // Filled during execution; readable by the cancellation unwinder.
   uint64_t regs[kNumRegs] = {0};

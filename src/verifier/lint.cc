@@ -7,6 +7,7 @@
 #include <set>
 
 #include "src/ebpf/helper_ids.h"
+#include "src/verifier/opt.h"
 
 namespace kflex {
 
@@ -531,6 +532,37 @@ void HelperContractPass(const LintContext& ctx, std::vector<Finding>& out) {
   }
 }
 
+// ---- Pass: redundant-guard --------------------------------------------------
+//
+// Surfaces where the bytecode optimizer's dominated-guard elimination fires:
+// a guarded heap access whose base register was already sanitized on every
+// path, with no intervening redefinition, call, or cancellation point. These
+// are notes, not defects — the optimizer removes the redundancy
+// automatically — but they show the developer which access patterns pay for
+// repeated SANITIZEs (e.g. re-deriving a pointer instead of reusing it).
+// Requires verifier facts; silent on unverified programs.
+
+void RedundantGuardPass(const LintContext& ctx, std::vector<Finding>& out) {
+  if (ctx.analysis == nullptr) {
+    return;
+  }
+  StatusOr<OptResult> opt = Optimize(ctx.program, *ctx.analysis);
+  if (!opt.ok()) {
+    return;
+  }
+  for (size_t pc = 0; pc < opt->plan.dominated.size(); pc++) {
+    if (!opt->plan.dominated[pc]) {
+      continue;
+    }
+    const Insn& insn = ctx.program.insns[pc];
+    int base = insn.IsLoad() ? insn.src : insn.dst;
+    out.push_back({pc, LintSeverity::kNote, "redundant-guard",
+                   "SFI guard on " + RegName(base) +
+                       " is dominated by an earlier guard on the same base; the "
+                       "optimizer reuses the sanitized address"});
+  }
+}
+
 // ---- Registry ---------------------------------------------------------------
 
 std::vector<LintPass>& MutablePasses() {
@@ -540,6 +572,8 @@ std::vector<LintPass>& MutablePasses() {
       {"ref-leak", "kernel references that may leak on an exit path", RefLeakPass},
       {"helper-contract", "helper calls with provably invalid constant arguments",
        HelperContractPass},
+      {"redundant-guard", "SFI guards dominated by an earlier guard on the same base",
+       RedundantGuardPass},
   };
   return *passes;
 }

@@ -1,0 +1,86 @@
+// Bytecode optimizer: an SSA-lite pass pipeline between Verify() and
+// Kie::Instrument(), built on the CFG/dataflow framework (cfg.h, dataflow.h).
+//
+// Passes, in order:
+//
+//  1. Sparse conditional constant propagation (SCCP) over the verifier's
+//     tnum + min/max scalar lattice (state.h shares the exact transfer
+//     functions): constant ALU results are rewritten to MOV-immediates,
+//     conditional branches whose outcome is decided by the lattice are folded
+//     to unconditional jumps (taken) or marked removable (fall-through), and
+//     code only reachable through infeasible edges is deleted. The SCCP
+//     lattice deliberately treats every pointer-derived value as unknown, so
+//     its folding decisions stay valid for ANY runtime pointer value —
+//     including a pointer an SFI guard redirected back into the heap.
+//
+//  2. Available-guard analysis: a forward, intersecting dataflow computing,
+//     before each instruction, the register (if any) whose sanitized address
+//     the Kie scratch register RAX is known to hold. A guarded heap access
+//     whose base register is available is "dominated": Kie skips the
+//     MOV+SANITIZE pair and rewrites the access to go through RAX, which
+//     still holds exactly the address a fresh guard would compute (the base
+//     register and RAX are both unmodified since the dominating guard).
+//     Availability is killed on any redefinition of the base register, on
+//     helper calls, and at C1 cancellation points (whose terminate-load
+//     sequence clobbers RAX). Formation guards — untrusted scalar to heap
+//     pointer, §5.4 — are never dominated and never generate availability.
+//
+//  3. Dead-store elimination over stack slots using the liveness pass:
+//     a full-width store through the frame pointer whose slot is dead-out is
+//     marked removable, unless any object table records a resource handle in
+//     that slot (the cancellation unwinder reads handles from the stack).
+//
+// The rewritten program preserves the pc layout of the input (folded
+// branches become JA, removable instructions are only *marked*), so the
+// verifier's per-pc Analysis remains aligned; Kie physically deletes marked
+// instructions during its relayout.
+#ifndef SRC_VERIFIER_OPT_H_
+#define SRC_VERIFIER_OPT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ebpf/program.h"
+#include "src/verifier/analysis.h"
+
+namespace kflex {
+
+struct OptStats {
+  size_t const_branches_folded = 0;  // cond jumps decided by the lattice
+  size_t alu_folded = 0;             // ALU results rewritten to MOV-imm
+  size_t guards_dominated = 0;       // guard sites covered by a dominating guard
+  size_t dead_stores_removed = 0;    // stack stores with a dead slot
+  size_t unreachable_removed = 0;    // instructions beyond any feasible edge
+};
+
+// What Kie consumes instead of raw per-insn elision bits. Indexed by the pc
+// of the (same-layout) optimized program.
+struct GuardPlan {
+  // Guarded heap-access sites whose SANITIZE is covered by a dominating
+  // guard on the same base register: Kie rewrites the access through the
+  // still-valid scratch register instead of re-sanitizing.
+  std::vector<uint8_t> dominated;
+  // Instructions Kie should drop during relayout (semantic no-ops: folded
+  // fall-through branches, dead stack stores, unreachable code).
+  std::vector<uint8_t> removed;
+  OptStats stats;
+};
+
+struct OptResult {
+  // Same instruction count and pc layout as the input program.
+  Program program;
+  // The input analysis with facts for removed instructions dropped
+  // (cancellation back edges and object tables of deleted pcs).
+  Analysis analysis;
+  GuardPlan plan;
+};
+
+// Runs the pipeline on a verified program. `analysis` must be the result of
+// a successful Verify() on `program`.
+StatusOr<OptResult> Optimize(const Program& program, const Analysis& analysis);
+
+}  // namespace kflex
+
+#endif  // SRC_VERIFIER_OPT_H_

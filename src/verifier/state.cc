@@ -12,6 +12,166 @@ constexpr int64_t kS64Max = std::numeric_limits<int64_t>::max();
 constexpr uint64_t kU64Max = std::numeric_limits<uint64_t>::max();
 }  // namespace
 
+RegState ScalarBinop(AluOp op, const RegState& a, const RegState& b) {
+  RegState r = RegState::UnknownScalar();
+  switch (op) {
+    case BPF_ADD: {
+      r.var = TnumAdd(a.var, b.var);
+      uint64_t lo = a.umin + b.umin;
+      uint64_t hi = a.umax + b.umax;
+      if (lo >= a.umin && hi >= a.umax) {  // no unsigned wrap
+        r.umin = lo;
+        r.umax = hi;
+      }
+      int64_t slo;
+      int64_t shi;
+      if (!__builtin_add_overflow(a.smin, b.smin, &slo) &&
+          !__builtin_add_overflow(a.smax, b.smax, &shi)) {
+        r.smin = slo;
+        r.smax = shi;
+      }
+      break;
+    }
+    case BPF_SUB: {
+      r.var = TnumSub(a.var, b.var);
+      if (a.umin >= b.umax) {  // no unsigned wrap
+        r.umin = a.umin - b.umax;
+        r.umax = a.umax - b.umin;
+      }
+      int64_t slo;
+      int64_t shi;
+      if (!__builtin_sub_overflow(a.smin, b.smax, &slo) &&
+          !__builtin_sub_overflow(a.smax, b.smin, &shi)) {
+        r.smin = slo;
+        r.smax = shi;
+      }
+      break;
+    }
+    case BPF_AND:
+      r.var = TnumAnd(a.var, b.var);
+      r.umin = 0;
+      r.umax = std::min(a.umax, b.umax);
+      if (a.smin >= 0 && b.smin >= 0) {
+        r.smin = 0;
+        r.smax = static_cast<int64_t>(r.umax);
+      }
+      break;
+    case BPF_OR:
+      r.var = TnumOr(a.var, b.var);
+      r.umin = std::max(a.umin, b.umin);
+      break;
+    case BPF_XOR:
+      r.var = TnumXor(a.var, b.var);
+      break;
+    case BPF_MUL:
+      r.var = TnumMul(a.var, b.var);
+      if (a.umax <= 0xFFFFFFFFULL && b.umax <= 0xFFFFFFFFULL) {
+        r.umin = a.umin * b.umin;
+        r.umax = a.umax * b.umax;
+        if (a.smin >= 0 && b.smin >= 0) {
+          r.smin = static_cast<int64_t>(r.umin);
+          r.smax = static_cast<int64_t>(r.umax);
+        }
+      }
+      break;
+    case BPF_LSH:
+      if (b.IsConst() && b.ConstValue() < 64) {
+        uint8_t sh = static_cast<uint8_t>(b.ConstValue());
+        r.var = TnumLshift(a.var, sh);
+        if (sh == 0 || a.umax <= (kU64Max >> sh)) {
+          r.umin = a.umin << sh;
+          r.umax = a.umax << sh;
+          if (a.smin >= 0 && r.umax <= static_cast<uint64_t>(kS64Max)) {
+            r.smin = static_cast<int64_t>(r.umin);
+            r.smax = static_cast<int64_t>(r.umax);
+          }
+        }
+      }
+      break;
+    case BPF_RSH:
+      if (b.IsConst() && b.ConstValue() < 64) {
+        uint8_t sh = static_cast<uint8_t>(b.ConstValue());
+        r.var = TnumRshift(a.var, sh);
+        r.umin = a.umin >> sh;
+        r.umax = a.umax >> sh;
+        r.smin = static_cast<int64_t>(r.umin);
+        r.smax = static_cast<int64_t>(r.umax);
+      }
+      break;
+    case BPF_ARSH:
+      if (b.IsConst() && b.ConstValue() < 64) {
+        uint8_t sh = static_cast<uint8_t>(b.ConstValue());
+        r.var = TnumArshift(a.var, sh);
+        r.smin = a.smin >> sh;
+        r.smax = a.smax >> sh;
+      }
+      break;
+    case BPF_DIV:
+      // eBPF: unsigned divide; x / 0 == 0.
+      if (a.var.IsConst() && b.var.IsConst() && b.ConstValue() != 0) {
+        return RegState::ConstScalar(a.ConstValue() / b.ConstValue());
+      }
+      r.umin = 0;
+      r.umax = a.umax;
+      r.smin = 0;
+      r.smax = static_cast<int64_t>(std::min(a.umax, static_cast<uint64_t>(kS64Max)));
+      break;
+    case BPF_MOD:
+      // eBPF: unsigned modulo; x % 0 == x.
+      if (a.var.IsConst() && b.var.IsConst() && b.ConstValue() != 0) {
+        return RegState::ConstScalar(a.ConstValue() % b.ConstValue());
+      }
+      r.umin = 0;
+      if (b.umin > 0) {
+        r.umax = b.umax - 1;
+      } else {
+        r.umax = std::max(a.umax, b.umax == 0 ? 0 : b.umax - 1);
+      }
+      r.smin = 0;
+      r.smax = static_cast<int64_t>(std::min(r.umax, static_cast<uint64_t>(kS64Max)));
+      break;
+    default:
+      break;
+  }
+  r.DeduceBounds();
+  return r;
+}
+
+bool EvalConstCond(JmpOp op, uint64_t a, uint64_t b, bool is64) {
+  if (!is64) {
+    a = static_cast<uint32_t>(a);
+    b = static_cast<uint32_t>(b);
+  }
+  int64_t sa = is64 ? static_cast<int64_t>(a) : static_cast<int32_t>(static_cast<uint32_t>(a));
+  int64_t sb = is64 ? static_cast<int64_t>(b) : static_cast<int32_t>(static_cast<uint32_t>(b));
+  switch (op) {
+    case BPF_JEQ:
+      return a == b;
+    case BPF_JNE:
+      return a != b;
+    case BPF_JGT:
+      return a > b;
+    case BPF_JGE:
+      return a >= b;
+    case BPF_JLT:
+      return a < b;
+    case BPF_JLE:
+      return a <= b;
+    case BPF_JSGT:
+      return sa > sb;
+    case BPF_JSGE:
+      return sa >= sb;
+    case BPF_JSLT:
+      return sa < sb;
+    case BPF_JSLE:
+      return sa <= sb;
+    case BPF_JSET:
+      return (a & b) != 0;
+    default:
+      return false;
+  }
+}
+
 const char* RegTypeName(RegType type) {
   switch (type) {
     case RegType::kNotInit:

@@ -116,6 +116,21 @@ struct LockInfo {
 
 inline constexpr int kStackSlots = kStackSize / 8;
 
+// ---- Shared scalar transfer functions ----------------------------------------
+// Used by both the verifier's symbolic execution and the bytecode optimizer's
+// SCCP pass (opt.h), so the two agree bit-for-bit on eBPF ALU semantics.
+
+// Sign-extend the 32-bit immediate (eBPF semantics for 64-bit ALU with K).
+inline uint64_t SextImm(int32_t imm) {
+  return static_cast<uint64_t>(static_cast<int64_t>(imm));
+}
+
+// Abstract 64-bit ALU over scalars: tnum plus signed/unsigned bounds.
+RegState ScalarBinop(AluOp op, const RegState& a, const RegState& b);
+
+// Concrete evaluation of a conditional-jump predicate on two known values.
+bool EvalConstCond(JmpOp op, uint64_t a, uint64_t b, bool is64);
+
 struct VerifierState {
   std::array<RegState, kNumRegs> regs;
   std::array<StackSlot, kStackSlots> stack;

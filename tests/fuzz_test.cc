@@ -13,6 +13,9 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "src/base/rng.h"
 #include "src/ebpf/assembler.h"
@@ -36,9 +39,11 @@ class ProgramGenerator {
   // `resources` additionally emits lock pairs and socket acquire/release
   // sequences (sometimes deliberately broken) for the lint-vs-verifier
   // consistency test; those helpers are not wired into the fuzz Runtime, so
-  // the runtime soundness tests keep it off.
-  ProgramGenerator(Rng& rng, bool kflex, bool resources = false)
-      : rng_(rng), kflex_(kflex), resources_(resources) {}
+  // the runtime soundness tests keep it off. `helper_calls` sprinkles in
+  // calls to side-effect-free core helpers so differential runs can compare
+  // helper-call traces.
+  ProgramGenerator(Rng& rng, bool kflex, bool resources = false, bool helper_calls = false)
+      : rng_(rng), kflex_(kflex), resources_(resources), helper_calls_(helper_calls) {}
 
   Program Generate() {
     Assembler a;
@@ -122,7 +127,35 @@ class ProgramGenerator {
     a.Ldx(BPF_DW, R1, R10, -512);
   }
 
+  // A call to a zero-argument core helper, with the ctx pointer saved across
+  // the call (calls clobber R1-R5). The result lands in a scratch register so
+  // traced return values can influence control flow downstream.
+  void EmitHelperCall(Assembler& a) {
+    a.Stx(BPF_DW, R10, -512, R1);
+    switch (rng_.NextBounded(3)) {
+      case 0:
+        a.Call(kHelperKtimeGetNs);
+        break;
+      case 1:
+        a.Call(kHelperGetPrandomU32);
+        break;
+      default:
+        a.Call(kHelperGetSmpProcessorId);
+        break;
+    }
+    a.Ldx(BPF_DW, R1, R10, -512);
+    // The call left R2-R5 uninitialized; re-seed them so later ops verify.
+    for (Reg r : {R2, R3, R4, R5}) {
+      a.MovImm(r, static_cast<int32_t>(rng_.NextBounded(1 << 16)));
+    }
+    a.AluReg(BPF_ADD, rng_.NextBounded(2) == 0 ? R6 : R7, R0);
+  }
+
   void EmitRandomOp(Assembler& a, int depth) {
+    if (helper_calls_ && rng_.NextBounded(6) == 0) {
+      EmitHelperCall(a);
+      return;
+    }
     switch (rng_.NextBounded(resources_ ? 12u : (kflex_ ? 10u : 7u))) {
       case 0: {  // ALU immediate
         static constexpr AluOp kOps[] = {BPF_ADD, BPF_SUB, BPF_AND, BPF_OR,
@@ -220,6 +253,7 @@ class ProgramGenerator {
   Rng& rng_;
   bool kflex_;
   bool resources_;
+  bool helper_calls_ = false;
 };
 
 class FuzzSoundness : public ::testing::TestWithParam<int> {};
@@ -353,6 +387,88 @@ TEST(FuzzLintConsistency, LintAgreesWithVerifierOnResourceBugs) {
   // The generator must actually exercise both defect classes.
   EXPECT_GT(leaks_explained, 0u) << "generator drifted: no leaky programs produced";
   EXPECT_GT(deadlocks_explained, 0u) << "generator drifted: no deadlocking programs produced";
+}
+
+// ---- Differential fuzzing: optimizer equivalence ----------------------------
+//
+// Every generated program is loaded twice — optimizer on and off — and run
+// on identical context bytes and heap seeds. Exit verdicts, outcome kinds,
+// full heap contents, and helper-call traces (id, return value) must match
+// exactly: the optimizer may only remove work, never change behavior.
+
+// Replaces the wall-clock and shared-thread-local core helpers with
+// per-runtime deterministic versions so both pipelines observe the same
+// helper return values.
+void MakeHelpersDeterministic(Runtime& rt) {
+  auto clock = std::make_shared<uint64_t>(0);
+  rt.helpers().Register(
+      kHelperKtimeGetNs,
+      [clock](VmEnv&, const uint64_t*) { return HelperOutcome{*clock += 1000, false, false}; },
+      /*virtual_cost=*/4);
+  auto prng = std::make_shared<Rng>(0x5EEDu);
+  rt.helpers().Register(
+      kHelperGetPrandomU32,
+      [prng](VmEnv&, const uint64_t*) {
+        return HelperOutcome{prng->Next() & 0xFFFFFFFFULL, false, false};
+      },
+      /*virtual_cost=*/4);
+}
+
+TEST(FuzzDifferential, OptimizedPipelineIsObservationallyEquivalent) {
+  Rng rng(0x0B7C0DEULL);
+  int compared = 0;
+  constexpr int kPrograms = 1100;
+  for (int n = 0; n < kPrograms; n++) {
+    bool kflex = n % 4 != 3;  // mostly KFlex, some strict eBPF
+    ProgramGenerator gen(rng, kflex, /*resources=*/false, /*helper_calls=*/true);
+    Program p = gen.Generate();
+
+    RuntimeOptions ro{1, 1'000'000'000ULL};
+    Runtime rt_opt{ro};
+    Runtime rt_ref{ro};
+    MakeHelpersDeterministic(rt_opt);
+    MakeHelpersDeterministic(rt_ref);
+    LoadOptions lo;
+    lo.heap_static_bytes = 4096;
+    LoadOptions lo_ref = lo;
+    lo_ref.optimize = false;
+    auto id_opt = rt_opt.Load(p, lo);
+    auto id_ref = rt_ref.Load(p, lo_ref);
+    // The optimizer must never change whether a program loads.
+    ASSERT_EQ(id_opt.ok(), id_ref.ok()) << ProgramToString(p);
+    if (!id_opt.ok()) {
+      continue;
+    }
+    compared++;
+    for (int run = 0; run < 2; run++) {
+      uint8_t ctx_opt[2048];
+      for (auto& b : ctx_opt) {
+        b = static_cast<uint8_t>(rng.Next());
+      }
+      uint8_t ctx_ref[2048];
+      std::memcpy(ctx_ref, ctx_opt, sizeof(ctx_ref));
+
+      std::vector<std::pair<int32_t, uint64_t>> trace_opt, trace_ref;
+      InvokeResult a = rt_opt.Invoke(*id_opt, 0, ctx_opt, sizeof(ctx_opt), &trace_opt);
+      InvokeResult b = rt_ref.Invoke(*id_ref, 0, ctx_ref, sizeof(ctx_ref), &trace_ref);
+      ASSERT_EQ(a.attached, b.attached) << "program " << n << "\n" << ProgramToString(p);
+      if (!a.attached) {
+        break;
+      }
+      ASSERT_EQ(a.cancelled, b.cancelled) << "program " << n << "\n" << ProgramToString(p);
+      ASSERT_EQ(a.outcome, b.outcome) << "program " << n << "\n" << ProgramToString(p);
+      ASSERT_EQ(a.verdict, b.verdict) << "program " << n << "\n" << ProgramToString(p);
+      ASSERT_EQ(trace_opt, trace_ref)
+          << "helper traces diverged, program " << n << "\n" << ProgramToString(p);
+      if (rt_opt.heap(*id_opt) != nullptr) {
+        ASSERT_EQ(0, std::memcmp(rt_opt.heap(*id_opt)->HostAt(0),
+                                 rt_ref.heap(*id_ref)->HostAt(0), kHeap))
+            << "heap contents diverged, program " << n << "\n" << ProgramToString(p);
+      }
+    }
+  }
+  // The generator is acceptance-biased: most programs must actually compare.
+  EXPECT_GT(compared, kPrograms / 4) << "generator drifted: too few accepted programs";
 }
 
 // The verifier must reject (not crash on) byte-level garbage programs.

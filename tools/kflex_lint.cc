@@ -1,13 +1,17 @@
 // kflex-lint: static analysis front end for text-asm extensions.
 //
-//   kflex-lint [--json] [--Werror] FILE.kasm...
+//   kflex-lint [--json] [--Werror] [--opt-report] FILE.kasm...
 //
 // Assembles each file, runs the verifier, then every registered lint pass
 // (src/verifier/lint.h), and reports findings together with the verifier's
 // Table-3-style elision and object-table statistics.
 //
-//   --json     machine-readable report on stdout (one object for all files)
-//   --Werror   treat warnings as errors for the exit code
+//   --json        machine-readable report on stdout (one object for all files)
+//   --Werror      treat warnings as errors for the exit code
+//   --opt-report  run the bytecode optimizer (src/verifier/opt.h) and report
+//                 per-program Table-3-style statistics: guards elided by range
+//                 analysis vs. by dominance, folded branches, dead stores. With
+//                 --json the report also embeds the instrumented disassembly.
 //
 // Exit code: 0 clean, 1 usage/file/parse error, 2 error-severity findings
 // (or verification failure).
@@ -18,7 +22,10 @@
 #include <vector>
 
 #include "src/ebpf/text_asm.h"
+#include "src/kie/kie.h"
+#include "src/runtime/layout.h"
 #include "src/verifier/lint.h"
+#include "src/verifier/opt.h"
 #include "src/verifier/verifier.h"
 
 using namespace kflex;
@@ -26,7 +33,7 @@ using namespace kflex;
 namespace {
 
 int Usage() {
-  std::fprintf(stderr, "usage: kflex-lint [--json] [--Werror] FILE.kasm...\n");
+  std::fprintf(stderr, "usage: kflex-lint [--json] [--Werror] [--opt-report] FILE.kasm...\n");
   return 1;
 }
 
@@ -39,6 +46,12 @@ struct FileReport {
   Analysis analysis;
   size_t object_table_entries = 0;
   std::vector<Finding> findings;
+  // --opt-report payload: optimizer pass counters, post-plan Kie guard
+  // accounting, and the instrumented disassembly (JSON only).
+  bool has_opt = false;
+  OptStats opt;
+  KieStats kie;
+  std::string instrumented_disasm;
 };
 
 std::string JsonEscape(const std::string& s) {
@@ -89,6 +102,18 @@ void PrintJson(const std::vector<FileReport>& reports, size_t errors, size_t war
         r.insns, a.heap_access_insns, a.elided_guards, a.required_guards, a.formation_guards,
         a.cancellation_back_edges.size(), a.pruned_back_edges, r.object_table_entries,
         a.pruned_object_entries);
+    if (r.has_opt) {
+      std::printf(
+          "      \"opt\": {\"const_branches_folded\": %zu, \"alu_folded\": %zu, "
+          "\"dead_stores_removed\": %zu, \"unreachable_removed\": %zu, "
+          "\"guard_sites\": %zu, \"elided_by_range\": %zu, \"elided_by_dominance\": %zu, "
+          "\"guards_emitted\": %zu, \"formation_guards\": %zu},\n",
+          r.opt.const_branches_folded, r.opt.alu_folded, r.opt.dead_stores_removed,
+          r.opt.unreachable_removed, r.kie.pointer_guard_sites, r.kie.guards_elided,
+          r.kie.guards_dominated, r.kie.guards_emitted, r.kie.formation_guards);
+      std::printf("      \"instrumented_disasm\": \"%s\",\n",
+                  JsonEscape(r.instrumented_disasm).c_str());
+    }
     std::printf("      \"findings\": [");
     for (size_t j = 0; j < r.findings.size(); j++) {
       const Finding& f = r.findings[j];
@@ -120,6 +145,17 @@ void PrintText(const FileReport& r) {
   } else {
     std::printf("%s: verification FAILED: %s\n", r.file.c_str(), r.error.c_str());
   }
+  if (r.has_opt) {
+    // Table-3-style accounting after the optimizer: how each guard site was
+    // discharged, plus the SCCP/DSE pass counters.
+    std::printf(
+        "%s: opt-report: %zu guard sites -> %zu elided by range, %zu elided by "
+        "dominance, %zu emitted (+%zu formation); %zu branches folded, %zu ALU "
+        "folded, %zu dead stores removed, %zu unreachable insns removed\n",
+        r.file.c_str(), r.kie.pointer_guard_sites, r.kie.guards_elided, r.kie.guards_dominated,
+        r.kie.guards_emitted, r.kie.formation_guards, r.opt.const_branches_folded, r.opt.alu_folded,
+        r.opt.dead_stores_removed, r.opt.unreachable_removed);
+  }
   for (const Finding& f : r.findings) {
     std::printf("%s:%zu: %s: [%s] %s\n", r.file.c_str(), f.pc, LintSeverityName(f.severity),
                 f.pass.c_str(), f.message.c_str());
@@ -131,6 +167,7 @@ void PrintText(const FileReport& r) {
 int main(int argc, char** argv) {
   bool json = false;
   bool werror = false;
+  bool opt_report = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; i++) {
     std::string arg = argv[i];
@@ -138,6 +175,8 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--Werror") {
       werror = true;
+    } else if (arg == "--opt-report") {
+      opt_report = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return Usage();
     } else {
@@ -186,6 +225,27 @@ int main(int argc, char** argv) {
     } else {
       report.error = analysis.status().ToString();
       errors++;  // an example that fails verification is an error-level event
+    }
+
+    if (opt_report && report.verified) {
+      auto opt = Optimize(*program, report.analysis);
+      if (opt.ok()) {
+        HeapLayout layout;
+        if (program->heap_size != 0) {
+          layout = HeapLayout::ForSize(program->heap_size);
+        }
+        auto instr = Instrument(opt->program, opt->analysis, layout, KieOptions{}, &opt->plan);
+        if (instr.ok()) {
+          report.has_opt = true;
+          report.opt = opt->plan.stats;
+          report.kie = instr->stats;
+          report.instrumented_disasm = ProgramToString(instr->program);
+        } else {
+          report.error += (report.error.empty() ? "" : "; ") + instr.status().ToString();
+        }
+      } else {
+        report.error += (report.error.empty() ? "" : "; ") + opt.status().ToString();
+      }
     }
 
     auto findings = RunLint(*program, analysis_ptr);
