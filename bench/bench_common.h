@@ -2,8 +2,11 @@
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/sim/closedloop.h"
 
@@ -28,6 +31,63 @@ inline void PrintKvRow(const char* mix, const char* system, const ClosedLoopResu
               r.throughput_mops, static_cast<unsigned long long>(r.latency.Percentile(0.5)),
               static_cast<unsigned long long>(r.latency.Percentile(0.99)));
 }
+
+// Pulls `--json <path>` out of argv (so it never reaches google-benchmark's
+// own flag parser) and returns the path, or "" when absent.
+inline std::string ExtractJsonFlag(int* argc, char** argv) {
+  std::string path;
+  int w = 1;
+  for (int i = 1; i < *argc; i++) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
+      path = argv[++i];
+      continue;
+    }
+    argv[w++] = argv[i];
+  }
+  *argc = w;
+  return path;
+}
+
+// Machine-readable benchmark results (one row per workload x engine). The
+// writer emits a flat JSON array; numeric fields are stored as int64/double
+// so downstream tooling needs no schema.
+class BenchJson {
+ public:
+  struct Row {
+    std::string workload;
+    std::string engine;
+    double ns_per_op = 0.0;
+    std::vector<std::pair<std::string, int64_t>> fields;
+  };
+
+  Row& Add(const std::string& workload, const std::string& engine, double ns_per_op) {
+    rows_.push_back(Row{workload, engine, ns_per_op, {}});
+    return rows_.back();
+  }
+
+  bool Write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return false;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < rows_.size(); i++) {
+      const Row& r = rows_[i];
+      std::fprintf(f, "  {\"workload\": \"%s\", \"engine\": \"%s\", \"ns_per_op\": %.2f",
+                   r.workload.c_str(), r.engine.c_str(), r.ns_per_op);
+      for (const auto& [k, v] : r.fields) {
+        std::fprintf(f, ", \"%s\": %lld", k.c_str(), static_cast<long long>(v));
+      }
+      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::vector<Row> rows_;
+};
 
 }  // namespace kflex
 

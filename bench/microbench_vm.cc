@@ -4,6 +4,9 @@
 // figure harnesses with real host-time numbers for the substrate.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench/bench_common.h"
 #include "src/apps/ds/ds.h"
 #include "src/apps/ds/harness.h"
 #include "src/apps/memcached.h"
@@ -125,6 +128,58 @@ void BM_OptimizedGuardedScatter(benchmark::State& state) {
 }
 BENCHMARK(BM_OptimizedGuardedScatter)->Arg(0)->Arg(1);
 
+// The guarded-scatter workload used across engine comparisons: 256 loop
+// iterations x 3 guarded 8-byte stores through an unproven heap base.
+Program GuardedScatterProgram() {
+  Assembler a;
+  a.Ldx(BPF_W, R6, R1, 0);
+  a.LoadHeapAddr(R7, 64);
+  a.Add(R7, R6);
+  a.MovImm(R4, 256);
+  a.MovImm(R0, 0);
+  auto loop = a.LoopBegin();
+  a.LoopBreakIfImm(loop, BPF_JEQ, R4, 0);
+  a.StImm(BPF_DW, R7, 0, 1);
+  a.StImm(BPF_DW, R7, 8, 2);
+  a.StImm(BPF_DW, R7, 16, 3);
+  a.SubImm(R4, 1);
+  a.LoopEnd(loop);
+  a.Exit();
+  auto p = a.Finish("scatter", Hook::kTracepoint, ExtensionMode::kKflex, 1 << 20);
+  return std::move(p).value();
+}
+
+// Same optimized pipeline on both engines: Arg(0) = interpreter,
+// Arg(1) = native JIT. The wall-time ratio between the two rows is the
+// paper's core "compiled extensions" speedup on this substrate.
+void BM_GuardedScatterEngine(benchmark::State& state) {
+  Program p = GuardedScatterProgram();
+  Runtime runtime{RuntimeOptions{1, 1'000'000'000ULL}};
+  LoadOptions lo;
+  lo.heap_static_bytes = 128;
+  lo.engine = state.range(0) != 0 ? ExecEngine::kJit : ExecEngine::kInterp;
+  auto id = runtime.Load(p, lo);
+  EngineInfo info = runtime.engine_info(*id);
+  if (state.range(0) != 0 && info.used != ExecEngine::kJit) {
+    state.SkipWithError(("JIT fallback: " + info.fallback_reason).c_str());
+    return;
+  }
+  uint8_t ctx[64] = {0};
+  uint64_t insns = 0;
+  for (auto _ : state) {
+    InvokeResult r = runtime.Invoke(*id, 0, ctx, sizeof(ctx));
+    benchmark::DoNotOptimize(r.verdict);
+    insns += r.insns;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(insns));
+  state.SetLabel(ExecEngineName(info.used));
+  if (info.used == ExecEngine::kJit) {
+    state.counters["code_bytes"] =
+        benchmark::Counter(static_cast<double>(info.stats.code_bytes));
+  }
+}
+BENCHMARK(BM_GuardedScatterEngine)->Arg(0)->Arg(1);
+
 void BM_VerifierMemcached(benchmark::State& state) {
   Program p = BuildMemcachedExtension({});
   for (auto _ : state) {
@@ -195,7 +250,75 @@ void BM_MemcachedGetWallTime(benchmark::State& state) {
 }
 BENCHMARK(BM_MemcachedGetWallTime);
 
+// With --json <path>, times the guarded-scatter workload per engine with a
+// plain chrono loop (outside google-benchmark, so the rows are deterministic
+// in shape) and writes machine-readable results including the static guard
+// counts and compiled-code size.
+int WriteEngineJson(const std::string& path) {
+  BenchJson json;
+  Program p = GuardedScatterProgram();
+  for (int engine = 0; engine < 2; engine++) {
+    Runtime runtime{RuntimeOptions{1, 1'000'000'000ULL}};
+    LoadOptions lo;
+    lo.heap_static_bytes = 128;
+    lo.engine = engine != 0 ? ExecEngine::kJit : ExecEngine::kInterp;
+    auto id = runtime.Load(p, lo);
+    if (!id.ok()) {
+      std::fprintf(stderr, "load failed: %s\n", id.status().ToString().c_str());
+      return 1;
+    }
+    EngineInfo info = runtime.engine_info(*id);
+    if (engine != 0 && info.used != ExecEngine::kJit) {
+      std::fprintf(stderr, "note: JIT fell back to the interpreter (%s); "
+                   "recording interpreter timings for the jit row\n",
+                   info.fallback_reason.c_str());
+    }
+    const KieStats& ks = runtime.instrumented(*id).stats;
+    uint8_t ctx[64] = {0};
+    // Warm up (populates heap pages, faults in code), then measure.
+    for (int i = 0; i < 50; i++) {
+      runtime.Invoke(*id, 0, ctx, sizeof(ctx));
+    }
+    constexpr int kOps = 2000;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kOps; i++) {
+      InvokeResult r = runtime.Invoke(*id, 0, ctx, sizeof(ctx));
+      benchmark::DoNotOptimize(r.verdict);
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    double ns_per_op =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()) /
+        kOps;
+    auto& row = json.Add("guarded_scatter", ExecEngineName(info.used), ns_per_op);
+    row.fields.emplace_back("guards_emitted", static_cast<int64_t>(ks.guards_emitted));
+    row.fields.emplace_back("guards_elided", static_cast<int64_t>(ks.guards_elided));
+    row.fields.emplace_back("guards_dominated", static_cast<int64_t>(ks.guards_dominated));
+    row.fields.emplace_back("code_bytes", static_cast<int64_t>(info.stats.code_bytes));
+    std::printf("json row: workload=guarded_scatter engine=%s ns/op=%.1f\n",
+                ExecEngineName(info.used), ns_per_op);
+  }
+  if (!json.Write(path)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace kflex
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path = kflex::ExtractJsonFlag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  if (!json_path.empty()) {
+    return kflex::WriteEngineJson(json_path);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

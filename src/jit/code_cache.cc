@@ -1,0 +1,113 @@
+#include "src/jit/code_cache.h"
+
+#include <cstring>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define KFLEX_JIT_HAVE_MMAP 1
+#endif
+
+namespace kflex {
+namespace {
+
+std::atomic<uint64_t> g_live_bytes{0};
+std::atomic<uint64_t> g_total_bytes{0};
+
+size_t PageRound(size_t n) {
+  size_t page = 4096;
+#if defined(KFLEX_JIT_HAVE_MMAP)
+  long sys = sysconf(_SC_PAGESIZE);
+  if (sys > 0) page = static_cast<size_t>(sys);
+#endif
+  return (n + page - 1) & ~(page - 1);
+}
+
+}  // namespace
+
+CodeBuffer::~CodeBuffer() { Release(); }
+
+CodeBuffer::CodeBuffer(CodeBuffer&& other) noexcept
+    : data_(other.data_),
+      mapped_size_(other.mapped_size_),
+      code_size_(other.code_size_) {
+  other.data_ = nullptr;
+  other.mapped_size_ = 0;
+  other.code_size_ = 0;
+}
+
+CodeBuffer& CodeBuffer::operator=(CodeBuffer&& other) noexcept {
+  if (this != &other) {
+    Release();
+    data_ = std::exchange(other.data_, nullptr);
+    mapped_size_ = std::exchange(other.mapped_size_, 0);
+    code_size_ = std::exchange(other.code_size_, 0);
+  }
+  return *this;
+}
+
+bool CodeBuffer::Allocate(size_t size) {
+  Release();
+  if (size == 0) return false;
+#if defined(KFLEX_JIT_HAVE_MMAP)
+  size_t rounded = PageRound(size);
+  void* p = mmap(nullptr, rounded, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) return false;
+  data_ = static_cast<uint8_t*>(p);
+  mapped_size_ = rounded;
+  CodeCache::OnMap(rounded);
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool CodeBuffer::Seal(const uint8_t* code, size_t size) {
+#if defined(KFLEX_JIT_HAVE_MMAP)
+  if (data_ == nullptr || size > mapped_size_) return false;
+  std::memcpy(data_, code, size);
+  code_size_ = size;
+  if (mprotect(data_, mapped_size_, PROT_READ | PROT_EXEC) != 0) {
+    Release();
+    return false;
+  }
+  return true;
+#else
+  (void)code;
+  (void)size;
+  return false;
+#endif
+}
+
+void CodeBuffer::Release() {
+#if defined(KFLEX_JIT_HAVE_MMAP)
+  if (data_ != nullptr) {
+    munmap(data_, mapped_size_);
+    CodeCache::OnUnmap(mapped_size_);
+  }
+#endif
+  data_ = nullptr;
+  mapped_size_ = 0;
+  code_size_ = 0;
+}
+
+void CodeCache::OnMap(size_t bytes) {
+  g_live_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  g_total_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void CodeCache::OnUnmap(size_t bytes) {
+  g_live_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+uint64_t CodeCache::live_bytes() {
+  return g_live_bytes.load(std::memory_order_relaxed);
+}
+
+uint64_t CodeCache::total_mapped_bytes() {
+  return g_total_bytes.load(std::memory_order_relaxed);
+}
+
+}  // namespace kflex

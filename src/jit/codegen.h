@@ -1,0 +1,88 @@
+// x86-64 template JIT backend (§4.2).
+//
+// JitCompile translates a verified + optimized + instrumented program — the
+// exact instruction stream the interpreter would execute, including Kie's
+// SANITIZE/TRANSLATE/FUELCHECK pseudo-instructions and C1 terminate loads —
+// into native code in an mmap'd W^X code cache. The paper's register
+// discipline is mirrored: r12 is pinned to the sanitized heap base for the
+// whole invocation and r9 backs the bytecode-level RAX scratch register, so
+// the optimizer's GuardPlan dominance elision (one SANITIZE, many reuses)
+// becomes real native register reuse.
+//
+// The backend is a template JIT: each bytecode instruction expands to a fixed
+// native sequence; memory accesses get an inline region fast path selected by
+// Kie's per-instruction region hints, with a cold out-of-line stub that calls
+// back into the interpreter's shared access routine for bit-for-bit parity on
+// every slow or faulting case. Anything the templates cannot express reports
+// a fallback reason and the runtime quietly keeps the interpreter.
+#ifndef SRC_JIT_CODEGEN_H_
+#define SRC_JIT_CODEGEN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ebpf/insn.h"
+#include "src/jit/code_cache.h"
+#include "src/runtime/layout.h"
+
+namespace kflex {
+
+struct InstrumentedProgram;
+struct JitState;
+
+// Which execution engine runs an extension's instrumented bytecode.
+enum class ExecEngine : uint8_t {
+  kInterp = 0,  // switch-dispatch interpreter (Vm)
+  kJit = 1,     // native x86-64 template JIT, interpreter fallback
+};
+
+const char* ExecEngineName(ExecEngine engine);
+
+struct JitOptions {
+  // Emit inline region fast paths for memory accesses (heap/stack/ctx).
+  // When false every access goes through the out-of-line interpreter stub —
+  // still native dispatch, useful for isolating fast-path bugs.
+  bool fast_paths = true;
+  // Test hook: refuse to compile, as if the host were unsupported.
+  bool force_fallback = false;
+};
+
+struct JitCompileStats {
+  uint64_t code_bytes = 0;    // sealed native code size
+  uint64_t compile_ns = 0;    // wall time spent in JitCompile
+  uint64_t insns_compiled = 0;
+  uint64_t mem_sites = 0;          // memory accesses with a cold stub
+  uint64_t helper_sites = 0;       // helper call sites
+  uint64_t inline_fast_paths = 0;  // accesses with an inline region check
+};
+
+// A compiled extension: sealed native code plus the bytecode copy the cold
+// stubs re-decode for slow-path parity. Owned by the runtime's Extension.
+struct JitProgram {
+  using EntryFn = void (*)(JitState*);
+
+  std::vector<Insn> insns;  // instrumented stream (stub re-decode source)
+  HeapLayout heap;          // layout baked into the code (r12, SFI imms)
+  CodeBuffer code;
+  EntryFn entry = nullptr;
+  JitCompileStats stats;
+};
+
+struct JitCompileResult {
+  std::unique_ptr<JitProgram> program;  // null → fall back to interpreter
+  std::string fallback_reason;          // set when program is null
+};
+
+// True when this build can emit and execute native code (x86-64 with mmap).
+bool JitHostSupported();
+
+// Compiles the instrumented program. On any unsupported construct returns a
+// null program with a human-readable fallback reason; never throws.
+JitCompileResult JitCompile(const InstrumentedProgram& iprog,
+                            const JitOptions& options);
+
+}  // namespace kflex
+
+#endif  // SRC_JIT_CODEGEN_H_

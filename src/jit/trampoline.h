@@ -1,0 +1,83 @@
+// JIT ⇄ C++ boundary: the invocation state block native code runs against,
+// the cold-path entry points compiled code calls back into, and JitRun — the
+// engine-dispatch twin of VmRun.
+//
+// Native code addresses everything through one POD block (JitState) whose
+// field offsets are baked into the emitted instructions; the static_asserts
+// below pin the layout so codegen.cc and this header cannot drift. Helper
+// calls and slow/faulting memory accesses spill the bytecode register file to
+// env->regs first, so the cancellation manager's object-table unwinding and
+// the helper trampoline observe exactly the state the interpreter would have.
+#ifndef SRC_JIT_TRAMPOLINE_H_
+#define SRC_JIT_TRAMPOLINE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/jit/codegen.h"
+#include "src/runtime/vm.h"
+
+namespace kflex {
+
+// Everything a compiled extension touches at run time. rbp points here for
+// the whole invocation; offsets below are hard-coded by the emitter.
+struct JitState {
+  uint64_t* regs;                       // +0   env->regs (spill area)
+  uint8_t* stack_host;                  // +8   env->stack
+  uint8_t* ctx_host;                    // +16  context bytes (may be null)
+  uint64_t ctx_size;                    // +24
+  uint8_t* heap_host;                   // +32  heap host base (may be null)
+  const uint8_t* present;               // +40  per-page presence bytes
+  uint64_t heap_kernel_base;            // +48  pinned into r12
+  uint64_t insn_count;                  // +56  executed bytecode insns
+  uint64_t instr_count;                 // +64  executed instrumentation insns
+  uint64_t fuel_quantum;                // +72  0 = FUELCHECK ignores fuel
+  const volatile uint8_t* cancel_flag;  // +80  never null (zero byte if unset)
+  uint64_t insn_budget;                 // +88  0 = unlimited
+  uint64_t ret;                         // +96  R0 at EXIT
+  uint32_t exit_code;                   // +104 VmResult::Outcome as int
+  uint32_t fault_kind;                  // +108 MemFaultKind as int
+  uint64_t fault_pc;                    // +112
+  uint64_t fault_va;                    // +120
+  VmEnv* env;                           // +128 full env for cold paths
+  const JitProgram* prog;               // +136 bytecode for stub re-decode
+};
+
+static_assert(offsetof(JitState, regs) == 0);
+static_assert(offsetof(JitState, stack_host) == 8);
+static_assert(offsetof(JitState, ctx_host) == 16);
+static_assert(offsetof(JitState, ctx_size) == 24);
+static_assert(offsetof(JitState, heap_host) == 32);
+static_assert(offsetof(JitState, present) == 40);
+static_assert(offsetof(JitState, heap_kernel_base) == 48);
+static_assert(offsetof(JitState, insn_count) == 56);
+static_assert(offsetof(JitState, instr_count) == 64);
+static_assert(offsetof(JitState, fuel_quantum) == 72);
+static_assert(offsetof(JitState, cancel_flag) == 80);
+static_assert(offsetof(JitState, insn_budget) == 88);
+static_assert(offsetof(JitState, ret) == 96);
+static_assert(offsetof(JitState, exit_code) == 104);
+static_assert(offsetof(JitState, fault_kind) == 108);
+static_assert(offsetof(JitState, fault_pc) == 112);
+static_assert(offsetof(JitState, fault_va) == 120);
+static_assert(offsetof(JitState, env) == 128);
+static_assert(offsetof(JitState, prog) == 136);
+
+// Cold memory path: registers are already spilled to env->regs; re-executes
+// the access at `pc` through the interpreter's shared routine. Returns 0 to
+// resume native code, nonzero after filling the fault fields (native code
+// then unwinds to its epilogue).
+extern "C" uint32_t kflex_jit_mem(JitState* st, uint32_t pc);
+
+// Helper trampoline: registers spilled; resolves and invokes the HelperFn at
+// `pc` exactly like the interpreter's CALL case (virtual cost, trace append,
+// HelperOutcome decode). Returns 0 to resume, nonzero on fault/cancel.
+extern "C" uint32_t kflex_jit_helper(JitState* st, uint32_t pc);
+
+// Runs a compiled program against `env` with interpreter-identical observable
+// behavior (result fields, counters, env->regs/stack/heap side effects).
+VmResult JitRun(const JitProgram& prog, VmEnv& env);
+
+}  // namespace kflex
+
+#endif  // SRC_JIT_TRAMPOLINE_H_

@@ -202,6 +202,7 @@ StatusOr<InstrumentedProgram> Instrument(const Program& program, const Analysis&
   out.program.heap_size = program.heap_size;
   out.program.insns.reserve(cursor);
   out.instrumentation_mask.assign(cursor, 0);
+  out.region_hints.assign(cursor, 0);
   out.pc_map.resize(program.insns.size(), 0);
 
   for (size_t pc = 0; pc < program.insns.size(); pc++) {
@@ -231,7 +232,21 @@ StatusOr<InstrumentedProgram> Instrument(const Program& program, const Analysis&
       out.program.insns.push_back(insn);
     }
     if (r.terminate_load >= 0) {
-      out.terminate_load_pcs.insert(new_start[pc] + static_cast<size_t>(r.terminate_load));
+      size_t tl = new_start[pc] + static_cast<size_t>(r.terminate_load);
+      out.terminate_load_pcs.insert(tl);
+      if (options.cancellation_mode == CancellationMode::kTerminateLoad) {
+        // The C1 pair (slot load + Cp deref) reads heap VAs; hint both so
+        // the JIT compiles its heap fast path for them.
+        out.region_hints[tl] = static_cast<uint8_t>(MemRegion::kHeap);
+        if (tl > 0) {
+          out.region_hints[tl - 1] = static_cast<uint8_t>(MemRegion::kHeap);
+        }
+      }
+    }
+    if (!r.insns.empty() && IsMemAccess(r.insns[r.anchor]) &&
+        pc < analysis.mem.size() && analysis.mem[pc].visited) {
+      out.region_hints[anchor_new] =
+          static_cast<uint8_t>(analysis.mem[pc].region);
     }
   }
   out.stats.insns_out = out.program.insns.size();

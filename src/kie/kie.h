@@ -113,6 +113,13 @@ struct InstrumentedProgram {
   std::set<size_t> terminate_load_pcs;
   // Mapping from original pc to instrumented anchor pc.
   std::vector<size_t> pc_map;
+  // Per-instrumented-pc memory-region hint (verifier MemRegion as uint8_t,
+  // 0 = none/unknown) for memory-access instructions: the verified region of
+  // the rewritten access, plus kHeap for the C1 terminate-load pair. The JIT
+  // backend selects its inline fast path from these; a wrong or missing hint
+  // only costs speed (the inline check fails into the slow path), never
+  // safety.
+  std::vector<uint8_t> region_hints;
   KieStats stats;
   HeapLayout heap;
 };

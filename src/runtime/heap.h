@@ -71,6 +71,13 @@ class ExtensionHeap {
   // Demand paging: marks pages overlapping [off, off+len) as populated.
   void PopulatePages(uint64_t off, uint64_t len);
   bool PagesPresent(uint64_t off, uint64_t len) const;
+  // Raw presence byte per page (0/1), for the JIT's inline page checks; the
+  // compiled code reads these as plain bytes, matching the interpreter's
+  // relaxed atomic loads on x86.
+  const uint8_t* present_bytes() const {
+    static_assert(sizeof(std::atomic<uint8_t>) == 1);
+    return reinterpret_cast<const uint8_t*>(present_.data());
+  }
   uint64_t populated_pages() const { return populated_pages_.load(std::memory_order_relaxed); }
 
   // ---- Cancellation support (§3.3) ----

@@ -55,6 +55,13 @@ uint8_t* ArrayMap::TranslateValue(uint64_t va, uint64_t size) {
   return values_.data() + (va - base);
 }
 
+bool ArrayMap::ValueWindow(VaWindow* out) {
+  out->start = value_area_va();
+  out->end = out->start + values_.size();
+  out->host = values_.data();
+  return true;
+}
+
 // ---- BpfHashMap --------------------------------------------------------------
 
 BpfHashMap::BpfHashMap(MapDescriptor desc, uint64_t handle_va)
@@ -136,6 +143,13 @@ uint8_t* BpfHashMap::TranslateValue(uint64_t va, uint64_t size) {
   return values_.data() + (va - base);
 }
 
+bool BpfHashMap::ValueWindow(VaWindow* out) {
+  out->start = value_area_va();
+  out->end = out->start + values_.size();
+  out->host = values_.data();
+  return true;
+}
+
 // ---- RingBufMap --------------------------------------------------------------
 
 RingBufMap::RingBufMap(MapDescriptor desc, uint64_t handle_va)
@@ -188,6 +202,7 @@ StatusOr<MapDescriptor> MapRegistry::CreateArray(uint32_t key_size, uint32_t val
   MapDescriptor desc{static_cast<uint32_t>(maps_.size() + 1), key_size, value_size,
                      max_entries, MapType::kArray};
   maps_.push_back(std::make_unique<ArrayMap>(desc, HandleVaForId(desc.id)));
+  RebuildWindows();
   return desc;
 }
 
@@ -200,6 +215,7 @@ StatusOr<MapDescriptor> MapRegistry::CreateHash(uint32_t key_size, uint32_t valu
   MapDescriptor desc{static_cast<uint32_t>(maps_.size() + 1), key_size, value_size,
                      max_entries, MapType::kHash};
   maps_.push_back(std::make_unique<BpfHashMap>(desc, HandleVaForId(desc.id)));
+  RebuildWindows();
   return desc;
 }
 
@@ -211,6 +227,7 @@ StatusOr<MapDescriptor> MapRegistry::CreateRingBuf(uint64_t capacity_bytes) {
   MapDescriptor desc{static_cast<uint32_t>(maps_.size() + 1), 0, 0, capacity_bytes,
                      MapType::kRingBuf};
   maps_.push_back(std::make_unique<RingBufMap>(desc, HandleVaForId(desc.id)));
+  RebuildWindows();
   return desc;
 }
 
@@ -228,6 +245,28 @@ Map* MapRegistry::FindByVa(uint64_t va) {
   }
   uint32_t id = static_cast<uint32_t>((va - kMapRegion) >> 32);
   return Find(id);
+}
+
+std::shared_ptr<const std::vector<VaWindow>> MapRegistry::ValueWindows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (windows_ == nullptr) {
+    return std::make_shared<const std::vector<VaWindow>>();
+  }
+  return windows_;
+}
+
+void MapRegistry::RebuildWindows() {
+  auto next = std::make_shared<std::vector<VaWindow>>();
+  next->reserve(maps_.size());
+  for (const auto& map : maps_) {
+    VaWindow w;
+    if (map->ValueWindow(&w)) {
+      next->push_back(w);
+    }
+  }
+  // Map ids (and thus value-area VAs) are assigned in ascending order, so
+  // the snapshot is already sorted by start.
+  windows_ = std::move(next);
 }
 
 std::vector<MapDescriptor> MapRegistry::Descriptors() const {

@@ -22,6 +22,16 @@
 
 namespace kflex {
 
+// One contiguous VA → host window (a map's value area). The registry keeps a
+// flat, sorted snapshot of these so per-access translation is a lock-free
+// binary search shared by the interpreter and the JIT's cold path, instead
+// of a mutex-guarded registry scan.
+struct VaWindow {
+  uint64_t start = 0;
+  uint64_t end = 0;  // exclusive
+  uint8_t* host = nullptr;
+};
+
 class Map {
  public:
   Map(MapDescriptor desc, uint64_t handle_va) : desc_(desc), handle_va_(handle_va) {}
@@ -38,6 +48,12 @@ class Map {
   virtual int Delete(const uint8_t* key) = 0;
   // Host pointer for a value-area access, or nullptr if out of bounds.
   virtual uint8_t* TranslateValue(uint64_t va, uint64_t size) = 0;
+  // Fills `out` with this map's directly addressable value window, if it has
+  // one whose storage stays fixed for the map's lifetime.
+  virtual bool ValueWindow(VaWindow* out) {
+    (void)out;
+    return false;
+  }
 
   static constexpr uint64_t kValueAreaOff = 0x100000;
 
@@ -55,6 +71,7 @@ class ArrayMap final : public Map {
   int Update(const uint8_t* key, const uint8_t* value) override;
   int Delete(const uint8_t* key) override;
   uint8_t* TranslateValue(uint64_t va, uint64_t size) override;
+  bool ValueWindow(VaWindow* out) override;
 
  private:
   std::vector<uint8_t> values_;
@@ -70,6 +87,7 @@ class BpfHashMap final : public Map {
   int Update(const uint8_t* key, const uint8_t* value) override;
   int Delete(const uint8_t* key) override;
   uint8_t* TranslateValue(uint64_t va, uint64_t size) override;
+  bool ValueWindow(VaWindow* out) override;
 
  private:
   struct Slot {
@@ -138,9 +156,17 @@ class MapRegistry {
 
   std::vector<MapDescriptor> Descriptors() const;
 
+  // Sorted snapshot of all fixed value-area windows, rebuilt on map
+  // creation. Safe to hold across a VM run: value storage never moves after
+  // construction, and snapshots are immutable.
+  std::shared_ptr<const std::vector<VaWindow>> ValueWindows() const;
+
  private:
+  void RebuildWindows();  // callers hold mu_
+
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Map>> maps_;
+  std::shared_ptr<const std::vector<VaWindow>> windows_;
 };
 
 }  // namespace kflex

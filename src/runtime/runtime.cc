@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/base/logging.h"
+#include "src/jit/trampoline.h"
 #include "src/runtime/helpers.h"
 #include "src/runtime/spinlock.h"
 
@@ -97,6 +98,19 @@ StatusOr<ExtensionId> Runtime::Load(const Program& program, const LoadOptions& o
   }
   ext->iprog = std::move(iprog.value());
 
+  // Step 3: native compilation, if requested. Fallback is silent at load
+  // time (recorded in engine_info): the interpreter runs the identical
+  // instrumented stream, so the choice is purely an execution-speed one.
+  ext->engine_requested = options.engine;
+  if (options.engine == ExecEngine::kJit) {
+    JitCompileResult jit = JitCompile(ext->iprog, options.jit);
+    if (jit.program != nullptr) {
+      ext->jit = std::move(jit.program);
+    } else {
+      ext->jit_fallback = std::move(jit.fallback_reason);
+    }
+  }
+
   for (int i = 0; i < options_.num_cpus; i++) {
     ext->running_since.push_back(std::make_unique<std::atomic<uint64_t>>(0));
   }
@@ -183,7 +197,8 @@ InvokeResult Runtime::Invoke(ExtensionId id, int cpu, uint8_t* ctx, uint32_t ctx
 
   auto& running = *ext->running_since[static_cast<size_t>(cpu)];
   running.store(KtimeNowNs(), std::memory_order_release);
-  VmResult vm = VmRun(ext->iprog.program.insns, env);
+  VmResult vm = ext->jit != nullptr ? JitRun(*ext->jit, env)
+                                    : VmRun(ext->iprog.program.insns, env);
   running.store(0, std::memory_order_release);
 
   result.insns = vm.insns_executed;
@@ -262,6 +277,21 @@ const Analysis& Runtime::analysis(ExtensionId id) const {
   const Extension* ext = Get(id);
   KFLEX_CHECK(ext != nullptr);
   return ext->analysis;
+}
+
+EngineInfo Runtime::engine_info(ExtensionId id) const {
+  const Extension* ext = Get(id);
+  EngineInfo info;
+  if (ext == nullptr) {
+    return info;
+  }
+  info.requested = ext->engine_requested;
+  info.used = ext->jit != nullptr ? ExecEngine::kJit : ExecEngine::kInterp;
+  info.fallback_reason = ext->jit_fallback;
+  if (ext->jit != nullptr) {
+    info.stats = ext->jit->stats;
+  }
+  return info;
 }
 
 void Runtime::SetCancellationCallback(ExtensionId id, std::function<int64_t(int64_t)> cb) {

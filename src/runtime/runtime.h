@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/jit/codegen.h"
 #include "src/kie/kie.h"
 #include "src/runtime/allocator.h"
 #include "src/runtime/heap.h"
@@ -62,6 +63,20 @@ struct LoadOptions {
   // (§4.1) and can back multiple programs; the declared heap sizes must
   // match.
   ExtensionId share_heap_with = 0;
+  // Execution engine. kJit compiles the instrumented bytecode to native
+  // x86-64 at load time and falls back to the interpreter (recording the
+  // reason, see Runtime::engine_info) on unsupported hosts or constructs;
+  // the load itself never fails because of the engine choice.
+  ExecEngine engine = ExecEngine::kInterp;
+  JitOptions jit;
+};
+
+// Post-load report of which engine an extension actually runs on.
+struct EngineInfo {
+  ExecEngine requested = ExecEngine::kInterp;
+  ExecEngine used = ExecEngine::kInterp;
+  std::string fallback_reason;  // set when requested == kJit but used != kJit
+  JitCompileStats stats;        // meaningful when used == kJit
 };
 
 struct InvokeResult {
@@ -113,6 +128,7 @@ class Runtime {
   HeapAllocator* allocator(ExtensionId id);
   const InstrumentedProgram& instrumented(ExtensionId id) const;
   const Analysis& analysis(ExtensionId id) const;
+  EngineInfo engine_info(ExtensionId id) const;
 
   // §4.3: user-attached callback adjusting the verdict returned after a
   // cancellation (restricted: plain function of the default verdict).
@@ -133,6 +149,9 @@ class Runtime {
   struct Extension {
     InstrumentedProgram iprog;
     Analysis analysis;
+    ExecEngine engine_requested = ExecEngine::kInterp;
+    std::unique_ptr<JitProgram> jit;  // non-null: Invoke runs native code
+    std::string jit_fallback;         // why kJit fell back, if it did
     std::shared_ptr<ExtensionHeap> heap;
     std::shared_ptr<HeapAllocator> allocator;
     std::atomic<bool> cancel{false};

@@ -31,13 +31,28 @@ uint8_t* Translate(VmEnv& env, uint64_t va, uint64_t size, MemFaultKind& fault) 
       return nullptr;
     }
   }
-  // Map value areas.
-  if (va >= kMapRegion && va < kKernelObjRegion && env.maps != nullptr) {
-    Map* map = env.maps->FindByVa(va);
-    if (map != nullptr) {
-      uint8_t* p = map->TranslateValue(va, size);
-      if (p != nullptr) {
-        return p;
+  // Map value areas: binary search over the flat window snapshot (shared
+  // with the JIT); fall back to a registry scan when no snapshot was taken.
+  if (va >= kMapRegion && va < kKernelObjRegion &&
+      (env.map_windows != nullptr || env.maps != nullptr)) {
+    if (env.map_windows != nullptr) {
+      const std::vector<VaWindow>& windows = *env.map_windows;
+      auto it = std::upper_bound(
+          windows.begin(), windows.end(), va,
+          [](uint64_t v, const VaWindow& w) { return v < w.start; });
+      if (it != windows.begin()) {
+        const VaWindow& w = *(it - 1);
+        if (va >= w.start && va + size <= w.end) {
+          return w.host + (va - w.start);
+        }
+      }
+    } else {
+      Map* map = env.maps->FindByVa(va);
+      if (map != nullptr) {
+        uint8_t* p = map->TranslateValue(va, size);
+        if (p != nullptr) {
+          return p;
+        }
       }
     }
     fault = MemFaultKind::kBadAddress;
@@ -159,6 +174,74 @@ uint8_t* VmTranslate(VmEnv& env, uint64_t va, uint64_t size, MemFaultKind& fault
   return Translate(env, va, size, fault);
 }
 
+bool VmExecMemInsn(VmEnv& env, const Insn& insn, MemFaultKind& fault,
+                   uint64_t& fault_va) {
+  uint64_t* regs = env.regs;
+  uint8_t cls = insn.Class();
+  bool is_load = cls == BPF_LDX;
+  uint64_t va = (is_load ? regs[insn.src] : regs[insn.dst]) +
+                static_cast<uint64_t>(static_cast<int64_t>(insn.off));
+  int size = insn.AccessSize();
+  MemFaultKind fk = MemFaultKind::kBadAddress;
+  uint8_t* p = Translate(env, va, static_cast<uint64_t>(size), fk);
+  if (p == nullptr) {
+    fault = fk;
+    fault_va = va;
+    return false;
+  }
+  if (is_load) {
+    regs[insn.dst] = LoadSized(p, size);
+    return true;
+  }
+  if (insn.IsAtomic()) {
+    // 4- or 8-byte atomics on naturally aligned host memory.
+    if (insn.imm == BPF_ATOMIC_CMPXCHG) {
+      if (size == 8) {
+        uint64_t expected = regs[R0];
+        __atomic_compare_exchange_n(reinterpret_cast<uint64_t*>(p), &expected,
+                                    regs[insn.src], false, __ATOMIC_SEQ_CST,
+                                    __ATOMIC_SEQ_CST);
+        regs[R0] = expected;
+      } else {
+        uint32_t expected = static_cast<uint32_t>(regs[R0]);
+        __atomic_compare_exchange_n(reinterpret_cast<uint32_t*>(p), &expected,
+                                    static_cast<uint32_t>(regs[insn.src]), false,
+                                    __ATOMIC_SEQ_CST, __ATOMIC_SEQ_CST);
+        regs[R0] = expected;
+      }
+    } else if (insn.imm == BPF_ATOMIC_XCHG) {
+      if (size == 8) {
+        regs[insn.src] = __atomic_exchange_n(reinterpret_cast<uint64_t*>(p),
+                                             regs[insn.src], __ATOMIC_SEQ_CST);
+      } else {
+        regs[insn.src] = __atomic_exchange_n(reinterpret_cast<uint32_t*>(p),
+                                             static_cast<uint32_t>(regs[insn.src]),
+                                             __ATOMIC_SEQ_CST);
+      }
+    } else {  // ADD / ADD|FETCH
+      if (size == 8) {
+        uint64_t old = __atomic_fetch_add(reinterpret_cast<uint64_t*>(p),
+                                          regs[insn.src], __ATOMIC_SEQ_CST);
+        if ((insn.imm & BPF_ATOMIC_FETCH) != 0) {
+          regs[insn.src] = old;
+        }
+      } else {
+        uint32_t old = __atomic_fetch_add(reinterpret_cast<uint32_t*>(p),
+                                          static_cast<uint32_t>(regs[insn.src]),
+                                          __ATOMIC_SEQ_CST);
+        if ((insn.imm & BPF_ATOMIC_FETCH) != 0) {
+          regs[insn.src] = old;
+        }
+      }
+    }
+  } else if (cls == BPF_ST) {
+    StoreSized(p, size, static_cast<uint64_t>(static_cast<int64_t>(insn.imm)));
+  } else {
+    StoreSized(p, size, regs[insn.src]);
+  }
+  return true;
+}
+
 const char* VmOutcomeName(VmResult::Outcome outcome) {
   switch (outcome) {
     case VmResult::Outcome::kOk:
@@ -180,6 +263,9 @@ VmResult VmRun(std::span<const Insn> insns, VmEnv& env) {
   uint64_t* regs = env.regs;
   regs[R1] = kCtxRegion;
   regs[R10] = kStackRegion + kStackSize;
+  if (env.maps != nullptr && env.map_windows == nullptr) {
+    env.map_windows = env.maps->ValueWindows();
+  }
 
   size_t pc = 0;
   uint64_t executed = 0;
@@ -282,75 +368,14 @@ VmResult VmRun(std::span<const Insn> insns, VmEnv& env) {
         return result;
       }
 
-      case BPF_LDX: {
-        uint64_t va = regs[insn.src] + static_cast<uint64_t>(static_cast<int64_t>(insn.off));
-        int size = insn.AccessSize();
-        MemFaultKind fk = MemFaultKind::kBadAddress;
-        uint8_t* p = Translate(env, va, static_cast<uint64_t>(size), fk);
-        if (p == nullptr) {
-          fault(pc, fk, va);
-          return result;
-        }
-        regs[insn.dst] = LoadSized(p, size);
-        pc++;
-        continue;
-      }
-
+      case BPF_LDX:
       case BPF_ST:
       case BPF_STX: {
-        uint64_t va = regs[insn.dst] + static_cast<uint64_t>(static_cast<int64_t>(insn.off));
-        int size = insn.AccessSize();
-        MemFaultKind fk = MemFaultKind::kBadAddress;
-        uint8_t* p = Translate(env, va, static_cast<uint64_t>(size), fk);
-        if (p == nullptr) {
-          fault(pc, fk, va);
+        MemFaultKind fk = MemFaultKind::kNone;
+        uint64_t fva = 0;
+        if (!VmExecMemInsn(env, insn, fk, fva)) {
+          fault(pc, fk, fva);
           return result;
-        }
-        if (insn.IsAtomic()) {
-          // 4- or 8-byte atomics on naturally aligned host memory.
-          if (insn.imm == BPF_ATOMIC_CMPXCHG) {
-            if (size == 8) {
-              uint64_t expected = regs[R0];
-              __atomic_compare_exchange_n(reinterpret_cast<uint64_t*>(p), &expected,
-                                          regs[insn.src], false, __ATOMIC_SEQ_CST,
-                                          __ATOMIC_SEQ_CST);
-              regs[R0] = expected;
-            } else {
-              uint32_t expected = static_cast<uint32_t>(regs[R0]);
-              __atomic_compare_exchange_n(reinterpret_cast<uint32_t*>(p), &expected,
-                                          static_cast<uint32_t>(regs[insn.src]), false,
-                                          __ATOMIC_SEQ_CST, __ATOMIC_SEQ_CST);
-              regs[R0] = expected;
-            }
-          } else if (insn.imm == BPF_ATOMIC_XCHG) {
-            if (size == 8) {
-              regs[insn.src] = __atomic_exchange_n(reinterpret_cast<uint64_t*>(p),
-                                                   regs[insn.src], __ATOMIC_SEQ_CST);
-            } else {
-              regs[insn.src] = __atomic_exchange_n(reinterpret_cast<uint32_t*>(p),
-                                                   static_cast<uint32_t>(regs[insn.src]),
-                                                   __ATOMIC_SEQ_CST);
-            }
-          } else {  // ADD / ADD|FETCH
-            if (size == 8) {
-              uint64_t old = __atomic_fetch_add(reinterpret_cast<uint64_t*>(p),
-                                                regs[insn.src], __ATOMIC_SEQ_CST);
-              if ((insn.imm & BPF_ATOMIC_FETCH) != 0) {
-                regs[insn.src] = old;
-              }
-            } else {
-              uint32_t old = __atomic_fetch_add(reinterpret_cast<uint32_t*>(p),
-                                                static_cast<uint32_t>(regs[insn.src]),
-                                                __ATOMIC_SEQ_CST);
-              if ((insn.imm & BPF_ATOMIC_FETCH) != 0) {
-                regs[insn.src] = old;
-              }
-            }
-          }
-        } else if (cls == BPF_ST) {
-          StoreSized(p, size, static_cast<uint64_t>(static_cast<int64_t>(insn.imm)));
-        } else {
-          StoreSized(p, size, regs[insn.src]);
         }
         pc++;
         continue;

@@ -10,10 +10,11 @@
 #ifndef SRC_RUNTIME_VM_H_
 #define SRC_RUNTIME_VM_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
@@ -51,15 +52,33 @@ class HelperTable {
   };
 
   void Register(int32_t id, HelperFn fn, uint64_t virtual_cost = 0) {
-    fns_[id] = Entry{std::move(fn), virtual_cost};
+    auto it = LowerBound(id);
+    if (it != slots_.end() && it->id == id) {
+      it->entry = Entry{std::move(fn), virtual_cost};
+    } else {
+      slots_.insert(it, Slot{id, Entry{std::move(fn), virtual_cost}});
+    }
   }
   const Entry* Find(int32_t id) const {
-    auto it = fns_.find(id);
-    return it == fns_.end() ? nullptr : &it->second;
+    auto it = const_cast<HelperTable*>(this)->LowerBound(id);
+    return it != slots_.end() && it->id == id ? &it->entry : nullptr;
   }
 
  private:
-  std::map<int32_t, Entry> fns_;
+  // Flat sorted array: helper lookup is on the CALL hot path of both
+  // engines, and registration is load-time-only, so a binary-searched
+  // vector beats a node-based map (and keeps Entry pointers stable during
+  // runs, which the JIT's helper trampoline relies on).
+  struct Slot {
+    int32_t id;
+    Entry entry;
+  };
+  std::vector<Slot>::iterator LowerBound(int32_t id) {
+    return std::lower_bound(
+        slots_.begin(), slots_.end(), id,
+        [](const Slot& s, int32_t v) { return s.id < v; });
+  }
+  std::vector<Slot> slots_;
 };
 
 // Everything one invocation needs. Stack memory is owned by the VM run.
@@ -84,6 +103,11 @@ struct VmEnv {
   // call in execution order. Differential tests compare traces across
   // optimized/unoptimized runs of the same program.
   std::vector<std::pair<int32_t, uint64_t>>* helper_trace = nullptr;
+  // Flat sorted snapshot of map value-area windows, used for lock-free
+  // binary-searched translation instead of a per-access registry scan.
+  // Filled from `maps` at run start if unset; callers may pre-fill it to
+  // amortize across invocations.
+  std::shared_ptr<const std::vector<VaWindow>> map_windows;
 
   // Filled during execution; readable by the cancellation unwinder.
   uint64_t regs[kNumRegs] = {0};
@@ -116,6 +140,13 @@ VmResult VmRun(std::span<const Insn> insns, VmEnv& env);
 // The VM's address translation, exposed for helper implementations that take
 // extension pointers (map keys, socket tuples, ...).
 uint8_t* VmTranslate(VmEnv& env, uint64_t va, uint64_t size, MemFaultKind& fault);
+
+// Executes one LDX/ST/STX instruction (including atomics) against `env`,
+// with full translate + zero-extension semantics. Returns false on a memory
+// fault, filling `fault` and `fault_va`. Shared between the interpreter loop
+// and the JIT's cold memory stubs so both engines fault bit-for-bit alike.
+bool VmExecMemInsn(VmEnv& env, const Insn& insn, MemFaultKind& fault,
+                   uint64_t& fault_va);
 
 }  // namespace kflex
 

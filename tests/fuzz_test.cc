@@ -20,6 +20,7 @@
 #include "src/base/rng.h"
 #include "src/ebpf/assembler.h"
 #include "src/ebpf/helper_ids.h"
+#include "src/jit/codegen.h"
 #include "src/kernel/kernel.h"
 #include "src/runtime/runtime.h"
 #include "src/verifier/lint.h"
@@ -389,12 +390,17 @@ TEST(FuzzLintConsistency, LintAgreesWithVerifierOnResourceBugs) {
   EXPECT_GT(deadlocks_explained, 0u) << "generator drifted: no deadlocking programs produced";
 }
 
-// ---- Differential fuzzing: optimizer equivalence ----------------------------
+// ---- Differential fuzzing: optimizer + JIT equivalence ----------------------
 //
-// Every generated program is loaded twice — optimizer on and off — and run
-// on identical context bytes and heap seeds. Exit verdicts, outcome kinds,
-// full heap contents, and helper-call traces (id, return value) must match
-// exactly: the optimizer may only remove work, never change behavior.
+// Every generated program is loaded three ways — reference interpreter
+// (optimizer off), optimized interpreter, and optimized JIT — and run on
+// identical context bytes and heap seeds. Exit verdicts, outcome kinds, full
+// heap contents, and helper-call traces (id, return value) must match
+// exactly: the optimizer may only remove work, and the JIT may only change
+// execution speed, never behavior. The JIT runs the same instrumented
+// stream as the optimized interpreter, so its instruction counts must also
+// match bit for bit (the optimizer-off reference executes a different
+// stream and is only compared on observable behavior).
 
 // Replaces the wall-clock and shared-thread-local core helpers with
 // per-runtime deterministic versions so both pipelines observe the same
@@ -426,18 +432,32 @@ TEST(FuzzDifferential, OptimizedPipelineIsObservationallyEquivalent) {
     RuntimeOptions ro{1, 1'000'000'000ULL};
     Runtime rt_opt{ro};
     Runtime rt_ref{ro};
+    Runtime rt_jit{ro};
     MakeHelpersDeterministic(rt_opt);
     MakeHelpersDeterministic(rt_ref);
+    MakeHelpersDeterministic(rt_jit);
     LoadOptions lo;
     lo.heap_static_bytes = 4096;
     LoadOptions lo_ref = lo;
     lo_ref.optimize = false;
+    LoadOptions lo_jit = lo;
+    lo_jit.engine = ExecEngine::kJit;
+    const bool jit = JitHostSupported();
     auto id_opt = rt_opt.Load(p, lo);
     auto id_ref = rt_ref.Load(p, lo_ref);
-    // The optimizer must never change whether a program loads.
+    auto id_jit = rt_jit.Load(p, lo_jit);
+    // Neither the optimizer nor the engine choice may change whether a
+    // program loads.
     ASSERT_EQ(id_opt.ok(), id_ref.ok()) << ProgramToString(p);
+    ASSERT_EQ(id_opt.ok(), id_jit.ok()) << ProgramToString(p);
     if (!id_opt.ok()) {
       continue;
+    }
+    if (jit) {
+      // The generator emits only constructs the template JIT supports; a
+      // fallback here is a compiler regression, not an expected path.
+      ASSERT_EQ(rt_jit.engine_info(*id_jit).used, ExecEngine::kJit)
+          << rt_jit.engine_info(*id_jit).fallback_reason << "\n" << ProgramToString(p);
     }
     compared++;
     for (int run = 0; run < 2; run++) {
@@ -447,11 +467,15 @@ TEST(FuzzDifferential, OptimizedPipelineIsObservationallyEquivalent) {
       }
       uint8_t ctx_ref[2048];
       std::memcpy(ctx_ref, ctx_opt, sizeof(ctx_ref));
+      uint8_t ctx_jit[2048];
+      std::memcpy(ctx_jit, ctx_opt, sizeof(ctx_jit));
 
-      std::vector<std::pair<int32_t, uint64_t>> trace_opt, trace_ref;
+      std::vector<std::pair<int32_t, uint64_t>> trace_opt, trace_ref, trace_jit;
       InvokeResult a = rt_opt.Invoke(*id_opt, 0, ctx_opt, sizeof(ctx_opt), &trace_opt);
       InvokeResult b = rt_ref.Invoke(*id_ref, 0, ctx_ref, sizeof(ctx_ref), &trace_ref);
+      InvokeResult c = rt_jit.Invoke(*id_jit, 0, ctx_jit, sizeof(ctx_jit), &trace_jit);
       ASSERT_EQ(a.attached, b.attached) << "program " << n << "\n" << ProgramToString(p);
+      ASSERT_EQ(a.attached, c.attached) << "program " << n << "\n" << ProgramToString(p);
       if (!a.attached) {
         break;
       }
@@ -460,10 +484,26 @@ TEST(FuzzDifferential, OptimizedPipelineIsObservationallyEquivalent) {
       ASSERT_EQ(a.verdict, b.verdict) << "program " << n << "\n" << ProgramToString(p);
       ASSERT_EQ(trace_opt, trace_ref)
           << "helper traces diverged, program " << n << "\n" << ProgramToString(p);
+      // JIT vs optimized interpreter: same instruction stream, so everything
+      // must agree — including fault pcs and exact instruction counts.
+      ASSERT_EQ(a.cancelled, c.cancelled) << "program " << n << "\n" << ProgramToString(p);
+      ASSERT_EQ(a.outcome, c.outcome) << "program " << n << "\n" << ProgramToString(p);
+      ASSERT_EQ(a.verdict, c.verdict) << "program " << n << "\n" << ProgramToString(p);
+      ASSERT_EQ(a.fault_pc, c.fault_pc) << "program " << n << "\n" << ProgramToString(p);
+      ASSERT_EQ(a.fault_kind, c.fault_kind) << "program " << n << "\n" << ProgramToString(p);
+      ASSERT_EQ(a.insns, c.insns)
+          << "instruction counts diverged, program " << n << "\n" << ProgramToString(p);
+      ASSERT_EQ(a.instr_insns, c.instr_insns)
+          << "instrumented counts diverged, program " << n << "\n" << ProgramToString(p);
+      ASSERT_EQ(trace_opt, trace_jit)
+          << "JIT helper trace diverged, program " << n << "\n" << ProgramToString(p);
       if (rt_opt.heap(*id_opt) != nullptr) {
         ASSERT_EQ(0, std::memcmp(rt_opt.heap(*id_opt)->HostAt(0),
                                  rt_ref.heap(*id_ref)->HostAt(0), kHeap))
             << "heap contents diverged, program " << n << "\n" << ProgramToString(p);
+        ASSERT_EQ(0, std::memcmp(rt_opt.heap(*id_opt)->HostAt(0),
+                                 rt_jit.heap(*id_jit)->HostAt(0), kHeap))
+            << "JIT heap contents diverged, program " << n << "\n" << ProgramToString(p);
       }
     }
   }
@@ -494,6 +534,12 @@ TEST(FuzzRobustness, GarbageBytecodeIsRejectedNotCrashed) {
     if (r.ok()) {
       auto ip = Instrument(p, *r, HeapLayout::ForSize(kHeap), KieOptions{});
       ASSERT_TRUE(ip.ok());
+      // The JIT must also survive accepted garbage: compile or fall back,
+      // never crash. (Unsupported constructs fall back to the interpreter.)
+      JitCompileResult jr = JitCompile(*ip, JitOptions{});
+      if (jr.program == nullptr) {
+        ASSERT_FALSE(jr.fallback_reason.empty());
+      }
     }
   }
 }

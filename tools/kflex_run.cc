@@ -1,10 +1,14 @@
 // kflex_run: load and execute a .kasm extension through the full pipeline.
 //
 //   kflex_run FILE.kasm [--dump] [--invoke N] [--ctx BYTE...]
+//             [--engine interp|jit] [--jit-stats]
 //
 //   --dump       print the verified program and its instrumented form
 //   --invoke N   run the extension N times (default 1)
 //   --ctx HEX    fill the leading context bytes from a hex string
+//   --engine E   execution engine: interp (default) or jit (native x86-64;
+//                falls back to the interpreter on unsupported hosts)
+//   --jit-stats  print compile statistics / fallback reason after loading
 //
 // Exit code: 0 on success, 1 on load/verification failure.
 #include <cstdio>
@@ -22,7 +26,9 @@ using namespace kflex;
 namespace {
 
 int Usage() {
-  std::fprintf(stderr, "usage: kflex_run FILE.kasm [--dump] [--invoke N] [--ctx HEX]\n");
+  std::fprintf(stderr,
+               "usage: kflex_run FILE.kasm [--dump] [--invoke N] [--ctx HEX]\n"
+               "                 [--engine interp|jit] [--jit-stats]\n");
   return 1;
 }
 
@@ -61,8 +67,10 @@ int main(int argc, char** argv) {
   }
   std::string path = argv[1];
   bool dump = false;
+  bool jit_stats = false;
   int invocations = 1;
   std::string ctx_hex;
+  ExecEngine engine = ExecEngine::kInterp;
   for (int i = 2; i < argc; i++) {
     std::string arg = argv[i];
     if (arg == "--dump") {
@@ -71,6 +79,26 @@ int main(int argc, char** argv) {
       invocations = std::atoi(argv[++i]);
     } else if (arg == "--ctx" && i + 1 < argc) {
       ctx_hex = argv[++i];
+    } else if (arg == "--engine" || arg.rfind("--engine=", 0) == 0) {
+      std::string e;
+      if (arg == "--engine") {
+        if (i + 1 >= argc) {
+          return Usage();
+        }
+        e = argv[++i];
+      } else {
+        e = arg.substr(std::strlen("--engine="));
+      }
+      if (e == "interp") {
+        engine = ExecEngine::kInterp;
+      } else if (e == "jit") {
+        engine = ExecEngine::kJit;
+      } else {
+        std::fprintf(stderr, "kflex_run: unknown engine '%s'\n", e.c_str());
+        return Usage();
+      }
+    } else if (arg == "--jit-stats") {
+      jit_stats = true;
     } else {
       return Usage();
     }
@@ -94,7 +122,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(program->heap_size));
 
   MockKernel kernel;
-  auto id = kernel.runtime().Load(*program, LoadOptions{});
+  LoadOptions load_options;
+  load_options.engine = engine;
+  auto id = kernel.runtime().Load(*program, load_options);
   if (!id.ok()) {
     std::fprintf(stderr, "kflex_run: load rejected: %s\n", id.status().ToString().c_str());
     return 1;
@@ -105,6 +135,26 @@ int main(int argc, char** argv) {
       "%zu cancellation points\n",
       ip.stats.insns_out, ip.stats.guards_emitted, ip.stats.guards_elided,
       ip.stats.formation_guards, ip.stats.cancellation_points);
+  EngineInfo ei = kernel.runtime().engine_info(*id);
+  std::printf("engine: requested=%s used=%s\n", ExecEngineName(ei.requested),
+              ExecEngineName(ei.used));
+  if (jit_stats) {
+    if (ei.used == ExecEngine::kJit) {
+      std::printf(
+          "jit: %llu code bytes, compiled %llu insns in %.1f us, %llu mem sites "
+          "(%llu inline fast paths), %llu helper sites\n",
+          static_cast<unsigned long long>(ei.stats.code_bytes),
+          static_cast<unsigned long long>(ei.stats.insns_compiled),
+          static_cast<double>(ei.stats.compile_ns) / 1000.0,
+          static_cast<unsigned long long>(ei.stats.mem_sites),
+          static_cast<unsigned long long>(ei.stats.inline_fast_paths),
+          static_cast<unsigned long long>(ei.stats.helper_sites));
+    } else if (ei.requested == ExecEngine::kJit) {
+      std::printf("jit: fell back to interpreter: %s\n", ei.fallback_reason.c_str());
+    } else {
+      std::printf("jit: not requested\n");
+    }
+  }
   if (dump) {
     std::printf("---- verified program ----\n%s", ProgramToString(*program).c_str());
     std::printf("---- instrumented program ----\n%s", ProgramToString(ip.program).c_str());
