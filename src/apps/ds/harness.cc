@@ -3,7 +3,8 @@
 namespace kflex {
 
 StatusOr<DsInstance> DsInstance::Create(Runtime& runtime, const DsBuilder& builder,
-                                        const KieOptions& kie, uint64_t heap_size) {
+                                        const KieOptions& kie, uint64_t heap_size,
+                                        const EngineChoice& engine) {
   DsInstance instance(runtime);
   ExtensionId heap_owner = 0;
   for (DsOp op : {DsOp::kUpdate, DsOp::kLookup, DsOp::kDelete}) {
@@ -12,6 +13,9 @@ StatusOr<DsInstance> DsInstance::Create(Runtime& runtime, const DsBuilder& build
     lo.kie = kie;
     lo.heap_static_bytes = build.static_bytes;
     lo.share_heap_with = heap_owner;
+    lo.optimize = engine.optimize;
+    lo.engine = engine.engine;
+    lo.jit = engine.jit;
     StatusOr<ExtensionId> id = runtime.Load(build.program, lo);
     if (!id.ok()) {
       return Status(id.status().code(),

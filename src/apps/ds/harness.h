@@ -19,10 +19,12 @@ using DsBuilder = std::function<DsBuild(DsOp, uint64_t)>;
 class DsInstance {
  public:
   // Loads the three per-op programs into `runtime` with shared heap.
-  // `kie` selects the instrumentation flavour (KFlex / KFlex-PM / KMod).
+  // `kie` selects the instrumentation flavour (KFlex / KFlex-PM / KMod);
+  // `engine` the optimizer / execution-engine configuration.
   static StatusOr<DsInstance> Create(Runtime& runtime, const DsBuilder& builder,
                                      const KieOptions& kie = {},
-                                     uint64_t heap_size = kDsHeapSize);
+                                     uint64_t heap_size = kDsHeapSize,
+                                     const EngineChoice& engine = {});
 
   bool Update(uint64_t key, uint64_t value);
   std::optional<uint64_t> Lookup(uint64_t key);

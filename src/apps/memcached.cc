@@ -266,12 +266,16 @@ bool UserMemcached::Del(uint64_t key_id) { return table_.erase(key_id) == 1; }
 // ---- KflexMemcachedDriver ------------------------------------------------------
 
 StatusOr<KflexMemcachedDriver> KflexMemcachedDriver::Create(
-    MockKernel& kernel, const MemcachedBuildOptions& options, const KieOptions& kie) {
+    MockKernel& kernel, const MemcachedBuildOptions& options, const KieOptions& kie,
+    const EngineChoice& engine) {
   kernel.sockets().Bind(kServerIp, kServerPort, kProtoUdp);
   Program program = BuildMemcachedExtension(options);
   LoadOptions lo;
   lo.kie = kie;
   lo.heap_static_bytes = L::kStaticBytes;
+  lo.optimize = engine.optimize;
+  lo.engine = engine.engine;
+  lo.jit = engine.jit;
   StatusOr<ExtensionId> id = kernel.runtime().Load(program, lo);
   if (!id.ok()) {
     return id.status();

@@ -93,10 +93,12 @@ class KflexMemcachedDriver {
   };
 
   // Loads the extension into `kernel` and attaches it. Binds the UDP socket
-  // the extension validates against.
+  // the extension validates against. `engine` selects the optimizer /
+  // execution-engine configuration (chaos matrix runs all three).
   static StatusOr<KflexMemcachedDriver> Create(MockKernel& kernel,
                                                const MemcachedBuildOptions& options = {},
-                                               const KieOptions& kie = {});
+                                               const KieOptions& kie = {},
+                                               const EngineChoice& engine = {});
 
   OpResult Set(int cpu, uint64_t key_id, std::string_view value, uint64_t expiry = 0);
   OpResult Get(int cpu, uint64_t key_id);

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <utility>
 
+#include "src/fault/fault.h"
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/mman.h>
 #include <unistd.h>
@@ -50,6 +52,10 @@ CodeBuffer& CodeBuffer::operator=(CodeBuffer&& other) noexcept {
 bool CodeBuffer::Allocate(size_t size) {
   Release();
   if (size == 0) return false;
+  // Injected mapping refusal: behaves exactly like an mmap failure (RWX
+  // policy, address-space exhaustion); the caller falls back to the
+  // interpreter and records the reason in EngineInfo.
+  if (KFLEX_FAULT_FIRE("jit.mmap")) return false;
 #if defined(KFLEX_JIT_HAVE_MMAP)
   size_t rounded = PageRound(size);
   void* p = mmap(nullptr, rounded, PROT_READ | PROT_WRITE,
@@ -67,6 +73,13 @@ bool CodeBuffer::Allocate(size_t size) {
 bool CodeBuffer::Seal(const uint8_t* code, size_t size) {
 #if defined(KFLEX_JIT_HAVE_MMAP)
   if (data_ == nullptr || size > mapped_size_) return false;
+  // Injected W^X seal refusal: as if mprotect(PROT_READ|PROT_EXEC) were
+  // denied after the code was copied in; the mapping is torn down, never
+  // left writable+executable.
+  if (KFLEX_FAULT_FIRE("jit.mprotect")) {
+    Release();
+    return false;
+  }
   std::memcpy(data_, code, size);
   code_size_ = size;
   if (mprotect(data_, mapped_size_, PROT_READ | PROT_EXEC) != 0) {

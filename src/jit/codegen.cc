@@ -1217,9 +1217,11 @@ JitCompileResult JitCompile(const InstrumentedProgram& iprog,
   std::string err = compiler.Compile();
   if (!err.empty()) return {nullptr, std::move(err)};
   const std::vector<uint8_t>& bytes = compiler.bytes();
-  if (!prog->code.Allocate(bytes.size()) ||
-      !prog->code.Seal(bytes.data(), bytes.size())) {
-    return {nullptr, "executable mapping refused by host"};
+  if (!prog->code.Allocate(bytes.size())) {
+    return {nullptr, "executable mapping refused by host (mmap)"};
+  }
+  if (!prog->code.Seal(bytes.data(), bytes.size())) {
+    return {nullptr, "W^X seal refused by host (mprotect)"};
   }
   prog->entry = reinterpret_cast<JitProgram::EntryFn>(
       const_cast<uint8_t*>(prog->code.data()));

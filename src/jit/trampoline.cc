@@ -33,7 +33,7 @@ extern "C" uint32_t kflex_jit_helper(JitState* st, uint32_t pc) {
   st->insn_count += helper->virtual_cost;
   uint64_t* regs = env.regs;
   uint64_t args[5] = {regs[R1], regs[R2], regs[R3], regs[R4], regs[R5]};
-  HelperOutcome out = (helper->fn)(env, args);
+  HelperOutcome out = VmCallHelper(env, insn.imm, *helper, args);
   if (env.helper_trace != nullptr) {
     env.helper_trace->emplace_back(insn.imm, out.ret);
   }

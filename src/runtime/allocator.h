@@ -13,6 +13,7 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "src/runtime/heap.h"
@@ -57,10 +58,19 @@ class HeapAllocator {
   };
   Stats GetStats() const;
 
+  // Invariant audit for the post-fault sweep (Runtime::SweepInvariants):
+  // accounting balances (allocs - frees == carved capacity - free objects),
+  // and every free-list offset lies in a page of its class, is
+  // object-aligned, and appears at most once. Returns human-readable
+  // violations; empty = consistent. Call quiesced (no concurrent ops).
+  std::vector<std::string> Audit() const;
+
  private:
   struct PerCpu {
     std::array<std::vector<uint64_t>, kNumClasses> cache;
-    std::mutex mu;  // Refiller thread synchronizes with the owning CPU.
+    // Refiller thread synchronizes with the owning CPU; mutable so the
+    // (logically read-only) Audit can snapshot caches under the lock.
+    mutable std::mutex mu;
   };
 
   // Carves a fresh page for `cls` into the global list. Caller holds mu_.
@@ -69,7 +79,7 @@ class HeapAllocator {
   ExtensionHeap* heap_;
   std::vector<std::unique_ptr<PerCpu>> cpus_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::array<std::vector<uint64_t>, kNumClasses> global_;
   uint64_t cursor_;             // next page offset to carve
   std::vector<uint8_t> page_class_;  // page index -> class + 1 (0 = unassigned)

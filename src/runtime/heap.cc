@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/fault/fault.h"
+
 namespace kflex {
 
 StatusOr<std::unique_ptr<ExtensionHeap>> ExtensionHeap::Create(const HeapSpec& spec) {
@@ -50,7 +52,19 @@ uint8_t* ExtensionHeap::TranslateKernel(uint64_t va, uint64_t size, MemFaultKind
     fault = MemFaultKind::kGuardZone;
     return nullptr;
   }
+  // Injected guard fault: the access is treated as a guard-zone hit, driving
+  // the C2 cancellation path for an in-bounds address.
+  if (KFLEX_FAULT_FIRE("heap.guard")) {
+    fault = MemFaultKind::kGuardZone;
+    return nullptr;
+  }
   uint64_t off = va - base;
+  // Injected pager failure: the page is treated as unpopulated even when
+  // present, as if the demand pager could not back the access (§3.2).
+  if (KFLEX_FAULT_FIRE("heap.pagein")) {
+    fault = MemFaultKind::kNotPresent;
+    return nullptr;
+  }
   if (!PagesPresent(off, size)) {
     fault = MemFaultKind::kNotPresent;
     return nullptr;
@@ -110,6 +124,35 @@ bool ExtensionHeap::terminate_armed() const {
   const auto* slot =
       reinterpret_cast<const std::atomic<uint64_t>*>(data_.get() + kTerminateSlotOff);
   return slot->load(std::memory_order_acquire) == 0;
+}
+
+std::vector<std::string> ExtensionHeap::AuditMetadata() const {
+  // Deliberately avoids TranslateKernel: the sweep must not consume fault
+  // schedule hits, or a sweep between invocations would shift the replayed
+  // failure sequence.
+  std::vector<std::string> violations;
+  const auto* slot =
+      reinterpret_cast<const std::atomic<uint64_t>*>(data_.get() + kTerminateSlotOff);
+  uint64_t terminate = slot->load(std::memory_order_acquire);
+  if (terminate != 0 && terminate != layout_.kernel_base + kTerminateTargetOff) {
+    violations.push_back("terminate slot corrupted (neither armed nor the target address)");
+  }
+  uint64_t present = 0;
+  for (const auto& p : present_) {
+    present += p.load(std::memory_order_relaxed);
+  }
+  if (present != populated_pages_.load(std::memory_order_relaxed)) {
+    violations.push_back("populated-page counter disagrees with the presence table");
+  }
+  if (dynamic_base_ == 0 || dynamic_base_ % kHeapPageSize != 0 || dynamic_base_ > size()) {
+    violations.push_back("dynamic base misaligned or out of bounds");
+  }
+  // The reserved metadata area and static globals are populated at load time
+  // and must stay resident: C1 terminate loads and lock words live there.
+  if (!PagesPresent(0, dynamic_base_)) {
+    violations.push_back("reserved/static heap pages no longer present");
+  }
+  return violations;
 }
 
 }  // namespace kflex

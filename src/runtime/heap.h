@@ -15,6 +15,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/base/status.h"
@@ -79,6 +80,13 @@ class ExtensionHeap {
     return reinterpret_cast<const uint8_t*>(present_.data());
   }
   uint64_t populated_pages() const { return populated_pages_.load(std::memory_order_relaxed); }
+
+  // Invariant audit for the post-fault sweep: terminate slot holds a legal
+  // value, presence table and populated-page counter agree, and the
+  // runtime-reserved metadata / static pages are still resident. Returns
+  // human-readable violations; empty = intact. Does not consume fault
+  // injection hits.
+  std::vector<std::string> AuditMetadata() const;
 
   // ---- Cancellation support (§3.3) ----
   // Zeroes the terminate slot: the next C1 terminate load faults.

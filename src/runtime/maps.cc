@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/fault/fault.h"
+
 namespace kflex {
 
 namespace {
@@ -32,6 +34,11 @@ uint64_t ArrayMap::Lookup(const uint8_t* key) {
 }
 
 int ArrayMap::Update(const uint8_t* key, const uint8_t* value) {
+  // Injected update failure: -ENOMEM, as if the kernel could not allocate
+  // the element (the real bpf_map_update_elem contract).
+  if (KFLEX_FAULT_FIRE("map.update")) {
+    return -12;  // -ENOMEM
+  }
   uint32_t idx;
   std::memcpy(&idx, key, sizeof(idx));
   if (idx >= desc_.max_entries) {
@@ -105,6 +112,9 @@ uint64_t BpfHashMap::Lookup(const uint8_t* key) {
 }
 
 int BpfHashMap::Update(const uint8_t* key, const uint8_t* value) {
+  if (KFLEX_FAULT_FIRE("map.update")) {
+    return -12;  // -ENOMEM
+  }
   std::lock_guard<std::mutex> lock(mu_);
   bool found = false;
   size_t idx = FindSlot(key, /*for_insert=*/true, found);

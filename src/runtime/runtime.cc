@@ -4,15 +4,38 @@
 #include <cstring>
 
 #include "src/base/logging.h"
+#include "src/fault/fault.h"
 #include "src/jit/trampoline.h"
 #include "src/runtime/helpers.h"
 #include "src/runtime/spinlock.h"
 
 namespace kflex {
 
+std::string InvariantReport::ToString() const {
+  if (violations.empty()) {
+    return "ok";
+  }
+  std::string out;
+  for (const std::string& v : violations) {
+    if (!out.empty()) {
+      out += '\n';
+    }
+    out += v;
+  }
+  return out;
+}
+
 Runtime::Runtime(const RuntimeOptions& options) : options_(options) {
   KFLEX_CHECK(options_.num_cpus > 0);
   RegisterCoreHelpers(helpers_);
+  for (const std::string& spec : options_.fault_specs) {
+    Status st = FaultRegistry::Instance().ArmSpec(spec);
+    if (!st.ok()) {
+      // Fault specs are a test/chaos knob, not production input: fail loudly.
+      KFLEX_LOG(Error) << "bad fault spec \"" << spec << "\": " << st.message();
+      KFLEX_CHECK(st.ok());
+    }
+  }
 }
 
 Runtime::~Runtime() { StopWatchdog(); }
@@ -299,6 +322,71 @@ void Runtime::SetCancellationCallback(ExtensionId id, std::function<int64_t(int6
   if (ext != nullptr) {
     ext->cancel_cb = std::move(cb);
   }
+}
+
+InvariantReport Runtime::SweepInvariants(ExtensionId id) const {
+  InvariantReport report;
+  const Extension* ext = Get(id);
+  if (ext == nullptr) {
+    report.violations.push_back("unknown extension id");
+    return report;
+  }
+
+  // 1. No leaked kernel references. The registry is runtime-global, but any
+  // live handle after a quiesced invocation (normal exit releases via
+  // helpers, cancellation via the object-table unwinder) is a leak.
+  size_t live = objects_.live_count();
+  if (live != 0) {
+    report.violations.push_back("object registry holds " + std::to_string(live) +
+                                " live kernel reference(s)");
+  }
+
+  // 2. Allocator accounting balances (free-list membership, page/class tags,
+  // allocs - frees == carved - cached).
+  if (ext->allocator != nullptr) {
+    for (std::string& v : ext->allocator->Audit()) {
+      report.violations.push_back("allocator: " + std::move(v));
+    }
+  }
+
+  // 3. Heap reserved metadata / presence bookkeeping intact.
+  if (ext->heap != nullptr) {
+    for (std::string& v : ext->heap->AuditMetadata()) {
+      report.violations.push_back("heap: " + std::move(v));
+    }
+  }
+
+  // 4. No extension spin lock still held: every lock the verifier tracked
+  // into an object table must be free once no invocation is running (normal
+  // paths pair acquire/release; cancellation releases via Unwind).
+  if (ext->heap != nullptr) {
+    for (const auto& [pc, entries] : ext->iprog.object_tables) {
+      for (const ObjectTableEntry& entry : entries) {
+        if (entry.kind != ResourceKind::kLock) {
+          continue;
+        }
+        if (entry.lock_off + 8 <= ext->heap->size() &&
+            SpinLockOps::IsHeld(ext->heap->HostAt(entry.lock_off))) {
+          report.violations.push_back("lock at heap offset " +
+                                      std::to_string(entry.lock_off) +
+                                      " still held (object table pc " +
+                                      std::to_string(pc) + ")");
+        }
+      }
+    }
+  }
+
+  // 5. Cancelled extensions are quiesced: unloaded => no CPU reports a
+  // running invocation.
+  if (ext->unloaded.load(std::memory_order_acquire)) {
+    for (size_t cpu = 0; cpu < ext->running_since.size(); cpu++) {
+      if (ext->running_since[cpu]->load(std::memory_order_acquire) != 0) {
+        report.violations.push_back("unloaded extension still running on cpu " +
+                                    std::to_string(cpu));
+      }
+    }
+  }
+  return report;
 }
 
 Runtime::ExtensionStats Runtime::GetStats(ExtensionId id) const {

@@ -37,6 +37,10 @@ namespace kflex {
 using ExtensionId = uint32_t;
 
 struct RuntimeOptions {
+  RuntimeOptions() = default;
+  RuntimeOptions(int cpus, uint64_t quantum = 1'000'000'000ULL, uint64_t fuel = 0)
+      : num_cpus(cpus), quantum_ns(quantum), fuel_quantum_insns(fuel) {}
+
   int num_cpus = 8;
   // Watchdog cancellation quantum. The paper's watchdog operates at second
   // granularity (§4.3); tests shrink this for fast, deterministic runs.
@@ -44,6 +48,11 @@ struct RuntimeOptions {
   // Instruction quantum for clock-sampled cancellation points (extensions
   // instrumented with CancellationMode::kClockSampled); 0 = unlimited.
   uint64_t fuel_quantum_insns = 0;
+  // Deterministic fault injection, "point:spec" per entry (see
+  // docs/faults.md and src/fault/fault.h for the grammar). Armed in the
+  // process-global FaultRegistry at construction; malformed specs abort
+  // (they are a test/chaos knob, not production input).
+  std::vector<std::string> fault_specs;
 };
 
 struct LoadOptions {
@@ -71,12 +80,29 @@ struct LoadOptions {
   JitOptions jit;
 };
 
+// Engine/optimizer selection bundle for app drivers and test harnesses that
+// wrap Load. The chaos harness iterates this over all three execution
+// configurations (reference interpreter, optimized interpreter, JIT).
+struct EngineChoice {
+  bool optimize = true;
+  ExecEngine engine = ExecEngine::kInterp;
+  JitOptions jit;
+};
+
 // Post-load report of which engine an extension actually runs on.
 struct EngineInfo {
   ExecEngine requested = ExecEngine::kInterp;
   ExecEngine used = ExecEngine::kInterp;
   std::string fallback_reason;  // set when requested == kJit but used != kJit
   JitCompileStats stats;        // meaningful when used == kJit
+};
+
+// Result of Runtime::SweepInvariants: human-readable violations of the
+// runtime's post-fault cleanliness invariants. Empty = green.
+struct InvariantReport {
+  std::vector<std::string> violations;
+  bool ok() const { return violations.empty(); }
+  std::string ToString() const;  // newline-joined, "ok" when green
 };
 
 struct InvokeResult {
@@ -140,6 +166,18 @@ class Runtime {
     uint64_t resources_released_on_cancel = 0;
   };
   ExtensionStats GetStats(ExtensionId id) const;
+
+  // Post-fault invariant sweep (§4.3 degradation story): after any
+  // invocation — successful, fault-injected, or cancelled — checks that
+  //  * the object registry holds no leaked kernel references,
+  //  * the extension's allocator accounting balances (HeapAllocator::Audit),
+  //  * the heap's reserved metadata / guard bookkeeping is intact,
+  //  * no object-table lock is still held by the kernel side,
+  //  * a cancelled (unloaded) extension is quiesced (no running invocation).
+  // Call quiesced (no concurrent Invoke on `id`). Does not consume fault
+  // injection hits, so sweeping between invocations never shifts a replayed
+  // failure schedule.
+  InvariantReport SweepInvariants(ExtensionId id) const;
 
   // Watchdog-driven monitoring of extension execution duration (§4.3).
   void StartWatchdog();

@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "src/fault/fault.h"
+
 namespace kflex {
 
 namespace {
@@ -18,6 +20,18 @@ bool SpinLockOps::TryAcquire(void* word, uint64_t owner_tag) {
 }
 
 bool SpinLockOps::Acquire(void* word, uint64_t owner_tag, const std::atomic<bool>* cancel) {
+  // Injected waiter delay (chaos, not an error): widen the race window
+  // between contending acquirers and the cancellation path by a fixed,
+  // wallclock-free amount of spinning before the first acquire attempt. A
+  // delayed waiter must still either acquire or observe cancellation.
+  if (KFLEX_FAULT_FIRE("lock.delay")) {
+    for (int i = 0; i < 4096; i++) {
+#if defined(__x86_64__)
+      __builtin_ia32_pause();
+#endif
+    }
+    std::this_thread::yield();
+  }
   int backoff = 1;
   while (true) {
     if (TryAcquire(word, owner_tag)) {

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/ebpf/helper_ids.h"
+#include "src/fault/fault.h"
 #include "src/kie/kie.h"
 #include "src/runtime/layout.h"
 
@@ -258,6 +260,34 @@ const char* VmOutcomeName(VmResult::Outcome outcome) {
   return "?";
 }
 
+HelperOutcome VmCallHelper(VmEnv& env, int32_t helper_id, const HelperTable::Entry& entry,
+                           const uint64_t args[5]) {
+  if (KFLEX_FAULT_FIRE("helper.ret_err")) {
+    const HelperContract* contract = FindHelperContract(helper_id);
+    // Only fallible helpers are injected: releases must not be skipped (the
+    // resource would leak past the cancellation unwinder) and void returns
+    // have no error value an extension could observe.
+    if (contract != nullptr && contract->releases == ResourceKind::kNone &&
+        contract->ret != HelperRetType::kVoid) {
+      HelperOutcome out;
+      switch (contract->ret) {
+        case HelperRetType::kMapValueOrNull:
+        case HelperRetType::kHeapPtrOrNull:
+        case HelperRetType::kSocketOrNull:
+          out.ret = 0;  // NULL: the documented lookup/allocation failure
+          break;
+        case HelperRetType::kScalar:
+          out.ret = static_cast<uint64_t>(int64_t{-14});  // -EFAULT
+          break;
+        case HelperRetType::kVoid:
+          break;
+      }
+      return out;
+    }
+  }
+  return entry.fn(env, args);
+}
+
 VmResult VmRun(std::span<const Insn> insns, VmEnv& env) {
   VmResult result;
   uint64_t* regs = env.regs;
@@ -393,7 +423,7 @@ VmResult VmRun(std::span<const Insn> insns, VmEnv& env) {
           }
           executed += helper->virtual_cost;
           uint64_t args[5] = {regs[R1], regs[R2], regs[R3], regs[R4], regs[R5]};
-          HelperOutcome out = (helper->fn)(env, args);
+          HelperOutcome out = VmCallHelper(env, insn.imm, *helper, args);
           if (env.helper_trace != nullptr) {
             env.helper_trace->emplace_back(insn.imm, out.ret);
           }

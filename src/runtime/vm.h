@@ -148,6 +148,18 @@ uint8_t* VmTranslate(VmEnv& env, uint64_t va, uint64_t size, MemFaultKind& fault
 bool VmExecMemInsn(VmEnv& env, const Insn& insn, MemFaultKind& fault,
                    uint64_t& fault_va);
 
+// Invokes helper `helper_id` through `entry`, applying the `helper.ret_err`
+// fault point: when it fires on a fallible helper the body is skipped and
+// the helper's documented error value is returned instead (NULL for
+// pointer-returning helpers, -EFAULT for status/scalar ones). Helpers that
+// release resources, and void-returning helpers, are never injected —
+// release operations cannot fail in the kernel, and skipping them would leak
+// the resource the cancellation path is required to reclaim. Shared between
+// the interpreter's CALL dispatch and the JIT's helper trampoline so both
+// engines observe the same injected schedule.
+HelperOutcome VmCallHelper(VmEnv& env, int32_t helper_id, const HelperTable::Entry& entry,
+                           const uint64_t args[5]);
+
 }  // namespace kflex
 
 #endif  // SRC_RUNTIME_VM_H_

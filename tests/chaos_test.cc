@@ -1,0 +1,341 @@
+// Chaos harness: every registered fault point, under every execution engine
+// (reference interpreter, optimized interpreter, JIT), against three
+// workloads (guarded scatter + map counter, memcached GET/SET, rb-tree data
+// structure). Asserts zero crashes, clean error returns, recorded EngineInfo
+// fallback reasons for injected code-cache refusals, and a green
+// post-fault invariant sweep after every combination. Any failure reproduces
+// from the printed --fault=point:spec string (plus engine name) alone: the
+// schedules are pure functions of (policy, hit index).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/apps/ds/ds.h"
+#include "src/apps/ds/harness.h"
+#include "src/apps/memcached.h"
+#include "src/ebpf/assembler.h"
+#include "src/ebpf/helper_ids.h"
+#include "src/fault/fault.h"
+#include "src/jit/codegen.h"
+#include "src/kernel/kernel.h"
+
+namespace kflex {
+namespace {
+
+// ---- the coverage matrix ----------------------------------------------------
+
+// One deterministic spec per registered fault point. ChaosSelfCheck fails if
+// this list and the FaultRegistry catalog ever drift apart, so adding a
+// KFLEX_FAULT_FIRE site forces adding matrix coverage here.
+struct PointSpec {
+  const char* point;
+  const char* spec;  // the full --fault argument
+};
+constexpr PointSpec kCoveredPoints[] = {
+    {"alloc.slab", "alloc.slab:nth=1"},
+    {"alloc.percpu", "alloc.percpu:nth=2"},
+    {"heap.pagein", "heap.pagein:every=5"},
+    {"heap.guard", "heap.guard:nth=4"},
+    {"jit.mmap", "jit.mmap:nth=1"},
+    {"jit.mprotect", "jit.mprotect:nth=1"},
+    {"map.update", "map.update:every=2"},
+    {"helper.ret_err", "helper.ret_err:prob=0.25,seed=1234"},
+    {"lock.delay", "lock.delay:every=1"},
+};
+
+struct EngineConfig {
+  const char* name;
+  EngineChoice choice;
+};
+
+std::vector<EngineConfig> Engines() {
+  std::vector<EngineConfig> engines;
+  engines.push_back({"ref-interp", {/*optimize=*/false, ExecEngine::kInterp, {}}});
+  engines.push_back({"opt-interp", {/*optimize=*/true, ExecEngine::kInterp, {}}});
+  // fast_paths=false sends every JIT memory access through the
+  // interpreter-shared translation stub, so heap.* points fire on the same
+  // schedule as the interpreter legs.
+  JitOptions jit;
+  jit.fast_paths = false;
+  engines.push_back({"jit", {/*optimize=*/true, ExecEngine::kJit, jit}});
+  return engines;
+}
+
+uint64_t FailsOf(const char* point) {
+  FaultPoint* p = FaultRegistry::Instance().Find(point);
+  return p != nullptr ? p->fails() : 0;
+}
+
+// Injected faults must surface as one of the runtime's documented
+// degradation outcomes, never as a crash or an undocumented error.
+void ExpectCleanResult(const InvokeResult& r) {
+  if (!r.cancelled) {
+    EXPECT_EQ(r.outcome, VmResult::Outcome::kOk);
+    return;
+  }
+  switch (r.outcome) {
+    case VmResult::Outcome::kFault:
+      EXPECT_TRUE(r.fault_kind == MemFaultKind::kNotPresent ||
+                  r.fault_kind == MemFaultKind::kGuardZone ||
+                  r.fault_kind == MemFaultKind::kTerminate)
+          << "unexpected fault kind " << static_cast<int>(r.fault_kind);
+      break;
+    case VmResult::Outcome::kHelperCancel:
+    case VmResult::Outcome::kHelperFault:
+      break;  // documented cancellation outcomes
+    default:
+      ADD_FAILURE() << "unclean outcome " << VmOutcomeName(r.outcome);
+  }
+}
+
+// When a JIT engine was requested, the load must always succeed; if the
+// (possibly injected) code cache refused, the fallback reason is recorded.
+void ExpectEngineRecorded(Runtime& runtime, ExtensionId id, const EngineConfig& engine,
+                          const char* point) {
+  EngineInfo ei = runtime.engine_info(id);
+  EXPECT_EQ(ei.requested, engine.choice.engine);
+  if (ei.requested == ExecEngine::kJit && ei.used != ExecEngine::kJit) {
+    EXPECT_FALSE(ei.fallback_reason.empty())
+        << "silent JIT fallback with " << point << " armed";
+  }
+  if (JitHostSupported() && ei.requested == ExecEngine::kJit &&
+      (std::string(point) == "jit.mmap" || std::string(point) == "jit.mprotect")) {
+    // The injected refusal (nth=1, armed before Load) must have forced the
+    // interpreter and said why.
+    EXPECT_EQ(ei.used, ExecEngine::kInterp);
+    EXPECT_NE(ei.fallback_reason.find(std::string(point) == "jit.mmap" ? "(mmap)"
+                                                                       : "(mprotect)"),
+              std::string::npos)
+        << "fallback reason: " << ei.fallback_reason;
+  }
+}
+
+// ---- workload 1: guarded scatter + map counter ------------------------------
+
+// The microbench scatter kernel plus one bpf map update per invocation so
+// the map.update and helper.ret_err points are reachable from this workload.
+Program ScatterProgram(uint32_t map_id) {
+  Assembler a;
+  a.Mov(R9, R1);  // save ctx across the helper call
+  a.StImm(BPF_W, R10, -4, 0);
+  a.StImm(BPF_DW, R10, -16, 1);
+  a.LoadMapPtr(R1, map_id);
+  a.Mov(R2, R10);
+  a.AddImm(R2, -4);
+  a.Mov(R3, R10);
+  a.AddImm(R3, -16);
+  a.MovImm(R4, 0);
+  a.Call(kHelperMapUpdateElem);
+  a.Ldx(BPF_W, R6, R9, 0);
+  a.LoadHeapAddr(R7, 64);
+  a.Add(R7, R6);
+  a.MovImm(R4, 64);
+  auto loop = a.LoopBegin();
+  a.LoopBreakIfImm(loop, BPF_JEQ, R4, 0);
+  a.StImm(BPF_DW, R7, 0, 1);
+  a.StImm(BPF_DW, R7, 8, 2);
+  a.StImm(BPF_DW, R7, 16, 3);
+  a.SubImm(R4, 1);
+  a.LoopEnd(loop);
+  a.MovImm(R0, 1);
+  a.Exit();
+  auto p = a.Finish("chaos_scatter", Hook::kTracepoint, ExtensionMode::kKflex, 1 << 20);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return std::move(p).value();
+}
+
+void RunGuardedScatter(const PointSpec& point, const EngineConfig& engine) {
+  RuntimeOptions opts;
+  opts.num_cpus = 1;
+  opts.quantum_ns = 500'000'000ULL;
+  Runtime runtime{opts};
+  auto desc = runtime.maps().CreateArray(4, 8, 8);
+  ASSERT_TRUE(desc.ok());
+
+  // Armed before Load so the jit.* points hit the code cache at compile time.
+  ScopedFaultInjection faults{point.spec};
+  LoadOptions lo;
+  lo.heap_static_bytes = 128;
+  lo.optimize = engine.choice.optimize;
+  lo.engine = engine.choice.engine;
+  lo.jit = engine.choice.jit;
+  auto id = runtime.Load(ScatterProgram(desc->id), lo);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ExpectEngineRecorded(runtime, *id, engine, point.point);
+
+  uint8_t ctx[64] = {0};
+  for (int i = 0; i < 6; i++) {
+    InvokeResult r = runtime.Invoke(*id, 0, ctx, sizeof(ctx));
+    ASSERT_TRUE(r.attached);
+    ExpectCleanResult(r);
+    InvariantReport sweep = runtime.SweepInvariants(*id);
+    EXPECT_TRUE(sweep.ok()) << sweep.ToString();
+    if (r.cancelled) {
+      runtime.Reset(*id);
+    }
+  }
+
+  // Points this workload certainly drives must actually have fired.
+  std::string p = point.point;
+  if (p == "heap.pagein" || p == "heap.guard" || p == "map.update") {
+    EXPECT_GT(FailsOf(point.point), 0u) << point.spec << " never fired";
+  }
+  if (JitHostSupported() && engine.choice.engine == ExecEngine::kJit &&
+      (p == "jit.mmap" || p == "jit.mprotect")) {
+    EXPECT_GT(FailsOf(point.point), 0u) << point.spec << " never fired at load";
+  }
+}
+
+TEST(ChaosMatrix, GuardedScatter) {
+  for (const EngineConfig& engine : Engines()) {
+    for (const PointSpec& point : kCoveredPoints) {
+      SCOPED_TRACE(std::string("--fault=") + point.spec + " engine=" + engine.name);
+      RunGuardedScatter(point, engine);
+      if (::testing::Test::HasFatalFailure()) {
+        return;
+      }
+    }
+  }
+}
+
+// ---- workload 2: memcached GET/SET ------------------------------------------
+
+void RunMemcached(const PointSpec& point, const EngineConfig& engine) {
+  RuntimeOptions opts;
+  opts.num_cpus = 1;
+  opts.quantum_ns = 500'000'000ULL;  // watchdog net for corrupted chains
+  MockKernel kernel{opts};
+
+  ScopedFaultInjection faults{point.spec};
+  MemcachedBuildOptions build;
+  build.heap_size = 1 << 22;  // small heap: carves happen early
+  auto driver = KflexMemcachedDriver::Create(kernel, build, {}, engine.choice);
+  ASSERT_TRUE(driver.ok()) << driver.status().ToString();
+  ExpectEngineRecorded(kernel.runtime(), driver->id(), engine, point.point);
+  kernel.runtime().StartWatchdog();
+
+  for (int i = 0; i < 18; i++) {
+    if (kernel.runtime().IsUnloaded(driver->id())) {
+      kernel.runtime().Reset(driver->id());
+    }
+    uint64_t key = static_cast<uint64_t>(i % 6);
+    switch (i % 3) {
+      case 0:
+        driver->Set(0, key, "value-" + std::to_string(key));
+        break;
+      case 1:
+        driver->Get(0, key);
+        break;
+      default:
+        driver->Del(0, key);
+        break;
+    }
+    InvariantReport sweep = kernel.runtime().SweepInvariants(driver->id());
+    EXPECT_TRUE(sweep.ok()) << sweep.ToString();
+  }
+  kernel.runtime().StopWatchdog();
+  EXPECT_TRUE(kernel.Quiescent()) << "kernel resource leaked under " << point.spec;
+
+  std::string p = point.point;
+  if (p == "heap.pagein" || p == "heap.guard" || p == "alloc.slab" ||
+      p == "alloc.percpu" || p == "lock.delay") {
+    EXPECT_GT(FailsOf(point.point), 0u) << point.spec << " never fired";
+  }
+}
+
+TEST(ChaosMatrix, MemcachedGetSet) {
+  for (const EngineConfig& engine : Engines()) {
+    for (const PointSpec& point : kCoveredPoints) {
+      SCOPED_TRACE(std::string("--fault=") + point.spec + " engine=" + engine.name);
+      RunMemcached(point, engine);
+      if (::testing::Test::HasFatalFailure()) {
+        return;
+      }
+    }
+  }
+}
+
+// ---- workload 3: rb-tree data structure -------------------------------------
+
+void RunRbTree(const PointSpec& point, const EngineConfig& engine) {
+  RuntimeOptions opts;
+  opts.num_cpus = 1;
+  opts.quantum_ns = 500'000'000ULL;
+  Runtime runtime{opts};
+
+  ScopedFaultInjection faults{point.spec};
+  auto instance = DsInstance::Create(runtime, BuildRbTree, {}, kDsHeapSize, engine.choice);
+  ASSERT_TRUE(instance.ok()) << instance.status().ToString();
+  DsInstance& ds = *instance;
+  ExpectEngineRecorded(runtime, ds.id(DsOp::kUpdate), engine, point.point);
+  runtime.StartWatchdog();
+
+  const DsOp kOps[] = {DsOp::kUpdate, DsOp::kLookup, DsOp::kDelete};
+  for (int i = 0; i < 18; i++) {
+    for (DsOp op : kOps) {
+      if (runtime.IsUnloaded(ds.id(op))) {
+        runtime.Reset(ds.id(op));
+      }
+    }
+    uint64_t key = static_cast<uint64_t>(i % 7) + 1;
+    switch (i % 3) {
+      case 0:
+        ds.Update(key, key * 10);
+        break;
+      case 1:
+        ds.Lookup(key);
+        break;
+      default:
+        ds.Delete(key);
+        break;
+    }
+    for (DsOp op : kOps) {
+      InvariantReport sweep = runtime.SweepInvariants(ds.id(op));
+      EXPECT_TRUE(sweep.ok()) << DsOpName(op) << ": " << sweep.ToString();
+    }
+  }
+  runtime.StopWatchdog();
+
+  std::string p = point.point;
+  if (p == "heap.pagein" || p == "heap.guard") {
+    EXPECT_GT(FailsOf(point.point), 0u) << point.spec << " never fired";
+  }
+}
+
+TEST(ChaosMatrix, RbTreeDataStructure) {
+  for (const EngineConfig& engine : Engines()) {
+    for (const PointSpec& point : kCoveredPoints) {
+      SCOPED_TRACE(std::string("--fault=") + point.spec + " engine=" + engine.name);
+      RunRbTree(point, engine);
+      if (::testing::Test::HasFatalFailure()) {
+        return;
+      }
+    }
+  }
+}
+
+// ---- coverage self-check ----------------------------------------------------
+
+// Registering a fault point without chaos-matrix coverage (or covering a
+// point that no longer exists) is a test-suite bug. Exposed as its own ctest
+// (chaos-selfcheck) so CI flags the drift even when the matrix is skipped.
+TEST(ChaosSelfCheck, AllRegisteredPointsCovered) {
+  std::vector<std::string> registered = FaultRegistry::Instance().Names();
+  std::vector<std::string> covered;
+  for (const PointSpec& p : kCoveredPoints) {
+    covered.push_back(p.point);
+    // Every covered spec must parse and name a registered point.
+    auto parsed = ParseFaultSpec(p.spec);
+    ASSERT_TRUE(parsed.ok()) << p.spec << ": " << parsed.status().ToString();
+    EXPECT_EQ(parsed->first, p.point);
+  }
+  std::sort(covered.begin(), covered.end());
+  EXPECT_EQ(registered, covered)
+      << "fault-point catalog and chaos_test kCoveredPoints have drifted";
+}
+
+}  // namespace
+}  // namespace kflex

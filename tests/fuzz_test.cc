@@ -19,6 +19,7 @@
 
 #include "src/base/rng.h"
 #include "src/ebpf/assembler.h"
+#include "src/fault/fault.h"
 #include "src/ebpf/helper_ids.h"
 #include "src/jit/codegen.h"
 #include "src/kernel/kernel.h"
@@ -509,6 +510,106 @@ TEST(FuzzDifferential, OptimizedPipelineIsObservationallyEquivalent) {
   }
   // The generator is acceptance-biased: most programs must actually compare.
   EXPECT_GT(compared, kPrograms / 4) << "generator drifted: too few accepted programs";
+}
+
+// ---- Chaos mode: seeded fault injection over the corpus ---------------------
+//
+// A slice of the differential corpus is run twice on identical context
+// bytes: a reference run with the fault registry disarmed and a chaos run
+// with seeded probabilistic faults armed on the pager and helper points.
+// The schedules are pure functions of (seed, hit index), so each program's
+// chaos behaviour is exactly reproducible from the --fault specs printed on
+// failure. If the chaos run happened to inject nothing (fail-count delta is
+// zero) it must be observationally identical to the reference — verdict,
+// outcome, helper trace, and full heap contents. If faults did fire, the
+// run must either complete cleanly or cancel with a documented fault kind,
+// and the post-fault invariant sweep must be green. Never a diverging heap
+// on success, never an unclean error.
+TEST(FuzzChaos, SeededFaultsMatchVerdictOrFailCleanly) {
+  Rng rng(0xC7A05);
+  int injected = 0;
+  int equivalent = 0;
+  constexpr int kPrograms = 150;
+  for (int n = 0; n < kPrograms; n++) {
+    ProgramGenerator gen(rng, /*kflex=*/true, /*resources=*/false, /*helper_calls=*/true);
+    Program p = gen.Generate();
+    RuntimeOptions ro;
+    ro.num_cpus = 1;
+    Runtime rt_ref{ro};
+    Runtime rt_chaos{ro};
+    MakeHelpersDeterministic(rt_ref);
+    MakeHelpersDeterministic(rt_chaos);
+    LoadOptions lo;
+    lo.heap_static_bytes = 4096;
+    auto id_ref = rt_ref.Load(p, lo);
+    auto id_chaos = rt_chaos.Load(p, lo);
+    ASSERT_EQ(id_ref.ok(), id_chaos.ok()) << ProgramToString(p);
+    if (!id_ref.ok()) {
+      continue;
+    }
+
+    uint8_t ctx_ref[2048];
+    for (auto& byte : ctx_ref) {
+      byte = static_cast<uint8_t>(rng.Next());
+    }
+    uint8_t ctx_chaos[2048];
+    std::memcpy(ctx_chaos, ctx_ref, sizeof(ctx_chaos));
+
+    // The reference run is the baseline whatever it does: generated programs
+    // may legitimately self-cancel (guard-zone heap arithmetic), and an
+    // injection-free chaos run must mirror that exactly.
+    std::vector<std::pair<int32_t, uint64_t>> trace_ref, trace_chaos;
+    InvokeResult a = rt_ref.Invoke(*id_ref, 0, ctx_ref, sizeof(ctx_ref), &trace_ref);
+
+    const uint64_t seed = 0x9E3779B9ULL + static_cast<uint64_t>(n) * 3;
+    const std::string specs[] = {
+        "heap.pagein:prob=0.01,seed=" + std::to_string(seed),
+        "heap.guard:prob=0.01,seed=" + std::to_string(seed + 1),
+        "helper.ret_err:prob=0.05,seed=" + std::to_string(seed + 2),
+    };
+    const std::string replay = "program " + std::to_string(n) + " --fault=" + specs[0] +
+                               " --fault=" + specs[1] + " --fault=" + specs[2];
+    ScopedFaultInjection faults{specs[0], specs[1], specs[2]};  // arming resets hit counters
+    InvokeResult b = rt_chaos.Invoke(*id_chaos, 0, ctx_chaos, sizeof(ctx_chaos), &trace_chaos);
+
+    uint64_t fired = 0;
+    for (const char* point : {"heap.pagein", "heap.guard", "helper.ret_err"}) {
+      fired += FaultRegistry::Instance().Find(point)->fails();
+    }
+    if (fired == 0) {
+      // Nothing injected: the armed-but-silent run may not diverge at all.
+      equivalent++;
+      ASSERT_EQ(a.cancelled, b.cancelled) << replay << "\n" << ProgramToString(p);
+      ASSERT_EQ(a.outcome, b.outcome) << replay << "\n" << ProgramToString(p);
+      ASSERT_EQ(a.fault_kind, b.fault_kind) << replay << "\n" << ProgramToString(p);
+      ASSERT_EQ(a.verdict, b.verdict) << replay << "\n" << ProgramToString(p);
+      ASSERT_EQ(trace_ref, trace_chaos) << replay << "\n" << ProgramToString(p);
+      if (rt_ref.heap(*id_ref) != nullptr && rt_chaos.heap(*id_chaos) != nullptr) {
+        ASSERT_EQ(0, std::memcmp(rt_ref.heap(*id_ref)->HostAt(0),
+                                 rt_chaos.heap(*id_chaos)->HostAt(0), kHeap))
+            << "heap diverged without any injected fault, " << replay << "\n"
+            << ProgramToString(p);
+      }
+    } else {
+      // Faults fired: the run may degrade, but only along documented paths.
+      injected++;
+      if (b.cancelled) {
+        ASSERT_TRUE(b.fault_kind == MemFaultKind::kNotPresent ||
+                    b.fault_kind == MemFaultKind::kGuardZone ||
+                    b.fault_kind == MemFaultKind::kTerminate)
+            << "unclean injected fault kind " << static_cast<int>(b.fault_kind) << ", "
+            << replay << "\n" << ProgramToString(p);
+      } else {
+        ASSERT_EQ(b.outcome, VmResult::Outcome::kOk) << replay << "\n" << ProgramToString(p);
+      }
+      InvariantReport sweep = rt_chaos.SweepInvariants(*id_chaos);
+      ASSERT_TRUE(sweep.ok()) << sweep.ToString() << "\n" << replay << "\n"
+                              << ProgramToString(p);
+    }
+  }
+  // The slice must exercise both regimes, or the probabilities have drifted.
+  EXPECT_GT(injected, 0) << "chaos corpus never injected a fault";
+  EXPECT_GT(equivalent, 0) << "chaos corpus never produced an injection-free run";
 }
 
 // The verifier must reject (not crash on) byte-level garbage programs.

@@ -18,7 +18,9 @@ namespace {
 
 TEST(Stress, CancellationRacesConcurrentInvocations) {
   constexpr int kThreads = 4;
-  MockKernel kernel{RuntimeOptions{kThreads, 1'000'000'000ULL}};
+  RuntimeOptions opts;
+  opts.num_cpus = kThreads;
+  MockKernel kernel{opts};
   auto driver = KflexMemcachedDriver::Create(kernel);
   ASSERT_TRUE(driver.ok()) << driver.status().ToString();
   for (uint64_t key = 0; key < 256; key++) {
@@ -39,9 +41,19 @@ TEST(Stress, CancellationRacesConcurrentInvocations) {
       }
     });
   }
-  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // Deterministic warm-up: wait until the workers have demonstrably served
+  // traffic rather than sleeping for a wall-clock interval that may or may
+  // not be enough on a loaded CI machine.
+  while (served.load(std::memory_order_relaxed) < 8 * (kThreads - 1)) {
+    std::this_thread::yield();
+  }
   kernel.runtime().Cancel(driver->id());
-  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // The cancellation lands when a racing GET hits a cancellation point; the
+  // workers keep invoking until then, so wait for the unload itself instead
+  // of guessing how long propagation takes.
+  while (!kernel.runtime().IsUnloaded(driver->id())) {
+    std::this_thread::yield();
+  }
   stop.store(true);
   for (auto& w : workers) {
     w.join();

@@ -1,7 +1,7 @@
 // kflex_run: load and execute a .kasm extension through the full pipeline.
 //
 //   kflex_run FILE.kasm [--dump] [--invoke N] [--ctx BYTE...]
-//             [--engine interp|jit] [--jit-stats]
+//             [--engine interp|jit] [--jit-stats] [--fault point:spec]...
 //
 //   --dump       print the verified program and its instrumented form
 //   --invoke N   run the extension N times (default 1)
@@ -9,6 +9,11 @@
 //   --engine E   execution engine: interp (default) or jit (native x86-64;
 //                falls back to the interpreter on unsupported hosts)
 //   --jit-stats  print compile statistics / fallback reason after loading
+//   --fault F    arm deterministic fault injection; F is "point:spec" (see
+//                docs/faults.md, e.g. heap.pagein:nth=3) or "list" to print
+//                the registered fault points and exit. Repeatable. Prints
+//                per-point hit/fail counters and the post-run invariant
+//                sweep after the invocations.
 //
 // Exit code: 0 on success, 1 on load/verification failure.
 #include <cstdio>
@@ -16,8 +21,10 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/ebpf/text_asm.h"
+#include "src/fault/fault.h"
 #include "src/kernel/kernel.h"
 #include "src/kernel/packet.h"
 
@@ -28,7 +35,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: kflex_run FILE.kasm [--dump] [--invoke N] [--ctx HEX]\n"
-               "                 [--engine interp|jit] [--jit-stats]\n");
+               "                 [--engine interp|jit] [--jit-stats]\n"
+               "                 [--fault point:spec | --fault list]...\n");
   return 1;
 }
 
@@ -71,10 +79,28 @@ int main(int argc, char** argv) {
   int invocations = 1;
   std::string ctx_hex;
   ExecEngine engine = ExecEngine::kInterp;
+  std::vector<std::string> fault_specs;
   for (int i = 2; i < argc; i++) {
     std::string arg = argv[i];
     if (arg == "--dump") {
       dump = true;
+    } else if (arg == "--fault" || arg.rfind("--fault=", 0) == 0) {
+      std::string f;
+      if (arg == "--fault") {
+        if (i + 1 >= argc) {
+          return Usage();
+        }
+        f = argv[++i];
+      } else {
+        f = arg.substr(std::strlen("--fault="));
+      }
+      if (f == "list") {
+        for (const std::string& name : FaultRegistry::Instance().Names()) {
+          std::printf("%s\n", name.c_str());
+        }
+        return 0;
+      }
+      fault_specs.push_back(std::move(f));
     } else if (arg == "--invoke" && i + 1 < argc) {
       invocations = std::atoi(argv[++i]);
     } else if (arg == "--ctx" && i + 1 < argc) {
@@ -121,7 +147,19 @@ int main(int argc, char** argv) {
               program->size(), HookName(program->hook),
               static_cast<unsigned long long>(program->heap_size));
 
-  MockKernel kernel;
+  RuntimeOptions runtime_options;
+  for (const std::string& spec : fault_specs) {
+    // Validate here for a friendly message; the runtime re-arms (idempotent)
+    // and would abort on a bad spec.
+    Status st = FaultRegistry::Instance().ArmSpec(spec);
+    if (!st.ok()) {
+      std::fprintf(stderr, "kflex_run: bad --fault '%s': %s\n", spec.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    runtime_options.fault_specs.push_back(spec);
+  }
+  MockKernel kernel(runtime_options);
   LoadOptions load_options;
   load_options.engine = engine;
   auto id = kernel.runtime().Load(*program, load_options);
@@ -174,6 +212,18 @@ int main(int argc, char** argv) {
         break;
       }
     }
+  }
+  if (!fault_specs.empty()) {
+    for (const FaultRegistry::PointStats& ps : FaultRegistry::Instance().Stats()) {
+      if (!ps.armed) {
+        continue;
+      }
+      std::printf("fault %s:%s hits=%llu fails=%llu\n", ps.name.c_str(), ps.policy.c_str(),
+                  static_cast<unsigned long long>(ps.hits),
+                  static_cast<unsigned long long>(ps.fails));
+    }
+    InvariantReport sweep = kernel.runtime().SweepInvariants(*id);
+    std::printf("invariant sweep: %s\n", sweep.ToString().c_str());
   }
   return 0;
 }
