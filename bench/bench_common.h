@@ -32,20 +32,24 @@ inline void PrintKvRow(const char* mix, const char* system, const ClosedLoopResu
               static_cast<unsigned long long>(r.latency.Percentile(0.99)));
 }
 
-// Pulls `--json <path>` out of argv (so it never reaches google-benchmark's
-// own flag parser) and returns the path, or "" when absent.
-inline std::string ExtractJsonFlag(int* argc, char** argv) {
-  std::string path;
+// Pulls `<flag> <path>` out of argv (so it never reaches google-benchmark's
+// own flag parser) and returns the value, or "" when absent.
+inline std::string ExtractFlagValue(int* argc, char** argv, const char* flag) {
+  std::string value;
   int w = 1;
   for (int i = 1; i < *argc; i++) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
-      path = argv[++i];
+    if (std::strcmp(argv[i], flag) == 0 && i + 1 < *argc) {
+      value = argv[++i];
       continue;
     }
     argv[w++] = argv[i];
   }
   *argc = w;
-  return path;
+  return value;
+}
+
+inline std::string ExtractJsonFlag(int* argc, char** argv) {
+  return ExtractFlagValue(argc, argv, "--json");
 }
 
 // Machine-readable benchmark results (one row per workload x engine). The

@@ -1,0 +1,43 @@
+// Minimal JSON value + recursive-descent parser. Just enough for the
+// tooling surface: kflex-top consumes `kflex_run --metrics=json` output and
+// the schema smoke test validates the contract. Numbers are stored as
+// double (the metrics schema only emits unsigned integers that fit).
+#ifndef SRC_BASE_JSON_H_
+#define SRC_BASE_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace kflex {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  // Ordered map keeps output diffable; metrics keys are unique.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_bool() const { return type == Type::kBool; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+  uint64_t AsU64() const { return number < 0 ? 0 : static_cast<uint64_t>(number); }
+};
+
+// Parses `text`; on failure returns false and sets `error` (with offset).
+bool JsonParse(const std::string& text, JsonValue* out, std::string* error);
+
+}  // namespace kflex
+
+#endif  // SRC_BASE_JSON_H_

@@ -54,7 +54,7 @@ class Assembler {
   void ModImm(Reg dst, int32_t imm) { AluImm(BPF_MOD, dst, imm); }
   void Mod(Reg dst, Reg src) { AluReg(BPF_MOD, dst, src); }
   void DivImm(Reg dst, int32_t imm) { AluImm(BPF_DIV, dst, imm); }
-  void Neg(Reg dst) { insns_.push_back(NegInsn(dst)); }
+  void Neg(Reg dst, bool is64 = true) { insns_.push_back(NegInsn(dst, is64)); }
 
   // ---- 64-bit immediates and pseudo loads ----
   void LoadImm64(Reg dst, uint64_t imm);

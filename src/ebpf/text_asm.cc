@@ -3,6 +3,7 @@
 #include <cctype>
 #include <charconv>
 #include <cstdint>
+#include <cstdio>
 #include <set>
 #include <map>
 #include <optional>
@@ -98,10 +99,15 @@ class Line {
   }
 
   // Parses rN.
-  std::optional<Reg> Register() {
+  std::optional<Reg> Register() { return RegisterPrefixed('r', 'R'); }
+
+  // Parses wN: the 32-bit view of rN, selecting ALU32/JMP32 encodings.
+  std::optional<Reg> RegisterW() { return RegisterPrefixed('w', 'W'); }
+
+  std::optional<Reg> RegisterPrefixed(char lo, char hi) {
     SkipSpace();
     size_t save = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == 'r' || text_[pos_] == 'R')) {
+    if (pos_ < text_.size() && (text_[pos_] == lo || text_[pos_] == hi)) {
       pos_++;
       auto num = Int();
       if (num.has_value() && *num >= 0 && *num <= 10) {
@@ -417,6 +423,30 @@ class Parser {
       return InvalidArgument("unknown operator after register");
     }
 
+    // wD ... forms: the 32-bit ALU encodings.
+    auto wdst = line.RegisterW();
+    if (wdst.has_value()) {
+      if (line.Eat("=")) {
+        return ParseAssignment32(line, *wdst);
+      }
+      for (const OpSpec& spec : kCompoundOps) {
+        if (line.Eat(spec.token)) {
+          auto src = line.RegisterW();
+          if (src.has_value()) {
+            asm_.AluReg(spec.op, *wdst, *src, /*is64=*/false);
+            return OkStatus();
+          }
+          auto imm = line.Int();
+          if (imm.has_value()) {
+            asm_.AluImm(spec.op, *wdst, static_cast<int32_t>(*imm), /*is64=*/false);
+            return OkStatus();
+          }
+          return InvalidArgument("expected w-register or immediate operand");
+        }
+      }
+      return InvalidArgument("unknown operator after register");
+    }
+
     // label:
     auto ident = line.Ident();
     if (ident.has_value() && line.Eat(":")) {
@@ -440,6 +470,18 @@ class Parser {
         return OkStatus();
       }
       return InvalidArgument("only 'rD = -rD' negation is supported");
+    }
+    // Atomic read-modify-write assignments: the LHS register supplies the
+    // operand and receives the memory's old value (cmpxchg compares r0).
+    // Checked before the keyword forms; "lock_" cannot collide with them.
+    if (line.Eat("lock_fetch_add")) {
+      return ParseAtomicAssign(line, dst, AtomicForm::kFetchAdd);
+    }
+    if (line.Eat("lock_xchg")) {
+      return ParseAtomicAssign(line, dst, AtomicForm::kXchg);
+    }
+    if (line.Eat("lock_cmpxchg")) {
+      return ParseAtomicAssign(line, dst, AtomicForm::kCmpXchg);
     }
     if (line.Eat("heap")) {
       auto off = line.Int();
@@ -495,10 +537,67 @@ class Parser {
     return InvalidArgument("unparseable assignment source");
   }
 
+  // wD = wS | imm | -wD (ALU32 MOV / NEG).
+  Status ParseAssignment32(Line& line, Reg dst) {
+    if (line.Eat("-w") || line.Eat("-W")) {
+      auto n = line.Int();
+      if (n.has_value() && *n == dst) {
+        asm_.Neg(dst, /*is64=*/false);
+        return OkStatus();
+      }
+      return InvalidArgument("only 'wD = -wD' negation is supported");
+    }
+    auto src = line.RegisterW();
+    if (src.has_value()) {
+      asm_.AluReg(BPF_MOV, dst, *src, /*is64=*/false);
+      return OkStatus();
+    }
+    auto imm = line.Int();
+    if (imm.has_value()) {
+      if (*imm < INT32_MIN || *imm > INT32_MAX) {
+        return InvalidArgument("32-bit move immediate out of range");
+      }
+      asm_.AluImm(BPF_MOV, dst, static_cast<int32_t>(*imm), /*is64=*/false);
+      return OkStatus();
+    }
+    return InvalidArgument("unparseable 32-bit assignment source");
+  }
+
+  enum class AtomicForm { kFetchAdd, kXchg, kCmpXchg };
+
+  Status ParseAtomicAssign(Line& line, Reg operand, AtomicForm form) {
+    MemSize size;
+    Reg base;
+    int16_t off;
+    std::string error;
+    if (!line.MemOperand(size, base, off, error)) {
+      return InvalidArgument("atomic: " +
+                             (error.empty() ? "expected memory operand" : error));
+    }
+    switch (form) {
+      case AtomicForm::kFetchAdd:
+        asm_.AtomicAdd(size, base, off, operand, /*fetch=*/true);
+        break;
+      case AtomicForm::kXchg:
+        asm_.AtomicXchg(size, base, off, operand);
+        break;
+      case AtomicForm::kCmpXchg:
+        asm_.AtomicCmpXchg(size, base, off, operand);
+        break;
+    }
+    return OkStatus();
+  }
+
   Status ParseCond(Line& line) {
+    bool is64 = true;
     auto lhs = line.Register();
     if (!lhs.has_value()) {
-      return InvalidArgument("if needs a register on the left");
+      lhs = line.RegisterW();
+      if (lhs.has_value()) {
+        is64 = false;  // JMP32: compare the low 32 bits
+      } else {
+        return InvalidArgument("if needs a register on the left");
+      }
     }
     const CondSpec* cond = nullptr;
     for (const CondSpec& spec : kConds) {
@@ -510,12 +609,12 @@ class Parser {
     if (cond == nullptr) {
       return InvalidArgument("unknown comparison operator");
     }
-    auto rhs_reg = line.Register();
+    auto rhs_reg = is64 ? line.Register() : line.RegisterW();
     std::optional<int64_t> rhs_imm;
     if (!rhs_reg.has_value()) {
       rhs_imm = line.Int();
       if (!rhs_imm.has_value()) {
-        return InvalidArgument("if needs a register or immediate on the right");
+        return InvalidArgument("if needs a matching register or immediate on the right");
       }
     }
     if (!line.Eat("goto")) {
@@ -526,9 +625,9 @@ class Parser {
       return InvalidArgument("goto needs a label");
     }
     if (rhs_reg.has_value()) {
-      asm_.JmpReg(cond->op, *lhs, *rhs_reg, LabelFor(*label));
+      asm_.JmpReg(cond->op, *lhs, *rhs_reg, LabelFor(*label), is64);
     } else {
-      asm_.JmpImm(cond->op, *lhs, static_cast<int32_t>(*rhs_imm), LabelFor(*label));
+      asm_.JmpImm(cond->op, *lhs, static_cast<int32_t>(*rhs_imm), LabelFor(*label), is64);
     }
     return OkStatus();
   }
@@ -539,11 +638,362 @@ class Parser {
   std::set<std::string> bound_;
 };
 
+// ---- Writer ----------------------------------------------------------------
+
+const char* SizeName(uint8_t size_field) {
+  switch (size_field) {
+    case BPF_B:
+      return "u8";
+    case BPF_H:
+      return "u16";
+    case BPF_W:
+      return "u32";
+    case BPF_DW:
+      return "u64";
+  }
+  return nullptr;
+}
+
+const char* AluToken(uint8_t op) {
+  switch (op) {
+    case BPF_ADD:
+      return "+=";
+    case BPF_SUB:
+      return "-=";
+    case BPF_MUL:
+      return "*=";
+    case BPF_DIV:
+      return "/=";
+    case BPF_MOD:
+      return "%=";
+    case BPF_AND:
+      return "&=";
+    case BPF_OR:
+      return "|=";
+    case BPF_XOR:
+      return "^=";
+    case BPF_LSH:
+      return "<<=";
+    case BPF_RSH:
+      return ">>=";
+    case BPF_ARSH:
+      return "s>>=";
+  }
+  return nullptr;
+}
+
+const char* CondToken(uint8_t op) {
+  switch (op) {
+    case BPF_JEQ:
+      return "==";
+    case BPF_JNE:
+      return "!=";
+    case BPF_JGT:
+      return ">";
+    case BPF_JGE:
+      return ">=";
+    case BPF_JLT:
+      return "<";
+    case BPF_JLE:
+      return "<=";
+    case BPF_JSGT:
+      return "s>";
+    case BPF_JSGE:
+      return "s>=";
+    case BPF_JSLT:
+      return "s<";
+    case BPF_JSLE:
+      return "s<=";
+    case BPF_JSET:
+      return "&";
+  }
+  return nullptr;
+}
+
+std::string RegName(uint8_t reg, bool is64) {
+  return (is64 ? "r" : "w") + std::to_string(reg);
+}
+
+// Renders "*(uN*)(rB + off)"; negative offsets become "(rB - X)", which the
+// parser's MemOperand accepts symmetrically.
+std::string MemRef(uint8_t size_field, uint8_t base, int16_t off) {
+  std::string s = "*(";
+  s += SizeName(size_field);
+  s += "*)(r";
+  s += std::to_string(base);
+  if (off < 0) {
+    s += " - " + std::to_string(-static_cast<int32_t>(off));
+  } else {
+    s += " + " + std::to_string(off);
+  }
+  s += ")";
+  return s;
+}
+
+std::string HexImm64(uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llx", static_cast<unsigned long long>(value));
+  return buf;
+}
+
+Status Inexpressible(size_t index, const Insn& insn, const std::string& why) {
+  return InvalidArgument("insn " + std::to_string(index) + " (" + InsnToString(insn) +
+                         ") not expressible in text assembly: " + why);
+}
+
 }  // namespace
 
 StatusOr<Program> ParseTextProgram(std::string_view source) {
   Parser parser(source);
   return parser.Parse();
+}
+
+StatusOr<std::string> ProgramToTextAsm(const Program& program) {
+  const std::vector<Insn>& insns = program.insns;
+  if (program.name.find('\n') != std::string::npos ||
+      program.name.find(';') != std::string::npos) {
+    return InvalidArgument("program name not expressible in text assembly");
+  }
+
+  // Mark the data slots of LD_IMM64 pairs; they are not instructions.
+  std::vector<bool> is_hi_slot(insns.size(), false);
+  for (size_t i = 0; i < insns.size(); i++) {
+    if (is_hi_slot[i]) {
+      continue;
+    }
+    if (insns[i].IsLdImm64()) {
+      if (i + 1 >= insns.size()) {
+        return InvalidArgument("truncated ld_imm64 pair at insn " + std::to_string(i));
+      }
+      is_hi_slot[i + 1] = true;
+    }
+  }
+
+  // Discover jump targets and name them L0, L1, ... in ascending target
+  // order, so rendering is deterministic (the round-trip fixpoint depends on
+  // the parsed program re-rendering byte for byte).
+  std::set<size_t> targets;
+  for (size_t i = 0; i < insns.size(); i++) {
+    if (is_hi_slot[i]) {
+      continue;
+    }
+    const Insn& insn = insns[i];
+    if (insn.IsCondJmp() || insn.IsUncondJmp()) {
+      int64_t target = static_cast<int64_t>(i) + 1 + insn.off;
+      if (target < 0 || target > static_cast<int64_t>(insns.size())) {
+        return InvalidArgument("jump target out of range at insn " + std::to_string(i));
+      }
+      if (target < static_cast<int64_t>(insns.size()) && is_hi_slot[target]) {
+        return InvalidArgument("jump into ld_imm64 pair at insn " + std::to_string(i));
+      }
+      targets.insert(static_cast<size_t>(target));
+    }
+  }
+  std::map<size_t, std::string> label_names;
+  {
+    size_t next = 0;
+    for (size_t t : targets) {
+      label_names[t] = "L" + std::to_string(next++);
+    }
+  }
+
+  std::string out;
+  out += ".name " + program.name + "\n";
+  out += ".hook " + std::string(HookName(program.hook)) + "\n";
+  out += ".mode " + std::string(program.mode == ExtensionMode::kKflex ? "kflex" : "ebpf") + "\n";
+  if (program.heap_size > 0) {
+    out += ".heap " + std::to_string(program.heap_size) + "\n";
+  }
+  out += "\n";
+
+  for (size_t i = 0; i < insns.size(); i++) {
+    if (is_hi_slot[i]) {
+      continue;
+    }
+    auto label_it = label_names.find(i);
+    if (label_it != label_names.end()) {
+      out += label_it->second + ":\n";
+    }
+    const Insn& insn = insns[i];
+    if (insn.dst > kMaxUserReg || insn.src > kMaxUserReg) {
+      if (!insn.IsLdImm64()) {  // ld_imm64 carries a pseudo tag in src.
+        return Inexpressible(i, insn, "uses a reserved register");
+      }
+    }
+    switch (insn.Class()) {
+      case BPF_ALU:
+      case BPF_ALU64: {
+        const bool is64 = insn.Class() == BPF_ALU64;
+        const uint8_t op = insn.AluOpField();
+        if (insn.off != 0) {
+          return Inexpressible(i, insn, "nonzero offset on ALU op");
+        }
+        const std::string dst = RegName(insn.dst, is64);
+        if (op == BPF_NEG) {
+          if (insn.SrcField() != BPF_K || insn.src != 0 || insn.imm != 0) {
+            return Inexpressible(i, insn, "malformed NEG encoding");
+          }
+          out += dst + " = -" + dst + "\n";
+          break;
+        }
+        const bool use_reg = insn.SrcField() == BPF_X;
+        if (use_reg && insn.imm != 0) {
+          return Inexpressible(i, insn, "register ALU op with nonzero immediate");
+        }
+        if (!use_reg && insn.src != 0) {
+          return Inexpressible(i, insn, "immediate ALU op with nonzero src register");
+        }
+        const std::string rhs =
+            use_reg ? RegName(insn.src, is64) : std::to_string(insn.imm);
+        if (op == BPF_MOV) {
+          out += dst + " = " + rhs + "\n";
+        } else {
+          const char* token = AluToken(op);
+          if (token == nullptr) {
+            return Inexpressible(i, insn, "unknown ALU op");
+          }
+          out += dst + " " + token + " " + rhs + "\n";
+        }
+        break;
+      }
+      case BPF_LD: {
+        if (!insn.IsLdImm64()) {
+          return Inexpressible(i, insn, "Kie instrumentation pseudo-instruction");
+        }
+        const Insn& hi = insns[i + 1];
+        if (insn.off != 0 || hi.opcode != 0 || hi.dst != 0 || hi.src != 0 || hi.off != 0) {
+          return Inexpressible(i, insn, "malformed ld_imm64 pair");
+        }
+        const uint64_t value = LdImm64Value(insn, hi);
+        const std::string dst = RegName(insn.dst, /*is64=*/true);
+        switch (insn.src) {
+          case kPseudoNone:
+            out += dst + " = imm64 " + HexImm64(value) + "\n";
+            break;
+          case kPseudoHeapVar:
+            if (value > static_cast<uint64_t>(INT64_MAX)) {
+              return Inexpressible(i, insn, "heap offset out of range");
+            }
+            out += dst + " = heap " + std::to_string(value) + "\n";
+            break;
+          case kPseudoMapId:
+            if (value == 0 || value > UINT32_MAX) {
+              return Inexpressible(i, insn, "map id out of range");
+            }
+            out += dst + " = map " + std::to_string(value) + "\n";
+            break;
+          default:
+            return Inexpressible(i, insn, "unknown ld_imm64 pseudo tag");
+        }
+        break;
+      }
+      case BPF_LDX: {
+        if (!insn.IsLoad() || SizeName(insn.SizeField()) == nullptr) {
+          return Inexpressible(i, insn, "unknown load encoding");
+        }
+        if (insn.imm != 0) {
+          return Inexpressible(i, insn, "load with nonzero immediate");
+        }
+        out += RegName(insn.dst, /*is64=*/true) + " = " +
+               MemRef(insn.SizeField(), insn.src, insn.off) + "\n";
+        break;
+      }
+      case BPF_ST: {
+        if (!insn.IsStore()) {
+          return Inexpressible(i, insn, "unknown store encoding");
+        }
+        if (insn.src != 0) {
+          return Inexpressible(i, insn, "immediate store with nonzero src register");
+        }
+        out += MemRef(insn.SizeField(), insn.dst, insn.off) + " = " +
+               std::to_string(insn.imm) + "\n";
+        break;
+      }
+      case BPF_STX: {
+        if (insn.IsStore()) {
+          if (insn.imm != 0) {
+            return Inexpressible(i, insn, "register store with nonzero immediate");
+          }
+          out += MemRef(insn.SizeField(), insn.dst, insn.off) + " = " +
+                 RegName(insn.src, /*is64=*/true) + "\n";
+          break;
+        }
+        if (!insn.IsAtomic()) {
+          return Inexpressible(i, insn, "unknown STX encoding");
+        }
+        const std::string mem = MemRef(insn.SizeField(), insn.dst, insn.off);
+        const std::string src = RegName(insn.src, /*is64=*/true);
+        switch (insn.imm) {
+          case BPF_ATOMIC_ADD:
+            out += "lock " + mem + " += " + src + "\n";
+            break;
+          case BPF_ATOMIC_ADD | BPF_ATOMIC_FETCH:
+            out += src + " = lock_fetch_add " + mem + "\n";
+            break;
+          case BPF_ATOMIC_XCHG:
+            out += src + " = lock_xchg " + mem + "\n";
+            break;
+          case BPF_ATOMIC_CMPXCHG:
+            out += src + " = lock_cmpxchg " + mem + "\n";
+            break;
+          default:
+            return Inexpressible(i, insn, "unknown atomic operation");
+        }
+        break;
+      }
+      case BPF_JMP:
+      case BPF_JMP32: {
+        if (insn.IsExit()) {
+          if (insn.dst != 0 || insn.src != 0 || insn.off != 0 || insn.imm != 0) {
+            return Inexpressible(i, insn, "malformed exit");
+          }
+          out += "exit\n";
+          break;
+        }
+        if (insn.IsCall()) {
+          if (insn.dst != 0 || insn.src != 0 || insn.off != 0) {
+            return Inexpressible(i, insn, "malformed call");
+          }
+          out += "call " + std::to_string(insn.imm) + "\n";
+          break;
+        }
+        if (insn.IsUncondJmp()) {
+          if (insn.dst != 0 || insn.src != 0 || insn.imm != 0) {
+            return Inexpressible(i, insn, "malformed goto");
+          }
+          out += "goto " + label_names.at(i + 1 + insn.off) + "\n";
+          break;
+        }
+        if (!insn.IsCondJmp()) {
+          return Inexpressible(i, insn, "unknown jump encoding");
+        }
+        const bool is64 = insn.Class() == BPF_JMP;
+        const char* token = CondToken(insn.AluOpField());
+        if (token == nullptr) {
+          return Inexpressible(i, insn, "unknown comparison");
+        }
+        const bool use_reg = insn.SrcField() == BPF_X;
+        if (use_reg && insn.imm != 0) {
+          return Inexpressible(i, insn, "register compare with nonzero immediate");
+        }
+        if (!use_reg && insn.src != 0) {
+          return Inexpressible(i, insn, "immediate compare with nonzero src register");
+        }
+        const std::string rhs =
+            use_reg ? RegName(insn.src, is64) : std::to_string(insn.imm);
+        out += "if " + RegName(insn.dst, is64) + " " + token + " " + rhs + " goto " +
+               label_names.at(i + 1 + insn.off) + "\n";
+        break;
+      }
+      default:
+        return Inexpressible(i, insn, "unknown instruction class");
+    }
+  }
+  auto trailing = label_names.find(insns.size());
+  if (trailing != label_names.end()) {
+    out += trailing->second + ":\n";
+  }
+  return out;
 }
 
 }  // namespace kflex

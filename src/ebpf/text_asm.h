@@ -25,13 +25,18 @@
 // Supported statements: `rD = imm|rS|heap OFF|imm64 V|map ID`, compound
 // assignments (+= -= *= /= %= &= |= ^= <<= >>= s>>=) with imm or reg,
 // `rD = -rD`, loads `rD = *(u8|u16|u32|u64*)(rS + OFF)`, stores
-// `*(SZ*)(rD + OFF) = rS|imm`, `lock *(u32|u64*)(rD + OFF) += rS`,
+// `*(SZ*)(rD + OFF) = rS|imm`, atomics `lock *(SZ*)(rD + OFF) += rS`,
+// `rS = lock_fetch_add|lock_xchg|lock_cmpxchg *(SZ*)(rD + OFF)` (rS supplies
+// the operand and receives the old value; cmpxchg compares against r0),
 // conditional jumps `if rA OP rB|imm goto LABEL` with
 // == != > >= < <= s> s>= s< s<= &, `goto LABEL`, `call ID|NAME`, `exit`,
-// labels (`name:`), comments (`;` to end of line).
+// labels (`name:`), comments (`;` to end of line). 32-bit ALU and JMP32
+// forms use `wN` registers in place of `rN`: `w2 += 5`, `w3 = w4`,
+// `w2 = -w2`, `if w1 == 7 goto out`.
 #ifndef SRC_EBPF_TEXT_ASM_H_
 #define SRC_EBPF_TEXT_ASM_H_
 
+#include <string>
 #include <string_view>
 
 #include "src/base/status.h"
@@ -41,6 +46,15 @@ namespace kflex {
 
 // Parses a .kasm source into a Program. Errors carry the offending line.
 StatusOr<Program> ParseTextProgram(std::string_view source);
+
+// Renders a Program back to parser-compatible .kasm text, synthesizing
+// labels (L0, L1, ...) at jump targets. The writer is a fixpoint partner of
+// the parser: ParseTextProgram(ProgramToTextAsm(p)) reproduces p's
+// instructions exactly, and re-rendering the parsed program reproduces the
+// text byte for byte (property-tested over the differential-fuzz corpus by
+// asm_roundtrip_test). Fails on programs containing instructions the text
+// format cannot express (Kie instrumentation pseudo-instructions).
+StatusOr<std::string> ProgramToTextAsm(const Program& program);
 
 }  // namespace kflex
 

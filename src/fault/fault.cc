@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/obs/obs.h"
+
 namespace kflex {
 
 namespace {
@@ -204,6 +206,8 @@ bool FaultPoint::ShouldFail() {
     return false;
   }
   fails_.fetch_add(1, std::memory_order_relaxed);
+  KFLEX_TRACE(ObsEvent::kFaultFired, obs_index_, hit);
+  KFLEX_OBS_COUNT(kFaultsFired);
   return true;
 }
 
@@ -236,6 +240,7 @@ void FaultPoint::ResetCounters() {
 FaultRegistry::FaultRegistry() {
   for (const char* name : kCatalog) {
     points_.push_back(std::make_unique<FaultPoint>(name));
+    points_.back()->set_obs_index(static_cast<uint32_t>(points_.size() - 1));
   }
   // The fuzzer/env knob: arm from KFLEX_FAULT on first use so any binary in
   // the tree honors it without plumbing. Errors are reported, not fatal.
@@ -258,6 +263,7 @@ FaultPoint& FaultRegistry::Point(std::string_view name) {
     }
   }
   points_.push_back(std::make_unique<FaultPoint>(std::string(name)));
+  points_.back()->set_obs_index(static_cast<uint32_t>(points_.size() - 1));
   return *points_.back();
 }
 

@@ -87,8 +87,14 @@ class FaultPoint {
   uint64_t fails() const { return fails_.load(std::memory_order_relaxed); }
   void ResetCounters();
 
+  // Stable registration index; stamped into fault.fired trace events (the
+  // obs catalog carries it as `point_index`).
+  uint32_t obs_index() const { return obs_index_; }
+  void set_obs_index(uint32_t index) { obs_index_ = index; }
+
  private:
   std::string name_;
+  uint32_t obs_index_ = 0;
   std::atomic<bool> armed_{false};
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> fails_{0};

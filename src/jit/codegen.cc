@@ -6,6 +6,7 @@
 
 #include "src/jit/trampoline.h"
 #include "src/kie/kie.h"
+#include "src/obs/obs.h"
 #include "src/runtime/maps.h"
 #include "src/verifier/analysis.h"
 
@@ -1215,12 +1216,20 @@ JitCompileResult JitCompile(const InstrumentedProgram& iprog,
   prog->heap = iprog.heap;
   Compiler compiler(iprog, options, prog.get());
   std::string err = compiler.Compile();
-  if (!err.empty()) return {nullptr, std::move(err)};
+  if (!err.empty()) {
+    KFLEX_TRACE(ObsEvent::kJitFallback, iprog.program.insns.size(), 0);
+    KFLEX_OBS_COUNT(kJitFallbacks);
+    return {nullptr, std::move(err)};
+  }
   const std::vector<uint8_t>& bytes = compiler.bytes();
   if (!prog->code.Allocate(bytes.size())) {
+    KFLEX_TRACE(ObsEvent::kJitFallback, iprog.program.insns.size(), 0);
+    KFLEX_OBS_COUNT(kJitFallbacks);
     return {nullptr, "executable mapping refused by host (mmap)"};
   }
   if (!prog->code.Seal(bytes.data(), bytes.size())) {
+    KFLEX_TRACE(ObsEvent::kJitFallback, iprog.program.insns.size(), 0);
+    KFLEX_OBS_COUNT(kJitFallbacks);
     return {nullptr, "W^X seal refused by host (mprotect)"};
   }
   prog->entry = reinterpret_cast<JitProgram::EntryFn>(
@@ -1230,6 +1239,7 @@ JitCompileResult JitCompile(const InstrumentedProgram& iprog,
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - t0)
           .count());
+  KFLEX_TRACE(ObsEvent::kJitCompile, prog->stats.code_bytes, prog->stats.compile_ns);
   return {std::move(prog), ""};
 }
 
@@ -1237,8 +1247,9 @@ JitCompileResult JitCompile(const InstrumentedProgram& iprog,
 
 JitCompileResult JitCompile(const InstrumentedProgram& iprog,
                             const JitOptions& options) {
-  (void)iprog;
   (void)options;
+  KFLEX_TRACE(ObsEvent::kJitFallback, iprog.program.insns.size(), 0);
+  KFLEX_OBS_COUNT(kJitFallbacks);
   return {nullptr, "host architecture is not x86-64"};
 }
 

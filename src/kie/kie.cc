@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "src/base/logging.h"
+#include "src/obs/obs.h"
 
 namespace kflex {
 
@@ -277,6 +278,8 @@ StatusOr<InstrumentedProgram> Instrument(const Program& program, const Analysis&
     out.stats.object_table_entries += table.size();
   }
 
+  KFLEX_TRACE(ObsEvent::kKieInstrument, out.stats.guards_emitted,
+              out.stats.guards_elided + out.stats.guards_dominated);
   return out;
 }
 

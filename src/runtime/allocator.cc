@@ -5,6 +5,7 @@
 
 #include "src/base/logging.h"
 #include "src/fault/fault.h"
+#include "src/obs/obs.h"
 
 namespace kflex {
 
@@ -49,6 +50,7 @@ bool HeapAllocator::CarvePageLocked(int cls) {
   for (uint64_t off = page_off; off + obj_size <= page_off + kHeapPageSize; off += obj_size) {
     global_[static_cast<size_t>(cls)].push_back(off);
   }
+  KFLEX_TRACE(ObsEvent::kAllocCarve, obj_size, kHeapPageSize / obj_size);
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.pages_carved++;
   return true;
@@ -64,6 +66,8 @@ uint64_t HeapAllocator::Alloc(int cpu, uint64_t size) {
   // Injected per-CPU cache failure: the whole allocation attempt fails
   // before touching any free list, mirroring a refiller that cannot keep up.
   if (KFLEX_FAULT_FIRE("alloc.percpu")) {
+    KFLEX_TRACE(ObsEvent::kAllocFail, size, 0);
+    KFLEX_OBS_COUNT(kAllocFailures);
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.failures++;
     return 0;
@@ -87,6 +91,8 @@ uint64_t HeapAllocator::Alloc(int cpu, uint64_t size) {
     std::lock_guard<std::mutex> lock(mu_);
     auto& global = global_[static_cast<size_t>(cls)];
     if (global.empty() && !CarvePageLocked(cls)) {
+      KFLEX_TRACE(ObsEvent::kAllocFail, size, 0);
+      KFLEX_OBS_COUNT(kAllocFailures);
       std::lock_guard<std::mutex> slock(stats_mu_);
       stats_.failures++;
       return 0;
@@ -94,6 +100,8 @@ uint64_t HeapAllocator::Alloc(int cpu, uint64_t size) {
     size_t take = std::min(global.size(), kCacheRefill);
     batch.assign(global.end() - static_cast<ptrdiff_t>(take), global.end());
     global.resize(global.size() - take);
+    KFLEX_TRACE(ObsEvent::kAllocRefill, ClassSize(cls), take);
+    KFLEX_OBS_COUNT(kAllocRefills);
   }
   uint64_t result = batch.back();
   batch.pop_back();

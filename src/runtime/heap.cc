@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/fault/fault.h"
+#include "src/obs/obs.h"
 
 namespace kflex {
 
@@ -50,12 +51,14 @@ uint8_t* ExtensionHeap::TranslateKernel(uint64_t va, uint64_t size, MemFaultKind
     // Within the guard zones (ContainsKernelVa already held) but outside the
     // heap proper.
     fault = MemFaultKind::kGuardZone;
+    TraceFault(fault, va);
     return nullptr;
   }
   // Injected guard fault: the access is treated as a guard-zone hit, driving
   // the C2 cancellation path for an in-bounds address.
   if (KFLEX_FAULT_FIRE("heap.guard")) {
     fault = MemFaultKind::kGuardZone;
+    TraceFault(fault, va);
     return nullptr;
   }
   uint64_t off = va - base;
@@ -63,10 +66,12 @@ uint8_t* ExtensionHeap::TranslateKernel(uint64_t va, uint64_t size, MemFaultKind
   // present, as if the demand pager could not back the access (§3.2).
   if (KFLEX_FAULT_FIRE("heap.pagein")) {
     fault = MemFaultKind::kNotPresent;
+    TraceFault(fault, va);
     return nullptr;
   }
   if (!PagesPresent(off, size)) {
     fault = MemFaultKind::kNotPresent;
+    TraceFault(fault, va);
     return nullptr;
   }
   return data_.get() + off;
@@ -92,11 +97,25 @@ void ExtensionHeap::PopulatePages(uint64_t off, uint64_t len) {
   }
   uint64_t first = off / kHeapPageSize;
   uint64_t last = (off + len - 1) / kHeapPageSize;
+  uint64_t fresh = 0;
   for (uint64_t p = first; p <= last && p < present_.size(); p++) {
     if (present_[p].exchange(1, std::memory_order_relaxed) == 0) {
       populated_pages_.fetch_add(1, std::memory_order_relaxed);
+      fresh++;
     }
   }
+  // Semantic event shared by both engines (the JIT's inline fast paths only
+  // bypass the pager on already-resident pages): golden-trace streams key
+  // off it, so it fires only on actual population.
+  if (fresh != 0) {
+    KFLEX_TRACE(ObsEvent::kHeapPageIn, first, fresh);
+    KFLEX_OBS_COUNT(kPageIns);
+  }
+}
+
+void ExtensionHeap::TraceFault(MemFaultKind kind, uint64_t va) {
+  KFLEX_TRACE(ObsEvent::kHeapGuardTrip, static_cast<uint64_t>(kind), va);
+  KFLEX_OBS_COUNT(kGuardTrips);
 }
 
 bool ExtensionHeap::PagesPresent(uint64_t off, uint64_t len) const {

@@ -98,6 +98,9 @@ class ExtensionHeap {
  private:
   explicit ExtensionHeap(const HeapSpec& spec);
 
+  // Emits the heap.guard_trip trace event + counter for a translation fault.
+  static void TraceFault(MemFaultKind kind, uint64_t va);
+
   HeapLayout layout_;
   uint64_t dynamic_base_ = 0;
   std::unique_ptr<uint8_t[]> data_;

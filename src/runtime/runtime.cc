@@ -57,6 +57,14 @@ const Runtime::Extension* Runtime::Get(ExtensionId id) const {
 }
 
 StatusOr<ExtensionId> Runtime::Load(const Program& program, const LoadOptions& options) {
+  // Observability identity is resolved up front (process-global: ExtensionIds
+  // restart at 1 per Runtime and would collide across instances), and the
+  // whole pipeline runs under its attribution scope so load-time events
+  // (verifier decisions, Kie stats, page-ins, JIT compiles) carry it.
+  uint32_t obs_id =
+      Obs::Instance().RegisterExtension(program.name.empty() ? "extension" : program.name);
+  ObsInvokeScope obs_scope(obs_id, kObsNoCpu);
+
   // Step 1 (Figure 1): kernel-interface compliance via the verifier.
   VerifyOptions vo = options.verify;
   vo.maps = maps_.Descriptors();
@@ -138,6 +146,10 @@ StatusOr<ExtensionId> Runtime::Load(const Program& program, const LoadOptions& o
     ext->running_since.push_back(std::make_unique<std::atomic<uint64_t>>(0));
   }
 
+  ext->obs_id = obs_id;
+  ext->obs_metrics = Obs::Instance().Metrics(obs_id);
+  KFLEX_TRACE(ObsEvent::kRuntimeLoad, obs_id, ext->iprog.program.insns.size());
+
   std::lock_guard<std::mutex> lock(mu_);
   extensions_.push_back(std::move(ext));
   return static_cast<ExtensionId>(extensions_.size());
@@ -174,6 +186,8 @@ int64_t Runtime::Unwind(Extension& ext, VmEnv& env, size_t fault_pc) {
       }
     }
   }
+  KFLEX_TRACE(ObsEvent::kCancelUnwound, fault_pc, released);
+  KFLEX_OBS_COUNT(kCancellations);
   // Policy (§4.3): cancellation unloads the extension everywhere, but the
   // heap is preserved for the user-space application.
   ext.unloaded.store(true, std::memory_order_release);
@@ -218,11 +232,26 @@ InvokeResult Runtime::Invoke(ExtensionId id, int cpu, uint8_t* ctx, uint32_t ctx
   env.instrumentation_mask = &ext->iprog.instrumentation_mask;
   env.helper_trace = helper_trace;
 
+  // Observability attribution: one relaxed load decides; when everything is
+  // off (the default) the hot path pays that load plus a predictable branch.
+  const uint32_t obs_flags = g_obs_flags.load(std::memory_order_relaxed);
+  ObsThreadContext obs_saved;
+  if (obs_flags != 0) {
+    obs_saved = g_obs_tls;
+    g_obs_tls = {ext->obs_id, static_cast<uint16_t>(cpu), ext->obs_metrics};
+  }
+
   auto& running = *ext->running_since[static_cast<size_t>(cpu)];
-  running.store(KtimeNowNs(), std::memory_order_release);
+  const uint64_t started = KtimeNowNs();
+  running.store(started, std::memory_order_release);
   VmResult vm = ext->jit != nullptr ? JitRun(*ext->jit, env)
                                     : VmRun(ext->iprog.program.insns, env);
   running.store(0, std::memory_order_release);
+
+  if ((obs_flags & kObsMetricsBit) != 0 && ext->obs_metrics != nullptr) {
+    ext->obs_metrics->Bump(ObsCounter::kInvocations);
+    ext->obs_metrics->RecordInvokeNs(KtimeNowNs() - started);
+  }
 
   result.insns = vm.insns_executed;
   result.instr_insns = vm.instr_insns_executed;
@@ -233,6 +262,16 @@ InvokeResult Runtime::Invoke(ExtensionId id, int cpu, uint8_t* ctx, uint32_t ctx
     std::lock_guard<std::mutex> lock(ext->stats_mu);
     ext->stats.invocations++;
   }
+
+  struct ObsRestore {
+    const uint32_t flags;
+    const ObsThreadContext& saved;
+    ~ObsRestore() {
+      if (flags != 0) {
+        g_obs_tls = saved;
+      }
+    }
+  } obs_restore{obs_flags, obs_saved};
 
   switch (vm.outcome) {
     case VmResult::Outcome::kOk:
@@ -258,6 +297,7 @@ void Runtime::Cancel(ExtensionId id) {
     return;
   }
   ext->cancel.store(true, std::memory_order_release);
+  KFLEX_TRACE(ObsEvent::kCancelRequested, ext->obs_id, 0);
   if (ext->heap != nullptr) {
     ext->heap->ArmTerminate();
   }
@@ -389,6 +429,23 @@ InvariantReport Runtime::SweepInvariants(ExtensionId id) const {
   return report;
 }
 
+ObsSnapshot Runtime::SnapshotMetrics() const {
+  std::vector<uint32_t> ids;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ids.reserve(extensions_.size());
+    for (const auto& ext : extensions_) {
+      ids.push_back(ext->obs_id);
+    }
+  }
+  return Obs::Instance().SnapshotMetrics(ids);
+}
+
+uint32_t Runtime::obs_id(ExtensionId id) const {
+  const Extension* ext = Get(id);
+  return ext == nullptr ? 0 : ext->obs_id;
+}
+
 Runtime::ExtensionStats Runtime::GetStats(ExtensionId id) const {
   const Extension* ext = Get(id);
   if (ext == nullptr) {
@@ -415,6 +472,11 @@ void Runtime::WatchdogLoop() {
       for (auto& slot : ext->running_since) {
         uint64_t since = slot->load(std::memory_order_acquire);
         if (since != 0 && now > since && now - since > options_.quantum_ns) {
+          KFLEX_TRACE(ObsEvent::kWatchdogFired, ext->obs_id,
+                      now - since - options_.quantum_ns);
+          if (ObsMetricsEnabled() && ext->obs_metrics != nullptr) {
+            ext->obs_metrics->Bump(ObsCounter::kWatchdogFires);
+          }
           Cancel(static_cast<ExtensionId>(i + 1));
           break;
         }

@@ -25,6 +25,7 @@
 #include "src/base/status.h"
 #include "src/jit/codegen.h"
 #include "src/kie/kie.h"
+#include "src/obs/obs.h"
 #include "src/runtime/allocator.h"
 #include "src/runtime/heap.h"
 #include "src/runtime/maps.h"
@@ -167,6 +168,14 @@ class Runtime {
   };
   ExtensionStats GetStats(ExtensionId id) const;
 
+  // Observability snapshot scoped to this runtime's extensions (plus the
+  // process-global slot): per-extension counters, invoke-latency histograms
+  // and trace-ring drop accounting. Serialize with ObsSnapshotToJson (the
+  // `kflex_run --metrics=json` surface).
+  ObsSnapshot SnapshotMetrics() const;
+  // The process-global obs id of a loaded extension (0 if unknown).
+  uint32_t obs_id(ExtensionId id) const;
+
   // Post-fault invariant sweep (§4.3 degradation story): after any
   // invocation — successful, fault-injected, or cancelled — checks that
   //  * the object registry holds no leaked kernel references,
@@ -192,6 +201,10 @@ class Runtime {
     std::string jit_fallback;         // why kJit fell back, if it did
     std::shared_ptr<ExtensionHeap> heap;
     std::shared_ptr<HeapAllocator> allocator;
+    // Process-global observability identity, resolved once at load so the
+    // invoke hot path installs attribution without a registry lookup.
+    uint32_t obs_id = 0;
+    ExtMetrics* obs_metrics = nullptr;
     std::atomic<bool> cancel{false};
     std::atomic<bool> unloaded{false};
     std::function<int64_t(int64_t)> cancel_cb;

@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "src/fault/fault.h"
+#include "src/obs/obs.h"
 
 namespace kflex {
 
@@ -33,10 +34,18 @@ bool SpinLockOps::Acquire(void* word, uint64_t owner_tag, const std::atomic<bool
     std::this_thread::yield();
   }
   int backoff = 1;
+  uint64_t rounds = 0;
   while (true) {
     if (TryAcquire(word, owner_tag)) {
+      // Contention is only reported once the fast path failed at least once,
+      // so an uncontended acquire stays silent in the trace.
+      if (rounds != 0) {
+        KFLEX_TRACE(ObsEvent::kLockContended, owner_tag, rounds);
+        KFLEX_OBS_COUNT(kLockContended);
+      }
       return true;
     }
+    rounds++;
     for (int i = 0; i < backoff; i++) {
       if (Word(word)->load(std::memory_order_relaxed) == kFree) {
         break;

@@ -5,6 +5,7 @@
 #include "src/ebpf/helper_ids.h"
 #include "src/fault/fault.h"
 #include "src/kie/kie.h"
+#include "src/obs/obs.h"
 #include "src/runtime/layout.h"
 
 namespace kflex {
@@ -282,10 +283,17 @@ HelperOutcome VmCallHelper(VmEnv& env, int32_t helper_id, const HelperTable::Ent
         case HelperRetType::kVoid:
           break;
       }
+      KFLEX_TRACE(ObsEvent::kHelperCall, static_cast<uint64_t>(helper_id), out.ret);
+      KFLEX_OBS_COUNT(kHelperCalls);
       return out;
     }
   }
-  return entry.fn(env, args);
+  HelperOutcome out = entry.fn(env, args);
+  // Semantic event shared by both engines: the JIT trampoline funnels every
+  // helper call through here too, so golden traces match across engines.
+  KFLEX_TRACE(ObsEvent::kHelperCall, static_cast<uint64_t>(helper_id), out.ret);
+  KFLEX_OBS_COUNT(kHelperCalls);
+  return out;
 }
 
 VmResult VmRun(std::span<const Insn> insns, VmEnv& env) {

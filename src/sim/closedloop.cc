@@ -7,6 +7,7 @@
 #include "src/base/logging.h"
 #include "src/base/rng.h"
 #include "src/base/zipf.h"
+#include "src/obs/obs.h"
 
 namespace kflex {
 
@@ -75,6 +76,11 @@ ClosedLoopResult RunClosedLoop(ServiceModel& model, const ClosedLoopConfig& conf
     uint64_t response_at = done + config.rtt_ns / 2;
 
     completed++;
+    // Coarse progress beacon (every 2^14 completions) so long closed-loop
+    // sims are observable without per-request trace volume.
+    if ((completed & 0x3fff) == 0) {
+      KFLEX_TRACE(ObsEvent::kSimProgress, completed, events.size());
+    }
     if (completed == warmup_count) {
       measure_start_ns = done;
       result.latency.Reset();

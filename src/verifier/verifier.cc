@@ -10,6 +10,7 @@
 
 #include "src/base/logging.h"
 #include "src/ebpf/helper_ids.h"
+#include "src/obs/obs.h"
 #include "src/verifier/cfg.h"
 #include "src/verifier/dataflow.h"
 #include "src/verifier/state.h"
@@ -1514,7 +1515,15 @@ uint32_t DefaultCtxSize(Hook hook) {
 
 StatusOr<Analysis> Verify(const Program& program, const VerifyOptions& options) {
   VerifierImpl impl(program, options);
-  return impl.Run();
+  StatusOr<Analysis> analysis = impl.Run();
+  if (analysis.ok()) {
+    KFLEX_TRACE(ObsEvent::kVerifierAccept,
+                analysis->required_guards + analysis->formation_guards,
+                analysis->pruned_object_entries);
+  } else {
+    KFLEX_TRACE(ObsEvent::kVerifierReject, program.insns.size(), 0);
+  }
+  return analysis;
 }
 
 }  // namespace kflex

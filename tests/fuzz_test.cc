@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/base/rng.h"
+#include "tests/program_generator.h"
 #include "src/ebpf/assembler.h"
 #include "src/fault/fault.h"
 #include "src/ebpf/helper_ids.h"
@@ -30,233 +31,8 @@
 namespace kflex {
 namespace {
 
-constexpr uint64_t kHeap = 1 << 20;
-
-// Generates a structurally valid random program. R1 stays the ctx pointer;
-// R9 holds a heap pointer in KFlex mode; loops are concretely bounded so
-// generated programs always terminate (the property under test is memory
-// safety, not termination).
-class ProgramGenerator {
- public:
-  // `resources` additionally emits lock pairs and socket acquire/release
-  // sequences (sometimes deliberately broken) for the lint-vs-verifier
-  // consistency test; those helpers are not wired into the fuzz Runtime, so
-  // the runtime soundness tests keep it off. `helper_calls` sprinkles in
-  // calls to side-effect-free core helpers so differential runs can compare
-  // helper-call traces.
-  ProgramGenerator(Rng& rng, bool kflex, bool resources = false, bool helper_calls = false)
-      : rng_(rng), kflex_(kflex), resources_(resources), helper_calls_(helper_calls) {}
-
-  Program Generate() {
-    Assembler a;
-    // Initialize the register file (except R1 = ctx, R10 = fp).
-    for (Reg r : {R0, R2, R3, R4, R5, R6, R7, R8}) {
-      a.MovImm(r, static_cast<int32_t>(rng_.NextBounded(1 << 16)));
-    }
-    if (kflex_) {
-      a.LoadHeapAddr(R9, 64 + rng_.NextBounded(kHeap / 2));
-    } else {
-      a.MovImm(R9, 1);
-    }
-    int ops = 5 + static_cast<int>(rng_.NextBounded(30));
-    for (int i = 0; i < ops; i++) {
-      EmitRandomOp(a, /*depth=*/0);
-    }
-    a.MovImm(R0, 0);
-    a.Exit();
-    auto p = a.Finish("fuzz", Hook::kXdp,
-                      kflex_ ? ExtensionMode::kKflex : ExtensionMode::kEbpf,
-                      kflex_ ? kHeap : 0);
-    EXPECT_TRUE(p.ok());
-    return std::move(p).value();
-  }
-
- private:
-  Reg Scratch() { return static_cast<Reg>(R2 + rng_.NextBounded(6)); }  // R2..R7
-
-  MemSize RandomSize() {
-    switch (rng_.NextBounded(4)) {
-      case 0:
-        return BPF_B;
-      case 1:
-        return BPF_H;
-      case 2:
-        return BPF_W;
-      default:
-        return BPF_DW;
-    }
-  }
-
-  // Spin-lock pair on a constant heap offset, occasionally nested with a
-  // second lock (and occasionally the SAME lock: a provable deadlock the
-  // verifier rejects and the lock-order lint pass must also explain).
-  void EmitLockPair(Assembler& a) {
-    int32_t off_a = static_cast<int32_t>(8u << rng_.NextBounded(2));  // 8 or 16
-    a.Stx(BPF_DW, R10, -512, R1);  // stash ctx: calls clobber R1-R5
-    a.LoadHeapAddr(R1, static_cast<uint64_t>(off_a));
-    a.Call(kHelperKflexSpinLock);
-    if (rng_.NextBounded(3) == 0) {  // nested pair, maybe colliding with A
-      int32_t off_b = static_cast<int32_t>(8u << rng_.NextBounded(2));
-      a.LoadHeapAddr(R1, static_cast<uint64_t>(off_b));
-      a.Call(kHelperKflexSpinLock);
-      a.LoadHeapAddr(R1, static_cast<uint64_t>(off_b));
-      a.Call(kHelperKflexSpinUnlock);
-    }
-    a.LoadHeapAddr(R1, static_cast<uint64_t>(off_a));
-    a.Call(kHelperKflexSpinUnlock);
-    a.Ldx(BPF_DW, R1, R10, -512);  // restore ctx
-  }
-
-  // Socket lookup with contract-conforming arguments; with probability 1/4
-  // the non-null branch "forgets" the release (verifier rejects with an
-  // unreleased-reference error; the ref-leak lint pass must agree).
-  void EmitSocketPair(Assembler& a) {
-    a.Stx(BPF_DW, R10, -512, R1);
-    a.StImm(BPF_W, R10, -16, 1);
-    a.StImm(BPF_W, R10, -12, 2);
-    a.Mov(R2, R10);
-    a.AddImm(R2, -16);
-    a.MovImm(R3, 8);
-    a.MovImm(R4, 0);
-    a.MovImm(R5, 0);
-    a.Call(kHelperSkLookupUdp);
-    auto iff = a.IfImm(BPF_JNE, R0, 0);
-    if (rng_.NextBounded(4) != 0) {
-      a.Mov(R1, R0);
-      a.Call(kHelperSkRelease);
-    }
-    a.EndIf(iff);
-    a.Ldx(BPF_DW, R1, R10, -512);
-  }
-
-  // A call to a zero-argument core helper, with the ctx pointer saved across
-  // the call (calls clobber R1-R5). The result lands in a scratch register so
-  // traced return values can influence control flow downstream.
-  void EmitHelperCall(Assembler& a) {
-    a.Stx(BPF_DW, R10, -512, R1);
-    switch (rng_.NextBounded(3)) {
-      case 0:
-        a.Call(kHelperKtimeGetNs);
-        break;
-      case 1:
-        a.Call(kHelperGetPrandomU32);
-        break;
-      default:
-        a.Call(kHelperGetSmpProcessorId);
-        break;
-    }
-    a.Ldx(BPF_DW, R1, R10, -512);
-    // The call left R2-R5 uninitialized; re-seed them so later ops verify.
-    for (Reg r : {R2, R3, R4, R5}) {
-      a.MovImm(r, static_cast<int32_t>(rng_.NextBounded(1 << 16)));
-    }
-    a.AluReg(BPF_ADD, rng_.NextBounded(2) == 0 ? R6 : R7, R0);
-  }
-
-  void EmitRandomOp(Assembler& a, int depth) {
-    if (helper_calls_ && rng_.NextBounded(6) == 0) {
-      EmitHelperCall(a);
-      return;
-    }
-    switch (rng_.NextBounded(resources_ ? 12u : (kflex_ ? 10u : 7u))) {
-      case 0: {  // ALU immediate
-        static constexpr AluOp kOps[] = {BPF_ADD, BPF_SUB, BPF_AND, BPF_OR,
-                                         BPF_XOR, BPF_MUL, BPF_LSH, BPF_RSH};
-        AluOp op = kOps[rng_.NextBounded(8)];
-        int32_t imm = static_cast<int32_t>(rng_.NextBounded(1 << 20));
-        if (op == BPF_LSH || op == BPF_RSH) {
-          imm = static_cast<int32_t>(rng_.NextBounded(64));
-        }
-        a.AluImm(op, Scratch(), imm);
-        break;
-      }
-      case 1: {  // ALU register
-        static constexpr AluOp kOps[] = {BPF_ADD, BPF_SUB, BPF_AND, BPF_OR, BPF_XOR};
-        a.AluReg(kOps[rng_.NextBounded(5)], Scratch(), Scratch());
-        break;
-      }
-      case 2:  // ctx load
-        a.Ldx(RandomSize(), Scratch(), R1,
-              static_cast<int16_t>(rng_.NextBounded(56)));
-        break;
-      case 3: {  // stack store + load
-        int16_t off = static_cast<int16_t>(-8 * (1 + rng_.NextBounded(16)));
-        a.Stx(BPF_DW, R10, off, Scratch());
-        a.Ldx(BPF_DW, Scratch(), R10, off);
-        break;
-      }
-      case 4: {  // conditional block
-        if (depth >= 2) {
-          break;
-        }
-        static constexpr JmpOp kConds[] = {BPF_JEQ, BPF_JNE, BPF_JGT, BPF_JLT,
-                                           BPF_JSGT, BPF_JSLT};
-        auto iff = a.IfImm(kConds[rng_.NextBounded(6)], Scratch(),
-                           static_cast<int32_t>(rng_.NextBounded(1024)));
-        int inner = 1 + static_cast<int>(rng_.NextBounded(3));
-        for (int i = 0; i < inner; i++) {
-          EmitRandomOp(a, depth + 1);
-        }
-        if (rng_.NextBounded(2) == 0) {
-          a.Else(iff);
-          EmitRandomOp(a, depth + 1);
-        }
-        a.EndIf(iff);
-        break;
-      }
-      case 5: {  // bounded loop on R8
-        if (depth >= 1) {
-          break;
-        }
-        a.MovImm(R8, static_cast<int32_t>(1 + rng_.NextBounded(12)));
-        auto loop = a.LoopBegin();
-        a.LoopBreakIfImm(loop, BPF_JEQ, R8, 0);
-        EmitRandomOp(a, depth + 1);
-        a.SubImm(R8, 1);
-        a.LoopEnd(loop);
-        break;
-      }
-      case 6:  // 32-bit ALU
-        a.AluImm(BPF_ADD, Scratch(), static_cast<int32_t>(rng_.Next()), /*is64=*/false);
-        break;
-      // ---- KFlex-only ops ----
-      case 7:  // heap pointer arithmetic + access via R9
-        a.AluImm(rng_.NextBounded(2) == 0 ? BPF_ADD : BPF_SUB, R9,
-                 static_cast<int32_t>(rng_.NextBounded(1 << 18)));
-        if (rng_.NextBounded(2) == 0) {
-          a.Ldx(RandomSize(), Scratch(), R9, static_cast<int16_t>(rng_.NextBounded(64)));
-        } else {
-          a.Stx(RandomSize(), R9, static_cast<int16_t>(rng_.NextBounded(64)), Scratch());
-        }
-        break;
-      case 8: {  // untrusted-scalar dereference (formation guard)
-        Reg reg = Scratch();
-        if (rng_.NextBounded(2) == 0) {
-          a.Ldx(BPF_DW, Scratch(), reg, static_cast<int16_t>(rng_.NextBounded(32)));
-        } else {
-          a.Stx(BPF_DW, reg, static_cast<int16_t>(rng_.NextBounded(32)), Scratch());
-        }
-        break;
-      }
-      case 9:  // mix a ctx value into the heap pointer
-        a.Ldx(BPF_W, R6, R1, static_cast<int16_t>(rng_.NextBounded(32)));
-        a.Add(R9, R6);
-        break;
-      // ---- resource ops (lint-consistency fuzzing only) ----
-      case 10:
-        EmitLockPair(a);
-        break;
-      case 11:
-        EmitSocketPair(a);
-        break;
-    }
-  }
-
-  Rng& rng_;
-  bool kflex_;
-  bool resources_;
-  bool helper_calls_ = false;
-};
+// The shared generator lives in program_generator.h; kHeap is its heap size.
+constexpr uint64_t kHeap = kFuzzHeap;
 
 class FuzzSoundness : public ::testing::TestWithParam<int> {};
 

@@ -1,0 +1,336 @@
+// Observability subsystem tests: the (subsystem, id) event-catalog
+// self-check (obs-selfcheck, mirroring chaos-selfcheck's fault-catalog
+// guard), trace-ring semantics (order, wraparound, drop counting),
+// disabled-by-default behavior, end-to-end counter/trace attribution
+// through a real extension run, and the JSON schema of
+// Runtime::SnapshotMetrics / ObsSnapshotToJson.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/json.h"
+#include "src/ebpf/assembler.h"
+#include "src/ebpf/helper_ids.h"
+#include "src/fault/fault.h"
+#include "src/obs/obs.h"
+#include "src/runtime/runtime.h"
+
+namespace kflex {
+namespace {
+
+// ---- obs-selfcheck: the event catalog cannot drift silently -----------------
+
+// Mirror of the catalog in src/obs/obs.cc. Adding an event without updating
+// this list (and the docs/observability.md table) fails here, exactly like
+// chaos-selfcheck guards the fault-point catalog.
+constexpr const char* kCoveredEvents[] = {
+    "runtime.load",     "runtime.unload",    "verifier.accept", "verifier.reject",
+    "kie.instrument",   "jit.compile",       "jit.fallback",    "heap.pagein",
+    "heap.guard_trip",  "alloc.refill",      "alloc.carve",     "alloc.fail",
+    "lock.contended",   "helper.call",       "cancel.requested", "cancel.unwound",
+    "cancel.watchdog",  "fault.fired",       "sim.progress",
+};
+
+TEST(ObsSelfCheck, AllCatalogEventsCovered) {
+  std::vector<std::string> covered(std::begin(kCoveredEvents), std::end(kCoveredEvents));
+  std::sort(covered.begin(), covered.end());
+  std::vector<std::string> registered;
+  for (const ObsEventDef& def : ObsEventCatalog()) {
+    registered.push_back(def.name);
+  }
+  std::sort(registered.begin(), registered.end());
+  EXPECT_EQ(covered, registered)
+      << "obs event catalog and kCoveredEvents drifted: update obs_test.cc "
+         "and docs/observability.md together with src/obs/obs.cc";
+}
+
+TEST(ObsSelfCheck, CodesAreStableAndUnique) {
+  std::set<uint16_t> codes;
+  std::set<std::string> names;
+  for (const ObsEventDef& def : ObsEventCatalog()) {
+    uint16_t code = static_cast<uint16_t>(def.event);
+    EXPECT_TRUE(codes.insert(code).second) << "duplicate event code " << code;
+    EXPECT_TRUE(names.insert(def.name).second) << "duplicate event name " << def.name;
+    // The name's prefix must be the subsystem encoded in the code itself.
+    ObsSubsystem sub = ObsEventSubsystem(def.event);
+    ASSERT_LT(static_cast<int>(sub), static_cast<int>(ObsSubsystem::kCount));
+    std::string prefix = std::string(ObsSubsystemName(sub)) + ".";
+    EXPECT_EQ(std::string(def.name).rfind(prefix, 0), 0u)
+        << def.name << " does not start with its subsystem prefix " << prefix;
+    // Round-trip through the lookup used by trace renderers.
+    EXPECT_EQ(FindObsEvent(code), &def);
+  }
+  EXPECT_EQ(FindObsEvent(0xffff), nullptr);
+}
+
+TEST(ObsSelfCheck, CounterCatalogCoversEveryCounter) {
+  std::set<int> seen;
+  for (const ObsCounterDef& def : ObsCounterCatalog()) {
+    EXPECT_TRUE(seen.insert(static_cast<int>(def.counter)).second)
+        << "counter listed twice: " << def.name;
+    ASSERT_LT(static_cast<int>(def.subsystem), static_cast<int>(ObsSubsystem::kCount));
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(ObsCounter::kCount))
+      << "every ObsCounter must appear in ObsCounterCatalog";
+}
+
+// ---- trace ring semantics ---------------------------------------------------
+
+TEST(TraceRing, SnapshotOldestFirstAndDropCounted) {
+  TraceRing ring;
+  for (uint64_t i = 0; i < 10; i++) {
+    TraceEvent e;
+    e.ts_ns = 100 + i;
+    e.a0 = i;
+    ring.Emit(e);
+  }
+  EXPECT_EQ(ring.dropped(), 0u);
+  std::vector<TraceEvent> snap = ring.Snapshot();
+  ASSERT_EQ(snap.size(), 10u);
+  for (uint64_t i = 0; i < 10; i++) {
+    EXPECT_EQ(snap[i].a0, i);
+  }
+
+  // Overflow: capacity + 5 more events overwrite the oldest five.
+  for (uint64_t i = 10; i < TraceRing::kCapacity + 5; i++) {
+    TraceEvent e;
+    e.a0 = i;
+    ring.Emit(e);
+  }
+  EXPECT_EQ(ring.dropped(), 5u);
+  EXPECT_EQ(ring.emitted(), TraceRing::kCapacity + 5);
+  snap = ring.Snapshot();
+  ASSERT_EQ(snap.size(), TraceRing::kCapacity);
+  EXPECT_EQ(snap.front().a0, 5u);  // events 0..4 were overwritten
+  EXPECT_EQ(snap.back().a0, TraceRing::kCapacity + 4);
+
+  ring.Reset();
+  EXPECT_EQ(ring.emitted(), 0u);
+  EXPECT_TRUE(ring.Snapshot().empty());
+}
+
+// ---- end-to-end through a real extension ------------------------------------
+
+// kflex_malloc + store through the returned pointer: drives helper dispatch,
+// the slab allocator (carve + refill) and demand paging in one invocation.
+Program MallocProgram() {
+  Assembler a;
+  a.MovImm(R1, 64);
+  a.Call(kHelperKflexMalloc);
+  auto iff = a.IfImm(BPF_JNE, R0, 0);
+  a.StImm(BPF_DW, R0, 0, 42);
+  a.EndIf(iff);
+  a.MovImm(R0, 0);
+  a.Exit();
+  auto p = a.Finish("obs_malloc", Hook::kTracepoint, ExtensionMode::kKflex, 1 << 20);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return std::move(p).value();
+}
+
+TEST(ObsEndToEnd, DisabledByDefaultEmitsNothing) {
+  Obs::Instance().ResetAll();
+  ASSERT_FALSE(ObsTraceEnabled());
+  ASSERT_FALSE(ObsMetricsEnabled());
+
+  Runtime runtime{RuntimeOptions(1)};
+  auto id = runtime.Load(MallocProgram());
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  uint8_t ctx[64] = {0};
+  for (int i = 0; i < 3; i++) {
+    InvokeResult r = runtime.Invoke(*id, 0, ctx, sizeof(ctx));
+    EXPECT_FALSE(r.cancelled);
+  }
+
+  EXPECT_EQ(Obs::Instance().TraceEmitted(), 0u);
+  ObsSnapshot snap = runtime.SnapshotMetrics();
+  ASSERT_EQ(snap.extensions.size(), 2u);  // global slot + the extension
+  for (const ObsExtSnapshot& ext : snap.extensions) {
+    for (size_t c = 0; c < static_cast<size_t>(ObsCounter::kCount); c++) {
+      EXPECT_EQ(ext.counters[c], 0u);
+    }
+    EXPECT_EQ(ext.invoke_ns.count(), 0u);
+  }
+}
+
+TEST(ObsEndToEnd, EnabledRunAttributesCountersAndEvents) {
+  ScopedObsEnable obs;
+
+  Runtime runtime{RuntimeOptions(1)};
+  auto id = runtime.Load(MallocProgram());
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  uint32_t obs_id = runtime.obs_id(*id);
+  ASSERT_NE(obs_id, 0u);
+
+  uint8_t ctx[64] = {0};
+  for (int i = 0; i < 5; i++) {
+    InvokeResult r = runtime.Invoke(*id, 0, ctx, sizeof(ctx));
+    ASSERT_FALSE(r.cancelled);
+  }
+
+  ObsSnapshot snap = runtime.SnapshotMetrics();
+  ASSERT_EQ(snap.extensions.size(), 2u);
+  const ObsExtSnapshot& ext = snap.extensions[1];
+  EXPECT_EQ(ext.id, obs_id);
+  EXPECT_EQ(ext.label, "obs_malloc");
+  EXPECT_EQ(ext.counters[static_cast<size_t>(ObsCounter::kInvocations)], 5u);
+  EXPECT_EQ(ext.counters[static_cast<size_t>(ObsCounter::kHelperCalls)], 5u);
+  EXPECT_GE(ext.counters[static_cast<size_t>(ObsCounter::kPageIns)], 1u);
+  EXPECT_GE(ext.counters[static_cast<size_t>(ObsCounter::kAllocRefills)], 1u);
+  EXPECT_EQ(ext.invoke_ns.count(), 5u);
+  EXPECT_GT(ext.invoke_ns.max(), 0u);
+
+  // The trace must contain the load-pipeline events and the per-invocation
+  // helper calls, all attributed to this extension's obs id.
+  std::vector<TraceEvent> trace = Obs::Instance().SnapshotTrace();
+  auto count_of = [&](ObsEvent ev) {
+    size_t n = 0;
+    for (const TraceEvent& e : trace) {
+      if (e.code == static_cast<uint16_t>(ev) && e.ext == obs_id) {
+        n++;
+      }
+    }
+    return n;
+  };
+  EXPECT_EQ(count_of(ObsEvent::kRuntimeLoad), 1u);
+  EXPECT_EQ(count_of(ObsEvent::kVerifierAccept), 1u);
+  EXPECT_EQ(count_of(ObsEvent::kKieInstrument), 1u);
+  EXPECT_EQ(count_of(ObsEvent::kHelperCall), 5u);
+  EXPECT_GE(count_of(ObsEvent::kHeapPageIn), 1u);
+  EXPECT_GE(count_of(ObsEvent::kAllocCarve), 1u);
+}
+
+TEST(ObsEndToEnd, FaultFiredEventsAreTraced) {
+  ScopedObsEnable obs;
+  ScopedFaultInjection faults{"alloc.percpu:nth=1"};
+
+  Runtime runtime{RuntimeOptions(1)};
+  auto id = runtime.Load(MallocProgram());
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  uint8_t ctx[64] = {0};
+  // First invocation's allocation fails (helper returns NULL); program
+  // handles it and exits cleanly.
+  InvokeResult r = runtime.Invoke(*id, 0, ctx, sizeof(ctx));
+  EXPECT_FALSE(r.cancelled);
+
+  bool saw_fault = false;
+  bool saw_alloc_fail = false;
+  for (const TraceEvent& e : Obs::Instance().SnapshotTrace()) {
+    if (e.code == static_cast<uint16_t>(ObsEvent::kFaultFired)) {
+      saw_fault = true;
+    }
+    if (e.code == static_cast<uint16_t>(ObsEvent::kAllocFail)) {
+      saw_alloc_fail = true;
+    }
+  }
+  EXPECT_TRUE(saw_fault);
+  EXPECT_TRUE(saw_alloc_fail);
+
+  ObsSnapshot snap = runtime.SnapshotMetrics();
+  EXPECT_EQ(snap.extensions[1].counters[static_cast<size_t>(ObsCounter::kFaultsFired)], 1u);
+  EXPECT_EQ(snap.extensions[1].counters[static_cast<size_t>(ObsCounter::kAllocFailures)], 1u);
+}
+
+TEST(ObsEndToEnd, CancellationEventsAreTraced) {
+  ScopedObsEnable obs;
+
+  Runtime runtime{RuntimeOptions(1)};
+  // Touch an unpopulated dynamic-heap page: kNotPresent fault -> cancellation.
+  Assembler a;
+  a.LoadHeapAddr(R2, 512 * 1024);
+  a.Ldx(BPF_DW, R3, R2, 0);
+  a.MovImm(R0, 0);
+  a.Exit();
+  auto p = a.Finish("obs_pagefault", Hook::kTracepoint, ExtensionMode::kKflex, 1 << 20);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  auto id = runtime.Load(*p);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  uint8_t ctx[64] = {0};
+  InvokeResult r = runtime.Invoke(*id, 0, ctx, sizeof(ctx));
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_EQ(r.fault_kind, MemFaultKind::kNotPresent);
+
+  bool saw_guard_trip = false;
+  bool saw_unwound = false;
+  for (const TraceEvent& e : Obs::Instance().SnapshotTrace()) {
+    if (e.code == static_cast<uint16_t>(ObsEvent::kHeapGuardTrip)) {
+      saw_guard_trip = true;
+      EXPECT_EQ(e.a0, static_cast<uint64_t>(MemFaultKind::kNotPresent));
+    }
+    if (e.code == static_cast<uint16_t>(ObsEvent::kCancelUnwound)) {
+      saw_unwound = true;
+    }
+  }
+  EXPECT_TRUE(saw_guard_trip);
+  EXPECT_TRUE(saw_unwound);
+
+  ObsSnapshot snap = runtime.SnapshotMetrics();
+  EXPECT_EQ(snap.extensions[1].counters[static_cast<size_t>(ObsCounter::kCancellations)], 1u);
+  EXPECT_EQ(snap.extensions[1].counters[static_cast<size_t>(ObsCounter::kGuardTrips)], 1u);
+}
+
+// ---- JSON schema ------------------------------------------------------------
+
+TEST(ObsJson, SnapshotRoundTripsThroughParserWithRequiredKeys) {
+  ScopedObsEnable obs;
+
+  Runtime runtime{RuntimeOptions(1)};
+  auto id = runtime.Load(MallocProgram());
+  ASSERT_TRUE(id.ok());
+  uint8_t ctx[64] = {0};
+  runtime.Invoke(*id, 0, ctx, sizeof(ctx));
+
+  std::string json = ObsSnapshotToJson(runtime.SnapshotMetrics());
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(JsonParse(json, &root, &error)) << error << "\n" << json;
+
+  const JsonValue* trace = root.Find("trace");
+  ASSERT_NE(trace, nullptr);
+  for (const char* key : {"emitted", "dropped", "resident"}) {
+    ASSERT_NE(trace->Find(key), nullptr) << key;
+    EXPECT_TRUE(trace->Find(key)->is_number());
+  }
+
+  const JsonValue* subsystems = root.Find("subsystems");
+  ASSERT_NE(subsystems, nullptr);
+  ASSERT_TRUE(subsystems->is_object());
+  // Every counter subsystem with at least one counter def must be present.
+  for (const char* sub : {"runtime", "heap", "alloc", "lock", "helper", "cancel", "fault"}) {
+    EXPECT_NE(subsystems->Find(sub), nullptr) << sub;
+  }
+
+  const JsonValue* extensions = root.Find("extensions");
+  ASSERT_NE(extensions, nullptr);
+  ASSERT_TRUE(extensions->is_array());
+  ASSERT_EQ(extensions->array.size(), 2u);
+  const JsonValue& ext = extensions->array[1];
+  EXPECT_EQ(ext.Find("label")->str, "obs_malloc");
+  const JsonValue* lat = ext.Find("invoke_latency_ns");
+  ASSERT_NE(lat, nullptr);
+  for (const char* key : {"count", "p50", "p99", "p999", "max"}) {
+    ASSERT_NE(lat->Find(key), nullptr) << key;
+  }
+  EXPECT_EQ(lat->Find("count")->AsU64(), 1u);
+
+  const JsonValue* counters = ext.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->Find("runtime.invocations")->AsU64(), 1u);
+  EXPECT_EQ(counters->Find("helper.calls")->AsU64(), 1u);
+}
+
+TEST(ObsJson, ParserRejectsMalformedInput) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(JsonParse("{\"a\": }", &v, &error));
+  EXPECT_FALSE(JsonParse("[1, 2", &v, &error));
+  EXPECT_FALSE(JsonParse("{\"a\": 1} trailing", &v, &error));
+  EXPECT_TRUE(JsonParse("{\"a\": [1, 2.5, true, null, \"s\"]}", &v, &error)) << error;
+  EXPECT_EQ(v.Find("a")->array.size(), 5u);
+}
+
+}  // namespace
+}  // namespace kflex

@@ -14,6 +14,11 @@
 //                the registered fault points and exit. Repeatable. Prints
 //                per-point hit/fail counters and the post-run invariant
 //                sweep after the invocations.
+//   --metrics=json  enable the metrics registry for the whole run and print
+//                the observability snapshot as JSON after the invocations
+//                (the stable schema kflex-top consumes; docs/observability.md)
+//   --trace=FILE  enable the trace rings and write the resident events as
+//                text to FILE after the run ("-" = stdout)
 //
 // Exit code: 0 on success, 1 on load/verification failure.
 #include <cstdio>
@@ -27,6 +32,7 @@
 #include "src/fault/fault.h"
 #include "src/kernel/kernel.h"
 #include "src/kernel/packet.h"
+#include "src/obs/obs.h"
 
 using namespace kflex;
 
@@ -36,7 +42,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: kflex_run FILE.kasm [--dump] [--invoke N] [--ctx HEX]\n"
                "                 [--engine interp|jit] [--jit-stats]\n"
-               "                 [--fault point:spec | --fault list]...\n");
+               "                 [--fault point:spec | --fault list]...\n"
+               "                 [--metrics=json] [--trace=FILE]\n");
   return 1;
 }
 
@@ -80,6 +87,9 @@ int main(int argc, char** argv) {
   std::string ctx_hex;
   ExecEngine engine = ExecEngine::kInterp;
   std::vector<std::string> fault_specs;
+  bool metrics_json = false;
+  bool trace_on = false;
+  std::string trace_path;
   for (int i = 2; i < argc; i++) {
     std::string arg = argv[i];
     if (arg == "--dump") {
@@ -125,9 +135,30 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--jit-stats") {
       jit_stats = true;
+    } else if (arg == "--metrics" || arg == "--metrics=json") {
+      metrics_json = true;
+    } else if (arg == "--trace" || arg.rfind("--trace=", 0) == 0) {
+      if (arg == "--trace") {
+        if (i + 1 >= argc) {
+          return Usage();
+        }
+        trace_path = argv[++i];
+      } else {
+        trace_path = arg.substr(std::strlen("--trace="));
+      }
+      trace_on = true;
     } else {
       return Usage();
     }
+  }
+
+  // Enable before the load so pipeline events (verifier decision, Kie stats,
+  // load-time page-ins, JIT compile) land in the snapshot too.
+  if (metrics_json) {
+    Obs::Instance().EnableMetrics(true);
+  }
+  if (trace_on) {
+    Obs::Instance().EnableTrace(true);
   }
 
   std::ifstream file(path);
@@ -224,6 +255,37 @@ int main(int argc, char** argv) {
     }
     InvariantReport sweep = kernel.runtime().SweepInvariants(*id);
     std::printf("invariant sweep: %s\n", sweep.ToString().c_str());
+  }
+  if (trace_on) {
+    FILE* out = stdout;
+    if (trace_path != "-") {
+      out = std::fopen(trace_path.c_str(), "w");
+      if (out == nullptr) {
+        std::fprintf(stderr, "kflex_run: cannot write %s\n", trace_path.c_str());
+        return 1;
+      }
+    }
+    for (const TraceEvent& e : Obs::Instance().SnapshotTrace()) {
+      const ObsEventDef* def = FindObsEvent(e.code);
+      std::fprintf(out, "ts=%llu cpu=%u ext=%u %s %s=%llu %s=%llu\n",
+                   static_cast<unsigned long long>(e.ts_ns), e.cpu, e.ext,
+                   def != nullptr ? def->name : "?",
+                   def != nullptr ? def->arg0 : "a0",
+                   static_cast<unsigned long long>(e.a0),
+                   def != nullptr ? def->arg1 : "a1",
+                   static_cast<unsigned long long>(e.a1));
+    }
+    std::fprintf(out, "# dropped=%llu emitted=%llu\n",
+                 static_cast<unsigned long long>(Obs::Instance().TraceDropped()),
+                 static_cast<unsigned long long>(Obs::Instance().TraceEmitted()));
+    if (out != stdout) {
+      std::fclose(out);
+    }
+  }
+  if (metrics_json) {
+    // The JSON document starts at the first line that is exactly "{";
+    // kflex-top skips any leading human-readable lines.
+    std::printf("%s", ObsSnapshotToJson(kernel.runtime().SnapshotMetrics()).c_str());
   }
   return 0;
 }

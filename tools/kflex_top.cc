@@ -1,0 +1,243 @@
+// kflex-top: text renderer for the KFlex observability snapshot.
+//
+//   kflex_run prog.kasm --metrics=json | kflex-top
+//   kflex-top metrics.json
+//   kflex-top --check-schema < metrics.json
+//
+// Reads the JSON document emitted by `kflex_run --metrics=json` (or
+// Runtime::SnapshotMetrics + ObsSnapshotToJson) from a file or stdin and
+// renders a per-extension table plus the per-subsystem counter rollup.
+// Leading non-JSON lines are skipped (kflex_run prints human-readable
+// progress before the document), so the tool can be piped directly.
+//
+// --check-schema validates the stable schema contract instead of rendering:
+// required keys are "obs", "trace" (emitted/dropped/resident), "subsystems"
+// (per-subsystem counters) and "extensions" (counters + invoke_latency_ns
+// with count/p50/p99/p999/max). Exit 0 iff the document conforms.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/base/json.h"
+
+using namespace kflex;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr, "usage: kflex-top [--check-schema] [FILE.json|-]\n");
+  return 2;
+}
+
+// Drops any human-readable preamble: the document starts at the first line
+// that is exactly "{".
+std::string ExtractJson(const std::string& input) {
+  size_t pos = 0;
+  while (pos < input.size()) {
+    size_t eol = input.find('\n', pos);
+    std::string line = input.substr(pos, eol == std::string::npos ? std::string::npos
+                                                                  : eol - pos);
+    if (line == "{") {
+      return input.substr(pos);
+    }
+    if (eol == std::string::npos) {
+      break;
+    }
+    pos = eol + 1;
+  }
+  return input;  // no preamble found: parse as-is for a useful error
+}
+
+bool RequireU64(const JsonValue* obj, const char* key, std::string* err) {
+  const JsonValue* v = obj == nullptr ? nullptr : obj->Find(key);
+  if (v == nullptr || !v->is_number()) {
+    *err = std::string("missing or non-numeric key '") + key + "'";
+    return false;
+  }
+  return true;
+}
+
+// The schema contract (docs/observability.md). Kept in sync with
+// ObsSnapshotToJson; the metrics-json-schema ctest pipes kflex_run output
+// through this check.
+bool CheckSchema(const JsonValue& root, std::string* err) {
+  if (!root.is_object()) {
+    *err = "top level is not an object";
+    return false;
+  }
+  const JsonValue* obs = root.Find("obs");
+  if (obs == nullptr || !obs->is_object() || obs->Find("trace_enabled") == nullptr ||
+      obs->Find("metrics_enabled") == nullptr) {
+    *err = "missing 'obs' {trace_enabled, metrics_enabled}";
+    return false;
+  }
+  const JsonValue* trace = root.Find("trace");
+  if (trace == nullptr || !trace->is_object()) {
+    *err = "missing 'trace' object";
+    return false;
+  }
+  for (const char* key : {"emitted", "dropped", "resident"}) {
+    if (!RequireU64(trace, key, err)) {
+      *err = "trace: " + *err;
+      return false;
+    }
+  }
+  const JsonValue* subsystems = root.Find("subsystems");
+  if (subsystems == nullptr || !subsystems->is_object() || subsystems->object.empty()) {
+    *err = "missing or empty 'subsystems' object";
+    return false;
+  }
+  for (const auto& [name, counters] : subsystems->object) {
+    if (!counters.is_object() || counters.object.empty()) {
+      *err = "subsystem '" + name + "' has no counters";
+      return false;
+    }
+    for (const auto& [cname, cval] : counters.object) {
+      if (!cval.is_number()) {
+        *err = "subsystem counter '" + name + "." + cname + "' is not numeric";
+        return false;
+      }
+    }
+  }
+  const JsonValue* extensions = root.Find("extensions");
+  if (extensions == nullptr || !extensions->is_array() || extensions->array.empty()) {
+    *err = "missing or empty 'extensions' array";
+    return false;
+  }
+  for (const JsonValue& ext : extensions->array) {
+    if (!ext.is_object() || !RequireU64(&ext, "id", err)) {
+      *err = "extension entry: " + *err;
+      return false;
+    }
+    const JsonValue* label = ext.Find("label");
+    if (label == nullptr || !label->is_string()) {
+      *err = "extension entry missing string 'label'";
+      return false;
+    }
+    const JsonValue* counters = ext.Find("counters");
+    if (counters == nullptr || !counters->is_object() || counters->object.empty()) {
+      *err = "extension entry missing 'counters'";
+      return false;
+    }
+    const JsonValue* lat = ext.Find("invoke_latency_ns");
+    if (lat == nullptr || !lat->is_object()) {
+      *err = "extension entry missing 'invoke_latency_ns'";
+      return false;
+    }
+    for (const char* key : {"count", "p50", "p99", "p999", "max"}) {
+      if (!RequireU64(lat, key, err)) {
+        *err = "invoke_latency_ns: " + *err;
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void Render(const JsonValue& root) {
+  const JsonValue* trace = root.Find("trace");
+  if (trace != nullptr) {
+    std::printf("trace: emitted=%llu dropped=%llu resident=%llu\n",
+                static_cast<unsigned long long>(trace->Find("emitted")->AsU64()),
+                static_cast<unsigned long long>(trace->Find("dropped")->AsU64()),
+                static_cast<unsigned long long>(trace->Find("resident")->AsU64()));
+  }
+  const JsonValue* subsystems = root.Find("subsystems");
+  if (subsystems != nullptr && subsystems->is_object()) {
+    std::printf("\n%-10s %s\n", "subsystem", "counters");
+    for (const auto& [name, counters] : subsystems->object) {
+      std::string line;
+      for (const auto& [cname, cval] : counters.object) {
+        if (!line.empty()) {
+          line += "  ";
+        }
+        line += cname + "=" + std::to_string(cval.AsU64());
+      }
+      std::printf("%-10s %s\n", name.c_str(), line.c_str());
+    }
+  }
+  const JsonValue* extensions = root.Find("extensions");
+  if (extensions != nullptr && extensions->is_array()) {
+    std::printf("\n%-5s %-24s %10s %10s %10s %10s %10s\n", "id", "label", "invokes",
+                "p50(ns)", "p99(ns)", "max(ns)", "cancels");
+    for (const JsonValue& ext : extensions->array) {
+      const JsonValue* lat = ext.Find("invoke_latency_ns");
+      const JsonValue* counters = ext.Find("counters");
+      uint64_t cancels = 0;
+      if (counters != nullptr) {
+        const JsonValue* c = counters->Find("cancel.cancellations");
+        if (c != nullptr) {
+          cancels = c->AsU64();
+        }
+      }
+      std::printf("%-5llu %-24s %10llu %10llu %10llu %10llu %10llu\n",
+                  static_cast<unsigned long long>(ext.Find("id")->AsU64()),
+                  ext.Find("label") != nullptr ? ext.Find("label")->str.c_str() : "?",
+                  static_cast<unsigned long long>(
+                      lat != nullptr ? lat->Find("count")->AsU64() : 0),
+                  static_cast<unsigned long long>(
+                      lat != nullptr ? lat->Find("p50")->AsU64() : 0),
+                  static_cast<unsigned long long>(
+                      lat != nullptr ? lat->Find("p99")->AsU64() : 0),
+                  static_cast<unsigned long long>(
+                      lat != nullptr ? lat->Find("max")->AsU64() : 0),
+                  static_cast<unsigned long long>(cancels));
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check_schema = false;
+  std::string path = "-";
+  for (int i = 1; i < argc; i++) {
+    std::string arg = argv[i];
+    if (arg == "--check-schema") {
+      check_schema = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      path = arg;
+    }
+  }
+
+  std::string input;
+  if (path == "-") {
+    std::stringstream buffer;
+    buffer << std::cin.rdbuf();
+    input = buffer.str();
+  } else {
+    std::ifstream file(path);
+    if (!file) {
+      std::fprintf(stderr, "kflex-top: cannot open %s\n", path.c_str());
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    input = buffer.str();
+  }
+
+  JsonValue root;
+  std::string error;
+  if (!JsonParse(ExtractJson(input), &root, &error)) {
+    std::fprintf(stderr, "kflex-top: JSON parse error: %s\n", error.c_str());
+    return 1;
+  }
+
+  if (check_schema) {
+    if (!CheckSchema(root, &error)) {
+      std::fprintf(stderr, "kflex-top: schema violation: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("schema ok\n");
+    return 0;
+  }
+
+  Render(root);
+  return 0;
+}
