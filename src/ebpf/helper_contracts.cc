@@ -84,6 +84,10 @@ constexpr HelperContract kContracts[] = {
 
 }  // namespace
 
+HelperContractSpan AllHelperContracts() {
+  return {kContracts, sizeof(kContracts) / sizeof(kContracts[0])};
+}
+
 const HelperContract* FindHelperContract(int32_t id) {
   for (const HelperContract& contract : kContracts) {
     if (contract.id == id) {

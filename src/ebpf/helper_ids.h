@@ -9,6 +9,7 @@
 #ifndef SRC_EBPF_HELPER_IDS_H_
 #define SRC_EBPF_HELPER_IDS_H_
 
+#include <cstddef>
 #include <cstdint>
 
 namespace kflex {
@@ -79,6 +80,17 @@ struct HelperContract {
 
 // Returns the contract for `id`, or nullptr if unknown.
 const HelperContract* FindHelperContract(int32_t id);
+
+// The full contract catalog (pointer to first entry + count), for clients
+// that derive tables from it (the contract-audit subsystem, drift
+// self-checks) rather than looking helpers up one id at a time.
+struct HelperContractSpan {
+  const HelperContract* data;
+  size_t size;
+  const HelperContract* begin() const { return data; }
+  const HelperContract* end() const { return data + size; }
+};
+HelperContractSpan AllHelperContracts();
 
 }  // namespace kflex
 

@@ -63,6 +63,16 @@ class HelperTable {
     auto it = const_cast<HelperTable*>(this)->LowerBound(id);
     return it != slots_.end() && it->id == id ? &it->entry : nullptr;
   }
+  // Registered helper ids in ascending order (drift self-checks compare this
+  // against the static contract catalog in src/ebpf/helper_ids.h).
+  std::vector<int32_t> Ids() const {
+    std::vector<int32_t> ids;
+    ids.reserve(slots_.size());
+    for (const Slot& slot : slots_) {
+      ids.push_back(slot.id);
+    }
+    return ids;
+  }
 
  private:
   // Flat sorted array: helper lookup is on the CALL hot path of both

@@ -1,0 +1,114 @@
+// Block-local constant propagation shared by the lint passes (lint.cc) and
+// the contract-audit pass (audit.cc).
+//
+// A tiny abstract value: statically known scalar, or statically known
+// extension-heap offset (lock identity). Starting every block (or path) from
+// "unknown" keeps derived findings provable regardless of how control
+// reached the code under analysis.
+#ifndef SRC_VERIFIER_ABSVAL_H_
+#define SRC_VERIFIER_ABSVAL_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/ebpf/insn.h"
+#include "src/ebpf/program.h"
+
+namespace kflex {
+
+struct AbsVal {
+  enum Kind { kUnknown, kConst, kHeapOff } kind = kUnknown;
+  uint64_t v = 0;
+
+  static AbsVal Const(uint64_t v) { return {kConst, v}; }
+  static AbsVal HeapOff(uint64_t v) { return {kHeapOff, v}; }
+};
+
+struct AbsRegs {
+  std::array<AbsVal, kNumRegs> r;
+};
+
+// Applies the instruction at `pc` to `regs`. For ld_imm64 the second slot is
+// read from the program; callers advance pc with Cfg::NextPc so the hi slot
+// is never stepped directly.
+inline void AbsStep(const Program& prog, size_t pc, AbsRegs& regs) {
+  const Insn& insn = prog.insns[pc];
+  if (insn.IsLdImm64()) {
+    uint64_t imm = LdImm64Value(insn, prog.insns[pc + 1]);
+    if (insn.src == kPseudoHeapVar) {
+      regs.r[insn.dst] = AbsVal::HeapOff(imm);
+    } else if (insn.src == kPseudoNone) {
+      regs.r[insn.dst] = AbsVal::Const(imm);
+    } else {
+      regs.r[insn.dst] = AbsVal();
+    }
+    return;
+  }
+  if (insn.IsAlu()) {
+    bool is64 = insn.Class() == BPF_ALU64;
+    uint8_t op = insn.AluOpField();
+    AbsVal src = insn.SrcField() == BPF_X
+                     ? regs.r[insn.src]
+                     : AbsVal::Const(is64 ? static_cast<uint64_t>(static_cast<int64_t>(insn.imm))
+                                          : static_cast<uint32_t>(insn.imm));
+    AbsVal& dst = regs.r[insn.dst];
+    switch (op) {
+      case BPF_MOV:
+        dst = src;
+        if (!is64 && dst.kind == AbsVal::kConst) {
+          dst.v = static_cast<uint32_t>(dst.v);
+        } else if (!is64) {
+          dst = AbsVal();
+        }
+        break;
+      case BPF_ADD:
+        if (dst.kind != AbsVal::kUnknown && src.kind == AbsVal::kConst) {
+          dst.v += src.v;
+        } else if (dst.kind == AbsVal::kConst && src.kind == AbsVal::kHeapOff) {
+          dst = AbsVal::HeapOff(dst.v + src.v);
+        } else {
+          dst = AbsVal();
+        }
+        if (!is64 && dst.kind == AbsVal::kConst) {
+          dst.v = static_cast<uint32_t>(dst.v);
+        }
+        break;
+      case BPF_SUB:
+        if (dst.kind != AbsVal::kUnknown && src.kind == AbsVal::kConst) {
+          dst.v -= src.v;
+          if (!is64 && dst.kind == AbsVal::kConst) {
+            dst.v = static_cast<uint32_t>(dst.v);
+          }
+        } else {
+          dst = AbsVal();
+        }
+        break;
+      default:
+        dst = AbsVal();
+        break;
+    }
+    return;
+  }
+  if (insn.IsLoad()) {
+    regs.r[insn.dst] = AbsVal();
+    return;
+  }
+  if (insn.IsAtomic()) {
+    if (insn.imm == BPF_ATOMIC_CMPXCHG) {
+      regs.r[R0] = AbsVal();
+    } else if (insn.imm == BPF_ATOMIC_XCHG || (insn.imm & BPF_ATOMIC_FETCH) != 0) {
+      regs.r[insn.src] = AbsVal();
+    }
+    return;
+  }
+  if (insn.IsCall()) {
+    for (int r = R0; r <= R5; r++) {
+      regs.r[r] = AbsVal();
+    }
+    return;
+  }
+}
+
+}  // namespace kflex
+
+#endif  // SRC_VERIFIER_ABSVAL_H_

@@ -5,8 +5,11 @@
 #include <deque>
 #include <map>
 #include <set>
+#include <tuple>
 
 #include "src/ebpf/helper_ids.h"
+#include "src/verifier/absval.h"
+#include "src/verifier/audit.h"
 #include "src/verifier/opt.h"
 
 namespace kflex {
@@ -27,101 +30,9 @@ namespace {
 
 std::string RegName(int reg) { return "r" + std::to_string(reg); }
 
-// ---- Local constant propagation ---------------------------------------------
-//
-// A tiny block-local abstract value: statically known scalar, or statically
-// known extension-heap offset (lock identity). Block entries start unknown,
-// which keeps every derived finding provable regardless of path.
-
-struct AbsVal {
-  enum Kind { kUnknown, kConst, kHeapOff } kind = kUnknown;
-  uint64_t v = 0;
-
-  static AbsVal Const(uint64_t v) { return {kConst, v}; }
-  static AbsVal HeapOff(uint64_t v) { return {kHeapOff, v}; }
-};
-
-struct AbsRegs {
-  std::array<AbsVal, kNumRegs> r;
-};
-
-void AbsStep(const Program& prog, size_t pc, AbsRegs& regs) {
-  const Insn& insn = prog.insns[pc];
-  if (insn.IsLdImm64()) {
-    uint64_t imm = LdImm64Value(insn, prog.insns[pc + 1]);
-    if (insn.src == kPseudoHeapVar) {
-      regs.r[insn.dst] = AbsVal::HeapOff(imm);
-    } else if (insn.src == kPseudoNone) {
-      regs.r[insn.dst] = AbsVal::Const(imm);
-    } else {
-      regs.r[insn.dst] = AbsVal();
-    }
-    return;
-  }
-  if (insn.IsAlu()) {
-    bool is64 = insn.Class() == BPF_ALU64;
-    uint8_t op = insn.AluOpField();
-    AbsVal src = insn.SrcField() == BPF_X
-                     ? regs.r[insn.src]
-                     : AbsVal::Const(is64 ? static_cast<uint64_t>(static_cast<int64_t>(insn.imm))
-                                          : static_cast<uint32_t>(insn.imm));
-    AbsVal& dst = regs.r[insn.dst];
-    switch (op) {
-      case BPF_MOV:
-        dst = src;
-        if (!is64 && dst.kind == AbsVal::kConst) {
-          dst.v = static_cast<uint32_t>(dst.v);
-        } else if (!is64) {
-          dst = AbsVal();
-        }
-        break;
-      case BPF_ADD:
-        if (dst.kind != AbsVal::kUnknown && src.kind == AbsVal::kConst) {
-          dst.v += src.v;
-        } else if (dst.kind == AbsVal::kConst && src.kind == AbsVal::kHeapOff) {
-          dst = AbsVal::HeapOff(dst.v + src.v);
-        } else {
-          dst = AbsVal();
-        }
-        if (!is64 && dst.kind == AbsVal::kConst) {
-          dst.v = static_cast<uint32_t>(dst.v);
-        }
-        break;
-      case BPF_SUB:
-        if (dst.kind != AbsVal::kUnknown && src.kind == AbsVal::kConst) {
-          dst.v -= src.v;
-          if (!is64 && dst.kind == AbsVal::kConst) {
-            dst.v = static_cast<uint32_t>(dst.v);
-          }
-        } else {
-          dst = AbsVal();
-        }
-        break;
-      default:
-        dst = AbsVal();
-        break;
-    }
-    return;
-  }
-  if (insn.IsLoad()) {
-    regs.r[insn.dst] = AbsVal();
-    return;
-  }
-  if (insn.IsAtomic()) {
-    if (insn.imm == BPF_ATOMIC_CMPXCHG) {
-      regs.r[R0] = AbsVal();
-    } else if (insn.imm == BPF_ATOMIC_XCHG || (insn.imm & BPF_ATOMIC_FETCH) != 0) {
-      regs.r[insn.src] = AbsVal();
-    }
-    return;
-  }
-  if (insn.IsCall()) {
-    for (int r = R0; r <= R5; r++) {
-      regs.r[r] = AbsVal();
-    }
-    return;
-  }
-}
+// Local constant propagation (AbsVal/AbsRegs/AbsStep) lives in absval.h,
+// shared with the contract-audit pass (audit.cc). Block entries start
+// unknown, which keeps every derived finding provable regardless of path.
 
 // ---- Pass: dead-code --------------------------------------------------------
 
@@ -563,6 +474,39 @@ void RedundantGuardPass(const LintContext& ctx, std::vector<Finding>& out) {
   }
 }
 
+// ---- Passes: contract-release / contract-check ------------------------------
+//
+// Front ends for the path-sensitive contract audit (audit.h). Unlike the
+// other passes these are deliberately speculative: the DFS carries no value
+// ranges, so a finding may sit on a path the verifier proved infeasible.
+// Each finding carries a path witness, and `kflex-lint --audit` distills and
+// chaos-replays it to settle CONFIRMED vs PRUNED. Socket findings reproduce
+// the ref-leak message byte for byte so RunLint's deduplication collapses
+// the overlap.
+
+void ContractAuditFindings(const LintContext& ctx, ObligationKind want,
+                           std::vector<Finding>& out) {
+  std::vector<AuditFinding> findings =
+      RunContractAudit(ctx.program, ctx.cfg, ctx.analysis);
+  for (AuditFinding& f : findings) {
+    if (f.kind != want) {
+      continue;
+    }
+    bool release = want == ObligationKind::kRelease;
+    out.push_back({f.sink_pc, release ? LintSeverity::kError : LintSeverity::kWarning,
+                   release ? "contract-release" : "contract-check",
+                   std::move(f.message)});
+  }
+}
+
+void ContractReleasePass(const LintContext& ctx, std::vector<Finding>& out) {
+  ContractAuditFindings(ctx, ObligationKind::kRelease, out);
+}
+
+void ContractCheckPass(const LintContext& ctx, std::vector<Finding>& out) {
+  ContractAuditFindings(ctx, ObligationKind::kCheck, out);
+}
+
 // ---- Registry ---------------------------------------------------------------
 
 std::vector<LintPass>& MutablePasses() {
@@ -574,6 +518,10 @@ std::vector<LintPass>& MutablePasses() {
        HelperContractPass},
       {"redundant-guard", "SFI guards dominated by an earlier guard on the same base",
        RedundantGuardPass},
+      {"contract-release", "paths where an acquired resource may miss its release helper",
+       ContractReleasePass},
+      {"contract-check", "nullable helper results dereferenced without a NULL check",
+       ContractCheckPass},
   };
   return *passes;
 }
@@ -593,6 +541,31 @@ bool RegisterLintPass(const LintPass& pass) {
 }
 
 StatusOr<std::vector<Finding>> RunLint(const Program& program, const Analysis* analysis) {
+  return RunLint(program, analysis, LintRunOptions{});
+}
+
+StatusOr<std::vector<Finding>> RunLint(const Program& program, const Analysis* analysis,
+                                       const LintRunOptions& options) {
+  std::vector<const LintPass*> selected;
+  for (const LintPass& pass : LintPasses()) {
+    if (options.passes.empty() ||
+        std::find(options.passes.begin(), options.passes.end(), pass.name) !=
+            options.passes.end()) {
+      selected.push_back(&pass);
+    }
+  }
+  for (const std::string& name : options.passes) {
+    bool known = false;
+    for (const LintPass& pass : LintPasses()) {
+      if (name == pass.name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return InvalidArgument("unknown lint pass: " + name);
+    }
+  }
   auto cfg = Cfg::Build(program);
   if (!cfg.ok()) {
     return cfg.status();
@@ -600,9 +573,21 @@ StatusOr<std::vector<Finding>> RunLint(const Program& program, const Analysis* a
   Liveness liveness = Liveness::Compute(program, *cfg, analysis);
   LintContext ctx{program, *cfg, liveness, analysis};
   std::vector<Finding> findings;
-  for (const LintPass& pass : LintPasses()) {
-    pass.run(ctx, findings);
+  for (const LintPass* pass : selected) {
+    pass->run(ctx, findings);
   }
+  // Passes ran in registration order, so keeping the first occurrence of a
+  // duplicated (pc, severity, message) attributes it to the earliest
+  // registered pass (e.g. ref-leak over contract-release).
+  std::set<std::tuple<size_t, int, std::string>> seen;
+  std::vector<Finding> unique;
+  unique.reserve(findings.size());
+  for (Finding& f : findings) {
+    if (seen.insert({f.pc, static_cast<int>(f.severity), f.message}).second) {
+      unique.push_back(std::move(f));
+    }
+  }
+  findings = std::move(unique);
   std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
     return std::tie(a.pc, a.pass, a.message) < std::tie(b.pc, b.pass, b.message);
   });

@@ -53,18 +53,32 @@ struct LintPass {
 };
 
 // All registered passes, built-ins first. Built-ins: "dead-code",
-// "lock-order", "ref-leak", "helper-contract".
+// "lock-order", "ref-leak", "helper-contract", "redundant-guard", plus the
+// speculative contract-audit passes "contract-release" and "contract-check"
+// (audit.h) whose findings are path witnesses meant to be confirmed or
+// pruned by chaos replay (`kflex-lint --audit`).
 const std::vector<LintPass>& LintPasses();
 
 // Registers an additional pass (e.g. from a tool or test). Returns false if
 // a pass with the same name already exists.
 bool RegisterLintPass(const LintPass& pass);
 
-// Builds the CFG + liveness for `program` and runs every registered pass.
+struct LintRunOptions {
+  // Names of the passes to run, in registry order; empty = every registered
+  // pass. RunLint fails on a name not present in the registry.
+  std::vector<std::string> passes;
+};
+
+// Builds the CFG + liveness for `program` and runs the selected passes.
+// Identical findings emitted by overlapping passes (same pc, severity and
+// message — e.g. ref-leak and contract-release describing the same leaked
+// reference) are deduplicated, keeping the earliest-registered pass's copy.
 // Findings are sorted by (pc, pass). Fails only if the program is too
-// malformed to build a CFG for.
+// malformed to build a CFG for, or if a selected pass does not exist.
 StatusOr<std::vector<Finding>> RunLint(const Program& program,
                                        const Analysis* analysis = nullptr);
+StatusOr<std::vector<Finding>> RunLint(const Program& program, const Analysis* analysis,
+                                       const LintRunOptions& options);
 
 }  // namespace kflex
 

@@ -693,7 +693,13 @@ Status VerifierImpl::CheckMem(VerifierState& st, const Insn& insn, size_t pc) {
     return VerificationFailed(PcMsg(pc, "memory access via uninitialized register"));
   }
   if (IsNullablePtr(base.type)) {
-    return VerificationFailed(PcMsg(pc, "possibly-NULL pointer dereference; add a null check"));
+    if (!opts_.audit_replay) {
+      return VerificationFailed(PcMsg(pc, "possibly-NULL pointer dereference; add a null check"));
+    }
+    // Contract-audit replay: assume non-NULL and keep going — a NULL at
+    // runtime faults in the guard zone and cancels the invocation, which is
+    // exactly the divergence the replay confirmer is looking for.
+    MarkNonNull(st, base_reg);
   }
 
   switch (base.type) {
@@ -1023,6 +1029,22 @@ Status VerifierImpl::CheckCall(VerifierState& st, const Insn& insn, size_t pc) {
 Status VerifierImpl::CheckExit(VerifierState& st, size_t pc) {
   if (st.regs[R0].type != RegType::kScalar) {
     return VerificationFailed(PcMsg(pc, "R0 must hold a scalar verdict at exit"));
+  }
+  if (opts_.audit_replay) {
+    // Contract-audit replay: the distilled witness is expected to exit with
+    // resources held. Record held locks in an object table at the exit pc so
+    // Runtime::SweepInvariants can observe the still-held lock word; leaked
+    // socket refs are caught by the object-registry live count without any
+    // table entry (and the handle may already be clobbered here, so the
+    // alias scan in RecordObjectTable could not place one anyway).
+    for (const LockInfo& lock : st.locks) {
+      ObjectTableEntry entry;
+      entry.kind = ResourceKind::kLock;
+      entry.destructor = kHelperKflexSpinUnlock;
+      entry.lock_off = lock.heap_off;
+      analysis_.object_tables[pc].insert(entry);
+    }
+    return OkStatus();
   }
   if (!st.refs.empty()) {
     char buf[96];

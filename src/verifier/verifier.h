@@ -42,6 +42,18 @@ struct VerifyOptions {
   size_t max_insn_visits = 4096;  // per-insn cap before widening / rejection
   size_t widen_threshold = 64;    // visits at a prune point before widening
   std::vector<MapDescriptor> maps;
+  // Audit-replay mode (contract-audit subsystem, src/verifier/audit.h): load
+  // a distilled witness program even though it violates a helper contract on
+  // purpose, so the chaos harness can confirm or prune the finding
+  // dynamically. Two relaxations, both backed by runtime defense in depth:
+  //  * exit with held resources is accepted; held locks are recorded in an
+  //    object table at the exit pc so Runtime::SweepInvariants can observe
+  //    the violation (held sockets trip the object-registry leak check),
+  //  * possibly-NULL pointer dereferences are accepted by assuming non-NULL;
+  //    a NULL at runtime surfaces as a memory fault and cancellation.
+  // Memory safety (SFI guards, bounds, ctx typing) is NOT relaxed. Never set
+  // for production loads.
+  bool audit_replay = false;
 };
 
 // Default ctx size for a hook: XDP / sk_skb carry a packet buffer,

@@ -167,6 +167,43 @@ TEST(FuzzLintConsistency, LintAgreesWithVerifierOnResourceBugs) {
   EXPECT_GT(deadlocks_explained, 0u) << "generator drifted: no deadlocking programs produced";
 }
 
+// Lint on REJECTED programs (LintContext.analysis == nullptr): a slice of
+// the fuzz corpus is replayed through RunLint with no verifier analysis at
+// all — the rejected-program path every pass must survive. Asserts no
+// crash, deterministic finding order across repeated runs, and that the
+// dedupe step leaves no two findings with identical (pc, severity, message)
+// (the contract-release pass deliberately mirrors ref-leak's message text,
+// so without dedupe this would fire constantly).
+TEST(FuzzLintConsistency, RejectedProgramsLintWithoutAnalysis) {
+  Rng rng(0xD1CE);
+  size_t rejected = 0;
+  for (int n = 0; n < 200; n++) {
+    ProgramGenerator gen(rng, /*kflex=*/true, /*resources=*/true);
+    Program p = gen.Generate();
+    auto analysis = Verify(p, VerifyOptions{});
+    if (analysis.ok()) {
+      continue;
+    }
+    rejected++;
+    auto lint = RunLint(p, nullptr);
+    ASSERT_TRUE(lint.ok()) << lint.status().ToString() << "\n" << ProgramToString(p);
+    auto again = RunLint(p, nullptr);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(*lint, *again) << "unstable finding order:\n" << ProgramToString(p);
+    for (size_t i = 0; i + 1 < lint->size(); i++) {
+      const Finding& a = (*lint)[i];
+      for (size_t j = i + 1; j < lint->size(); j++) {
+        const Finding& b = (*lint)[j];
+        EXPECT_FALSE(a.pc == b.pc && a.severity == b.severity && a.message == b.message)
+            << "duplicate finding survived dedupe ([" << a.pass << "] vs [" << b.pass
+            << "] at pc " << a.pc << "): " << a.message << "\n"
+            << ProgramToString(p);
+      }
+    }
+  }
+  EXPECT_GT(rejected, 20u) << "generator drifted: corpus slice has too few rejected programs";
+}
+
 // ---- Differential fuzzing: optimizer + JIT equivalence ----------------------
 //
 // Every generated program is loaded three ways — reference interpreter

@@ -1,26 +1,38 @@
 // kflex-lint: static analysis front end for text-asm extensions.
 //
-//   kflex-lint [--json] [--Werror] [--opt-report] FILE.kasm...
+//   kflex-lint [--json] [--passes=a,b] [--fail-on=warning|error] [--Werror]
+//              [--opt-report] [--audit] FILE.kasm...
 //
-// Assembles each file, runs the verifier, then every registered lint pass
+// Assembles each file, runs the verifier, then the registered lint passes
 // (src/verifier/lint.h), and reports findings together with the verifier's
 // Table-3-style elision and object-table statistics.
 //
 //   --json        machine-readable report on stdout (one object for all files)
-//   --Werror      treat warnings as errors for the exit code
+//   --passes=a,b  run only the named lint passes (default: all registered)
+//   --fail-on=SEV exit 2 when a finding of severity SEV (or stronger) fired;
+//                 SEV is "warning" or "error" (the default)
+//   --Werror      alias for --fail-on=warning
 //   --opt-report  run the bytecode optimizer (src/verifier/opt.h) and report
 //                 per-program Table-3-style statistics: guards elided by range
 //                 analysis vs. by dominance, folded branches, dead stores. With
 //                 --json the report also embeds the instrumented disassembly.
+//   --audit       hybrid contract audit (docs/lint.md): distill every
+//                 contract-* finding into a standalone witness program and
+//                 replay it through the chaos harness on all three engines
+//                 with fault points armed. Each finding is classified
+//                 CONFIRMED (a replay provably leaked a resource or the
+//                 engines diverged) or PRUNED (every replay clean). A
+//                 CONFIRMED finding is an error-level event.
 //
 // Exit code: 0 clean, 1 usage/file/parse error, 2 error-severity findings
-// (or verification failure).
+// (or verification failure, or a CONFIRMED audit finding).
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "src/audit/replay.h"
 #include "src/ebpf/text_asm.h"
 #include "src/kie/kie.h"
 #include "src/runtime/layout.h"
@@ -33,8 +45,22 @@ using namespace kflex;
 namespace {
 
 int Usage() {
-  std::fprintf(stderr, "usage: kflex-lint [--json] [--Werror] [--opt-report] FILE.kasm...\n");
+  std::fprintf(stderr,
+               "usage: kflex-lint [--json] [--passes=a,b] [--fail-on=warning|error] "
+               "[--Werror] [--opt-report] [--audit] FILE.kasm...\n");
   return 1;
+}
+
+const char* ResourceName(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kNone:
+      return "none";
+    case ResourceKind::kSocket:
+      return "socket";
+    case ResourceKind::kLock:
+      return "lock";
+  }
+  return "?";
 }
 
 struct FileReport {
@@ -52,6 +78,9 @@ struct FileReport {
   OptStats opt;
   KieStats kie;
   std::string instrumented_disasm;
+  // --audit payload: fully classified contract findings.
+  bool has_audit = false;
+  std::vector<AuditOutcome> audit;
 };
 
 std::string JsonEscape(const std::string& s) {
@@ -122,7 +151,59 @@ void PrintJson(const std::vector<FileReport>& reports, size_t errors, size_t war
                   j == 0 ? "" : ",", f.pc, LintSeverityName(f.severity), f.pass.c_str(),
                   JsonEscape(f.message).c_str());
     }
-    std::printf("%s]\n", r.findings.empty() ? "" : "\n      ");
+    std::printf("%s]%s\n", r.findings.empty() ? "" : "\n      ", r.has_audit ? "," : "");
+    if (r.has_audit) {
+      // The witness schema documented in docs/lint.md: the static finding,
+      // its path witness (pc + branch decision per step), the distilled
+      // witness program, the armed fault schedule, the per-engine replay
+      // behavior, and the two-valued classification.
+      std::printf("      \"audit\": [");
+      for (size_t j = 0; j < r.audit.size(); j++) {
+        const AuditOutcome& o = r.audit[j];
+        const AuditFinding& f = o.finding;
+        std::printf("%s\n        {\"kind\": \"%s\", \"helper\": \"%s\", \"resource\": \"%s\", "
+                    "\"source_pc\": %zu, \"sink_pc\": %zu, \"message\": \"%s\",\n",
+                    j == 0 ? "" : ",", ObligationKindName(f.kind), JsonEscape(f.helper_name).c_str(),
+                    ResourceName(f.resource), f.source_pc, f.sink_pc,
+                    JsonEscape(f.message).c_str());
+        std::printf("         \"path\": [");
+        for (size_t k = 0; k < f.path.size(); k++) {
+          std::printf("%s{\"pc\": %zu, \"branch\": %d}", k == 0 ? "" : ", ", f.path[k].pc,
+                      f.path[k].branch);
+        }
+        std::printf("],\n         \"witness_asm\": \"%s\",\n",
+                    JsonEscape(o.witness_asm).c_str());
+        std::printf("         \"fault_specs\": [");
+        for (size_t k = 0; k < o.replay.fault_specs.size(); k++) {
+          std::printf("%s\"%s\"", k == 0 ? "" : ", ",
+                      JsonEscape(o.replay.fault_specs[k]).c_str());
+        }
+        std::printf("],\n         \"engines\": [");
+        for (size_t k = 0; k < o.replay.engines.size(); k++) {
+          const EngineReplay& er = o.replay.engines[k];
+          auto run_json = [](const EngineRun& run) {
+            char buf[256];
+            std::snprintf(buf, sizeof(buf),
+                          "{\"invoked\": %s, \"cancelled\": %s, \"verdict\": %lld, "
+                          "\"outcome\": \"%s\", \"sweep_ok\": %s, \"fault_fails\": %llu}",
+                          run.invoked ? "true" : "false", run.cancelled ? "true" : "false",
+                          static_cast<long long>(run.verdict), VmOutcomeName(run.outcome),
+                          run.sweep_ok ? "true" : "false",
+                          static_cast<unsigned long long>(run.fault_fails));
+            return std::string(buf);
+          };
+          std::printf("%s\n          {\"engine\": \"%s\", \"load_ok\": %s, "
+                      "\"load_error\": \"%s\", \"baseline\": %s, \"armed\": %s}",
+                      k == 0 ? "" : ",", er.engine.c_str(), er.load_ok ? "true" : "false",
+                      JsonEscape(er.load_error).c_str(), run_json(er.baseline).c_str(),
+                      run_json(er.armed).c_str());
+        }
+        std::printf("%s],\n", o.replay.engines.empty() ? "" : "\n         ");
+        std::printf("         \"verdict\": \"%s\", \"reason\": \"%s\"}",
+                    AuditVerdictName(o.replay.verdict), JsonEscape(o.replay.reason).c_str());
+      }
+      std::printf("%s]\n", r.audit.empty() ? "" : "\n      ");
+    }
     std::printf("    }%s\n", i + 1 < reports.size() ? "," : "");
   }
   std::printf("  ],\n  \"errors\": %zu,\n  \"warnings\": %zu\n}\n", errors, warnings);
@@ -145,6 +226,11 @@ void PrintText(const FileReport& r) {
   } else {
     std::printf("%s: verification FAILED: %s\n", r.file.c_str(), r.error.c_str());
   }
+  if (r.verified && !r.error.empty()) {
+    // Lint/audit-stage failure on a program that verified fine (e.g. an
+    // unknown --passes name).
+    std::printf("%s: error: %s\n", r.file.c_str(), r.error.c_str());
+  }
   if (r.has_opt) {
     // Table-3-style accounting after the optimizer: how each guard site was
     // discharged, plus the SCCP/DSE pass counters.
@@ -160,6 +246,37 @@ void PrintText(const FileReport& r) {
     std::printf("%s:%zu: %s: [%s] %s\n", r.file.c_str(), f.pc, LintSeverityName(f.severity),
                 f.pass.c_str(), f.message.c_str());
   }
+  for (const AuditOutcome& o : r.audit) {
+    const AuditFinding& f = o.finding;
+    std::printf("%s:%zu: audit: [contract-%s] %s\n", r.file.c_str(), f.sink_pc,
+                ObligationKindName(f.kind), f.message.c_str());
+    std::printf("  witness: %zu steps from insn %zu", f.path.size(), f.source_pc);
+    size_t branches = 0;
+    for (const WitnessStep& s : f.path) {
+      if (s.branch >= 0) branches++;
+    }
+    std::printf(", %zu branch decisions; faults:", branches);
+    for (const std::string& spec : o.replay.fault_specs) {
+      std::printf(" %s", spec.c_str());
+    }
+    std::printf("\n");
+    for (const EngineReplay& er : o.replay.engines) {
+      if (!er.load_ok) {
+        std::printf("  %-10s load failed: %s\n", er.engine.c_str(), er.load_error.c_str());
+        continue;
+      }
+      std::printf("  %-10s baseline: %s verdict=%lld sweep=%s | armed: %s verdict=%lld "
+                  "sweep=%s fails=%llu\n",
+                  er.engine.c_str(), er.baseline.cancelled ? "cancelled" : "ok",
+                  static_cast<long long>(er.baseline.verdict), er.baseline.sweep_ok ? "ok" : "TRIP",
+                  er.armed.cancelled ? "cancelled" : "ok",
+                  static_cast<long long>(er.armed.verdict), er.armed.sweep_ok ? "ok" : "TRIP",
+                  static_cast<unsigned long long>(er.armed.fault_fails));
+    }
+    std::printf("  => %s: %s\n",
+                o.replay.verdict == AuditVerdict::kConfirmed ? "CONFIRMED" : "PRUNED",
+                o.replay.reason.c_str());
+  }
 }
 
 }  // namespace
@@ -168,6 +285,8 @@ int main(int argc, char** argv) {
   bool json = false;
   bool werror = false;
   bool opt_report = false;
+  bool audit = false;
+  LintRunOptions lint_options;
   std::vector<std::string> files;
   for (int i = 1; i < argc; i++) {
     std::string arg = argv[i];
@@ -177,6 +296,34 @@ int main(int argc, char** argv) {
       werror = true;
     } else if (arg == "--opt-report") {
       opt_report = true;
+    } else if (arg == "--audit") {
+      audit = true;
+    } else if (arg.rfind("--fail-on=", 0) == 0) {
+      std::string sev = arg.substr(10);
+      if (sev == "warning") {
+        werror = true;
+      } else if (sev == "error") {
+        werror = false;
+      } else {
+        return Usage();
+      }
+    } else if (arg.rfind("--passes=", 0) == 0) {
+      std::string list = arg.substr(9);
+      size_t start = 0;
+      while (start <= list.size()) {
+        size_t comma = list.find(',', start);
+        std::string name = list.substr(start, comma - start);
+        if (!name.empty()) {
+          lint_options.passes.push_back(name);
+        }
+        if (comma == std::string::npos) {
+          break;
+        }
+        start = comma + 1;
+      }
+      if (lint_options.passes.empty()) {
+        return Usage();
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       return Usage();
     } else {
@@ -248,12 +395,28 @@ int main(int argc, char** argv) {
       }
     }
 
-    auto findings = RunLint(*program, analysis_ptr);
+    auto findings = RunLint(*program, analysis_ptr, lint_options);
     if (findings.ok()) {
       report.findings = *findings;
     } else {
       report.error += (report.error.empty() ? "" : "; ") + findings.status().ToString();
       io_error = true;
+    }
+
+    if (audit) {
+      auto outcomes = AuditAndReplay(*program, analysis_ptr);
+      if (outcomes.ok()) {
+        report.has_audit = true;
+        report.audit = std::move(outcomes).value();
+        for (const AuditOutcome& o : report.audit) {
+          if (o.replay.verdict == AuditVerdict::kConfirmed) {
+            errors++;
+          }
+        }
+      } else {
+        report.error += (report.error.empty() ? "" : "; ") + outcomes.status().ToString();
+        io_error = true;
+      }
     }
     for (const Finding& f : report.findings) {
       if (f.severity == LintSeverity::kError) {
