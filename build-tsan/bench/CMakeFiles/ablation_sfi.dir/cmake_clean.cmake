@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sfi.dir/ablation_sfi.cc.o"
+  "CMakeFiles/ablation_sfi.dir/ablation_sfi.cc.o.d"
+  "ablation_sfi"
+  "ablation_sfi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

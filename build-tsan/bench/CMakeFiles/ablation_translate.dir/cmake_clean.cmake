@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_translate.dir/ablation_translate.cc.o"
+  "CMakeFiles/ablation_translate.dir/ablation_translate.cc.o.d"
+  "ablation_translate"
+  "ablation_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_memcached_8t.dir/fig2_memcached_8t.cc.o"
+  "CMakeFiles/fig2_memcached_8t.dir/fig2_memcached_8t.cc.o.d"
+  "fig2_memcached_8t"
+  "fig2_memcached_8t.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_memcached_8t.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_memcached_16t.dir/fig3_memcached_16t.cc.o"
+  "CMakeFiles/fig3_memcached_16t.dir/fig3_memcached_16t.cc.o.d"
+  "fig3_memcached_16t"
+  "fig3_memcached_16t.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_memcached_16t.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

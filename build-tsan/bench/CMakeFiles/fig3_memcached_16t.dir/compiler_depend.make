@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_memcached_16t.
+# This may be replaced when dependencies are built.

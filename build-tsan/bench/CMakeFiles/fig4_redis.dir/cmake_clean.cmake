@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_redis.dir/fig4_redis.cc.o"
+  "CMakeFiles/fig4_redis.dir/fig4_redis.cc.o.d"
+  "fig4_redis"
+  "fig4_redis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_redis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_datastructures.dir/fig5_datastructures.cc.o"
+  "CMakeFiles/fig5_datastructures.dir/fig5_datastructures.cc.o.d"
+  "fig5_datastructures"
+  "fig5_datastructures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_datastructures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_zadd.dir/fig6_zadd.cc.o"
+  "CMakeFiles/fig6_zadd.dir/fig6_zadd.cc.o.d"
+  "fig6_zadd"
+  "fig6_zadd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_zadd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_codesign.dir/fig7_codesign.cc.o"
+  "CMakeFiles/fig7_codesign.dir/fig7_codesign.cc.o.d"
+  "fig7_codesign"
+  "fig7_codesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_vm.dir/microbench_vm.cc.o"
+  "CMakeFiles/microbench_vm.dir/microbench_vm.cc.o.d"
+  "microbench_vm"
+  "microbench_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

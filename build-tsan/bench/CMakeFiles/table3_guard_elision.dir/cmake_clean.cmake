@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_guard_elision.dir/table3_guard_elision.cc.o"
+  "CMakeFiles/table3_guard_elision.dir/table3_guard_elision.cc.o.d"
+  "table3_guard_elision"
+  "table3_guard_elision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_guard_elision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

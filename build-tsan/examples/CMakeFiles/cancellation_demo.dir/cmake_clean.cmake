@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cancellation_demo.dir/cancellation_demo.cpp.o"
+  "CMakeFiles/cancellation_demo.dir/cancellation_demo.cpp.o.d"
+  "cancellation_demo"
+  "cancellation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cancellation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

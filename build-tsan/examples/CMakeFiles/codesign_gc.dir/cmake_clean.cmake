@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_gc.dir/codesign_gc.cpp.o"
+  "CMakeFiles/codesign_gc.dir/codesign_gc.cpp.o.d"
+  "codesign_gc"
+  "codesign_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_offload.dir/kv_offload.cpp.o"
+  "CMakeFiles/kv_offload.dir/kv_offload.cpp.o.d"
+  "kv_offload"
+  "kv_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

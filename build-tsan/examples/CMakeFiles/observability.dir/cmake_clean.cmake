@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/observability.dir/observability.cpp.o"
+  "CMakeFiles/observability.dir/observability.cpp.o.d"
+  "observability"
+  "observability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/observability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

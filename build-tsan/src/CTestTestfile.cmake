@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("obs")
+subdirs("fault")
+subdirs("ebpf")
+subdirs("verifier")
+subdirs("kie")
+subdirs("jit")
+subdirs("runtime")
+subdirs("kernel")
+subdirs("audit")
+subdirs("uapi")
+subdirs("dsl")
+subdirs("apps")
+subdirs("sim")

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/codesign.cc" "src/apps/CMakeFiles/kflex_apps.dir/codesign.cc.o" "gcc" "src/apps/CMakeFiles/kflex_apps.dir/codesign.cc.o.d"
+  "/root/repo/src/apps/ds/harness.cc" "src/apps/CMakeFiles/kflex_apps.dir/ds/harness.cc.o" "gcc" "src/apps/CMakeFiles/kflex_apps.dir/ds/harness.cc.o.d"
+  "/root/repo/src/apps/ds/hashmap.cc" "src/apps/CMakeFiles/kflex_apps.dir/ds/hashmap.cc.o" "gcc" "src/apps/CMakeFiles/kflex_apps.dir/ds/hashmap.cc.o.d"
+  "/root/repo/src/apps/ds/linked_list.cc" "src/apps/CMakeFiles/kflex_apps.dir/ds/linked_list.cc.o" "gcc" "src/apps/CMakeFiles/kflex_apps.dir/ds/linked_list.cc.o.d"
+  "/root/repo/src/apps/ds/rbtree.cc" "src/apps/CMakeFiles/kflex_apps.dir/ds/rbtree.cc.o" "gcc" "src/apps/CMakeFiles/kflex_apps.dir/ds/rbtree.cc.o.d"
+  "/root/repo/src/apps/ds/sketch.cc" "src/apps/CMakeFiles/kflex_apps.dir/ds/sketch.cc.o" "gcc" "src/apps/CMakeFiles/kflex_apps.dir/ds/sketch.cc.o.d"
+  "/root/repo/src/apps/ds/skiplist.cc" "src/apps/CMakeFiles/kflex_apps.dir/ds/skiplist.cc.o" "gcc" "src/apps/CMakeFiles/kflex_apps.dir/ds/skiplist.cc.o.d"
+  "/root/repo/src/apps/memcached.cc" "src/apps/CMakeFiles/kflex_apps.dir/memcached.cc.o" "gcc" "src/apps/CMakeFiles/kflex_apps.dir/memcached.cc.o.d"
+  "/root/repo/src/apps/redis.cc" "src/apps/CMakeFiles/kflex_apps.dir/redis.cc.o" "gcc" "src/apps/CMakeFiles/kflex_apps.dir/redis.cc.o.d"
+  "/root/repo/src/apps/tracer.cc" "src/apps/CMakeFiles/kflex_apps.dir/tracer.cc.o" "gcc" "src/apps/CMakeFiles/kflex_apps.dir/tracer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/dsl/CMakeFiles/kflex_dsl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/kernel/CMakeFiles/kflex_kernel.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/runtime/CMakeFiles/kflex_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/uapi/CMakeFiles/kflex_uapi.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/kie/CMakeFiles/kflex_kie.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/verifier/CMakeFiles/kflex_verifier.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ebpf/CMakeFiles/kflex_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fault/CMakeFiles/kflex_fault.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/obs/CMakeFiles/kflex_obs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/base/CMakeFiles/kflex_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

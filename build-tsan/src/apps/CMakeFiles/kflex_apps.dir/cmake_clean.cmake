@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kflex_apps.dir/codesign.cc.o"
+  "CMakeFiles/kflex_apps.dir/codesign.cc.o.d"
+  "CMakeFiles/kflex_apps.dir/ds/harness.cc.o"
+  "CMakeFiles/kflex_apps.dir/ds/harness.cc.o.d"
+  "CMakeFiles/kflex_apps.dir/ds/hashmap.cc.o"
+  "CMakeFiles/kflex_apps.dir/ds/hashmap.cc.o.d"
+  "CMakeFiles/kflex_apps.dir/ds/linked_list.cc.o"
+  "CMakeFiles/kflex_apps.dir/ds/linked_list.cc.o.d"
+  "CMakeFiles/kflex_apps.dir/ds/rbtree.cc.o"
+  "CMakeFiles/kflex_apps.dir/ds/rbtree.cc.o.d"
+  "CMakeFiles/kflex_apps.dir/ds/sketch.cc.o"
+  "CMakeFiles/kflex_apps.dir/ds/sketch.cc.o.d"
+  "CMakeFiles/kflex_apps.dir/ds/skiplist.cc.o"
+  "CMakeFiles/kflex_apps.dir/ds/skiplist.cc.o.d"
+  "CMakeFiles/kflex_apps.dir/memcached.cc.o"
+  "CMakeFiles/kflex_apps.dir/memcached.cc.o.d"
+  "CMakeFiles/kflex_apps.dir/redis.cc.o"
+  "CMakeFiles/kflex_apps.dir/redis.cc.o.d"
+  "CMakeFiles/kflex_apps.dir/tracer.cc.o"
+  "CMakeFiles/kflex_apps.dir/tracer.cc.o.d"
+  "libkflex_apps.a"
+  "libkflex_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kflex_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

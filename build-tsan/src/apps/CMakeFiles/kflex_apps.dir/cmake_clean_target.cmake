@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkflex_apps.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kflex_audit.dir/replay.cc.o"
+  "CMakeFiles/kflex_audit.dir/replay.cc.o.d"
+  "libkflex_audit.a"
+  "libkflex_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kflex_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/histogram.cc" "src/base/CMakeFiles/kflex_base.dir/histogram.cc.o" "gcc" "src/base/CMakeFiles/kflex_base.dir/histogram.cc.o.d"
+  "/root/repo/src/base/json.cc" "src/base/CMakeFiles/kflex_base.dir/json.cc.o" "gcc" "src/base/CMakeFiles/kflex_base.dir/json.cc.o.d"
+  "/root/repo/src/base/logging.cc" "src/base/CMakeFiles/kflex_base.dir/logging.cc.o" "gcc" "src/base/CMakeFiles/kflex_base.dir/logging.cc.o.d"
+  "/root/repo/src/base/zipf.cc" "src/base/CMakeFiles/kflex_base.dir/zipf.cc.o" "gcc" "src/base/CMakeFiles/kflex_base.dir/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

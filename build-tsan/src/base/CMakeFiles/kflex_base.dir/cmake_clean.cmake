@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kflex_base.dir/histogram.cc.o"
+  "CMakeFiles/kflex_base.dir/histogram.cc.o.d"
+  "CMakeFiles/kflex_base.dir/json.cc.o"
+  "CMakeFiles/kflex_base.dir/json.cc.o.d"
+  "CMakeFiles/kflex_base.dir/logging.cc.o"
+  "CMakeFiles/kflex_base.dir/logging.cc.o.d"
+  "CMakeFiles/kflex_base.dir/zipf.cc.o"
+  "CMakeFiles/kflex_base.dir/zipf.cc.o.d"
+  "libkflex_base.a"
+  "libkflex_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kflex_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kflex_dsl.dir/emit.cc.o"
+  "CMakeFiles/kflex_dsl.dir/emit.cc.o.d"
+  "libkflex_dsl.a"
+  "libkflex_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kflex_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

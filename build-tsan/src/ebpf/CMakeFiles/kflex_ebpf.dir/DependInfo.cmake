@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ebpf/assembler.cc" "src/ebpf/CMakeFiles/kflex_ebpf.dir/assembler.cc.o" "gcc" "src/ebpf/CMakeFiles/kflex_ebpf.dir/assembler.cc.o.d"
+  "/root/repo/src/ebpf/disasm.cc" "src/ebpf/CMakeFiles/kflex_ebpf.dir/disasm.cc.o" "gcc" "src/ebpf/CMakeFiles/kflex_ebpf.dir/disasm.cc.o.d"
+  "/root/repo/src/ebpf/helper_contracts.cc" "src/ebpf/CMakeFiles/kflex_ebpf.dir/helper_contracts.cc.o" "gcc" "src/ebpf/CMakeFiles/kflex_ebpf.dir/helper_contracts.cc.o.d"
+  "/root/repo/src/ebpf/text_asm.cc" "src/ebpf/CMakeFiles/kflex_ebpf.dir/text_asm.cc.o" "gcc" "src/ebpf/CMakeFiles/kflex_ebpf.dir/text_asm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/base/CMakeFiles/kflex_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

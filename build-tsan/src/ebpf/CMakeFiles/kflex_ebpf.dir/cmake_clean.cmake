@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kflex_ebpf.dir/assembler.cc.o"
+  "CMakeFiles/kflex_ebpf.dir/assembler.cc.o.d"
+  "CMakeFiles/kflex_ebpf.dir/disasm.cc.o"
+  "CMakeFiles/kflex_ebpf.dir/disasm.cc.o.d"
+  "CMakeFiles/kflex_ebpf.dir/helper_contracts.cc.o"
+  "CMakeFiles/kflex_ebpf.dir/helper_contracts.cc.o.d"
+  "CMakeFiles/kflex_ebpf.dir/text_asm.cc.o"
+  "CMakeFiles/kflex_ebpf.dir/text_asm.cc.o.d"
+  "libkflex_ebpf.a"
+  "libkflex_ebpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kflex_ebpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

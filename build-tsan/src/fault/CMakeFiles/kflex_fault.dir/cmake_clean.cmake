@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kflex_fault.dir/fault.cc.o"
+  "CMakeFiles/kflex_fault.dir/fault.cc.o.d"
+  "libkflex_fault.a"
+  "libkflex_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kflex_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

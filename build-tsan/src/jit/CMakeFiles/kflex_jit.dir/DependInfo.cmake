@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jit/code_cache.cc" "src/jit/CMakeFiles/kflex_jit.dir/code_cache.cc.o" "gcc" "src/jit/CMakeFiles/kflex_jit.dir/code_cache.cc.o.d"
+  "/root/repo/src/jit/codegen.cc" "src/jit/CMakeFiles/kflex_jit.dir/codegen.cc.o" "gcc" "src/jit/CMakeFiles/kflex_jit.dir/codegen.cc.o.d"
+  "/root/repo/src/jit/trampoline.cc" "src/jit/CMakeFiles/kflex_jit.dir/trampoline.cc.o" "gcc" "src/jit/CMakeFiles/kflex_jit.dir/trampoline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kflex_jit.dir/code_cache.cc.o"
+  "CMakeFiles/kflex_jit.dir/code_cache.cc.o.d"
+  "CMakeFiles/kflex_jit.dir/codegen.cc.o"
+  "CMakeFiles/kflex_jit.dir/codegen.cc.o.d"
+  "CMakeFiles/kflex_jit.dir/trampoline.cc.o"
+  "CMakeFiles/kflex_jit.dir/trampoline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kflex_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kflex_kernel.dir/kernel.cc.o"
+  "CMakeFiles/kflex_kernel.dir/kernel.cc.o.d"
+  "CMakeFiles/kflex_kernel.dir/packet.cc.o"
+  "CMakeFiles/kflex_kernel.dir/packet.cc.o.d"
+  "CMakeFiles/kflex_kernel.dir/socket.cc.o"
+  "CMakeFiles/kflex_kernel.dir/socket.cc.o.d"
+  "libkflex_kernel.a"
+  "libkflex_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kflex_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kflex_kie.dir/kie.cc.o"
+  "CMakeFiles/kflex_kie.dir/kie.cc.o.d"
+  "libkflex_kie.a"
+  "libkflex_kie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kflex_kie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

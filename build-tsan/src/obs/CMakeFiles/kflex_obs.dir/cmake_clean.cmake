@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kflex_obs.dir/obs.cc.o"
+  "CMakeFiles/kflex_obs.dir/obs.cc.o.d"
+  "libkflex_obs.a"
+  "libkflex_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kflex_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/allocator.cc" "src/runtime/CMakeFiles/kflex_runtime.dir/allocator.cc.o" "gcc" "src/runtime/CMakeFiles/kflex_runtime.dir/allocator.cc.o.d"
+  "/root/repo/src/runtime/heap.cc" "src/runtime/CMakeFiles/kflex_runtime.dir/heap.cc.o" "gcc" "src/runtime/CMakeFiles/kflex_runtime.dir/heap.cc.o.d"
+  "/root/repo/src/runtime/helpers.cc" "src/runtime/CMakeFiles/kflex_runtime.dir/helpers.cc.o" "gcc" "src/runtime/CMakeFiles/kflex_runtime.dir/helpers.cc.o.d"
+  "/root/repo/src/runtime/maps.cc" "src/runtime/CMakeFiles/kflex_runtime.dir/maps.cc.o" "gcc" "src/runtime/CMakeFiles/kflex_runtime.dir/maps.cc.o.d"
+  "/root/repo/src/runtime/object_registry.cc" "src/runtime/CMakeFiles/kflex_runtime.dir/object_registry.cc.o" "gcc" "src/runtime/CMakeFiles/kflex_runtime.dir/object_registry.cc.o.d"
+  "/root/repo/src/runtime/runtime.cc" "src/runtime/CMakeFiles/kflex_runtime.dir/runtime.cc.o" "gcc" "src/runtime/CMakeFiles/kflex_runtime.dir/runtime.cc.o.d"
+  "/root/repo/src/runtime/spinlock.cc" "src/runtime/CMakeFiles/kflex_runtime.dir/spinlock.cc.o" "gcc" "src/runtime/CMakeFiles/kflex_runtime.dir/spinlock.cc.o.d"
+  "/root/repo/src/runtime/vm.cc" "src/runtime/CMakeFiles/kflex_runtime.dir/vm.cc.o" "gcc" "src/runtime/CMakeFiles/kflex_runtime.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/kie/CMakeFiles/kflex_kie.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/verifier/CMakeFiles/kflex_verifier.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ebpf/CMakeFiles/kflex_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fault/CMakeFiles/kflex_fault.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/obs/CMakeFiles/kflex_obs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/base/CMakeFiles/kflex_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

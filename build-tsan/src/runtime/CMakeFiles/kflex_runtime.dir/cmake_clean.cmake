@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kflex_runtime.dir/allocator.cc.o"
+  "CMakeFiles/kflex_runtime.dir/allocator.cc.o.d"
+  "CMakeFiles/kflex_runtime.dir/heap.cc.o"
+  "CMakeFiles/kflex_runtime.dir/heap.cc.o.d"
+  "CMakeFiles/kflex_runtime.dir/helpers.cc.o"
+  "CMakeFiles/kflex_runtime.dir/helpers.cc.o.d"
+  "CMakeFiles/kflex_runtime.dir/maps.cc.o"
+  "CMakeFiles/kflex_runtime.dir/maps.cc.o.d"
+  "CMakeFiles/kflex_runtime.dir/object_registry.cc.o"
+  "CMakeFiles/kflex_runtime.dir/object_registry.cc.o.d"
+  "CMakeFiles/kflex_runtime.dir/runtime.cc.o"
+  "CMakeFiles/kflex_runtime.dir/runtime.cc.o.d"
+  "CMakeFiles/kflex_runtime.dir/spinlock.cc.o"
+  "CMakeFiles/kflex_runtime.dir/spinlock.cc.o.d"
+  "CMakeFiles/kflex_runtime.dir/vm.cc.o"
+  "CMakeFiles/kflex_runtime.dir/vm.cc.o.d"
+  "libkflex_runtime.a"
+  "libkflex_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kflex_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

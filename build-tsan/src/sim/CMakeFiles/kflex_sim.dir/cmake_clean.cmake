@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kflex_sim.dir/closedloop.cc.o"
+  "CMakeFiles/kflex_sim.dir/closedloop.cc.o.d"
+  "CMakeFiles/kflex_sim.dir/kv_models.cc.o"
+  "CMakeFiles/kflex_sim.dir/kv_models.cc.o.d"
+  "libkflex_sim.a"
+  "libkflex_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kflex_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kflex_uapi.dir/user_heap.cc.o"
+  "CMakeFiles/kflex_uapi.dir/user_heap.cc.o.d"
+  "libkflex_uapi.a"
+  "libkflex_uapi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kflex_uapi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

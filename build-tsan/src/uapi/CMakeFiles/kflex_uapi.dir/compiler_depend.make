@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for kflex_uapi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verifier/audit.cc" "src/verifier/CMakeFiles/kflex_verifier.dir/audit.cc.o" "gcc" "src/verifier/CMakeFiles/kflex_verifier.dir/audit.cc.o.d"
+  "/root/repo/src/verifier/cfg.cc" "src/verifier/CMakeFiles/kflex_verifier.dir/cfg.cc.o" "gcc" "src/verifier/CMakeFiles/kflex_verifier.dir/cfg.cc.o.d"
+  "/root/repo/src/verifier/concurrency.cc" "src/verifier/CMakeFiles/kflex_verifier.dir/concurrency.cc.o" "gcc" "src/verifier/CMakeFiles/kflex_verifier.dir/concurrency.cc.o.d"
+  "/root/repo/src/verifier/dataflow.cc" "src/verifier/CMakeFiles/kflex_verifier.dir/dataflow.cc.o" "gcc" "src/verifier/CMakeFiles/kflex_verifier.dir/dataflow.cc.o.d"
+  "/root/repo/src/verifier/lint.cc" "src/verifier/CMakeFiles/kflex_verifier.dir/lint.cc.o" "gcc" "src/verifier/CMakeFiles/kflex_verifier.dir/lint.cc.o.d"
+  "/root/repo/src/verifier/opt.cc" "src/verifier/CMakeFiles/kflex_verifier.dir/opt.cc.o" "gcc" "src/verifier/CMakeFiles/kflex_verifier.dir/opt.cc.o.d"
+  "/root/repo/src/verifier/state.cc" "src/verifier/CMakeFiles/kflex_verifier.dir/state.cc.o" "gcc" "src/verifier/CMakeFiles/kflex_verifier.dir/state.cc.o.d"
+  "/root/repo/src/verifier/tnum.cc" "src/verifier/CMakeFiles/kflex_verifier.dir/tnum.cc.o" "gcc" "src/verifier/CMakeFiles/kflex_verifier.dir/tnum.cc.o.d"
+  "/root/repo/src/verifier/verifier.cc" "src/verifier/CMakeFiles/kflex_verifier.dir/verifier.cc.o" "gcc" "src/verifier/CMakeFiles/kflex_verifier.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/ebpf/CMakeFiles/kflex_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/obs/CMakeFiles/kflex_obs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/base/CMakeFiles/kflex_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kflex_verifier.dir/audit.cc.o"
+  "CMakeFiles/kflex_verifier.dir/audit.cc.o.d"
+  "CMakeFiles/kflex_verifier.dir/cfg.cc.o"
+  "CMakeFiles/kflex_verifier.dir/cfg.cc.o.d"
+  "CMakeFiles/kflex_verifier.dir/concurrency.cc.o"
+  "CMakeFiles/kflex_verifier.dir/concurrency.cc.o.d"
+  "CMakeFiles/kflex_verifier.dir/dataflow.cc.o"
+  "CMakeFiles/kflex_verifier.dir/dataflow.cc.o.d"
+  "CMakeFiles/kflex_verifier.dir/lint.cc.o"
+  "CMakeFiles/kflex_verifier.dir/lint.cc.o.d"
+  "CMakeFiles/kflex_verifier.dir/opt.cc.o"
+  "CMakeFiles/kflex_verifier.dir/opt.cc.o.d"
+  "CMakeFiles/kflex_verifier.dir/state.cc.o"
+  "CMakeFiles/kflex_verifier.dir/state.cc.o.d"
+  "CMakeFiles/kflex_verifier.dir/tnum.cc.o"
+  "CMakeFiles/kflex_verifier.dir/tnum.cc.o.d"
+  "CMakeFiles/kflex_verifier.dir/verifier.cc.o"
+  "CMakeFiles/kflex_verifier.dir/verifier.cc.o.d"
+  "libkflex_verifier.a"
+  "libkflex_verifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kflex_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

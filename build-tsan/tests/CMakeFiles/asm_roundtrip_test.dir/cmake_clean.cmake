@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asm_roundtrip_test.dir/asm_roundtrip_test.cc.o"
+  "CMakeFiles/asm_roundtrip_test.dir/asm_roundtrip_test.cc.o.d"
+  "asm_roundtrip_test"
+  "asm_roundtrip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asm_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfg_test.dir/cfg_test.cc.o"
+  "CMakeFiles/cfg_test.dir/cfg_test.cc.o.d"
+  "cfg_test"
+  "cfg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

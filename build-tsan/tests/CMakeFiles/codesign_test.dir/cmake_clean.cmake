@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_test.dir/codesign_test.cc.o"
+  "CMakeFiles/codesign_test.dir/codesign_test.cc.o.d"
+  "codesign_test"
+  "codesign_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

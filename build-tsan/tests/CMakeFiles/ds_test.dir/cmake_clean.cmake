@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_test.dir/ds_test.cc.o"
+  "CMakeFiles/ds_test.dir/ds_test.cc.o.d"
+  "ds_test"
+  "ds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

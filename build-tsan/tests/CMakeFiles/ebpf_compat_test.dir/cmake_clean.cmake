@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebpf_compat_test.dir/ebpf_compat_test.cc.o"
+  "CMakeFiles/ebpf_compat_test.dir/ebpf_compat_test.cc.o.d"
+  "ebpf_compat_test"
+  "ebpf_compat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebpf_compat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_trace_test.dir/golden_trace_test.cc.o"
+  "CMakeFiles/golden_trace_test.dir/golden_trace_test.cc.o.d"
+  "golden_trace_test"
+  "golden_trace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

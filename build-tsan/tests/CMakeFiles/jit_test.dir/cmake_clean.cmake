@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jit_test.dir/jit_test.cc.o"
+  "CMakeFiles/jit_test.dir/jit_test.cc.o.d"
+  "jit_test"
+  "jit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kie_test.dir/kie_test.cc.o"
+  "CMakeFiles/kie_test.dir/kie_test.cc.o.d"
+  "kie_test"
+  "kie_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memcached_test.dir/memcached_test.cc.o"
+  "CMakeFiles/memcached_test.dir/memcached_test.cc.o.d"
+  "memcached_test"
+  "memcached_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memcached_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redis_test.dir/redis_test.cc.o"
+  "CMakeFiles/redis_test.dir/redis_test.cc.o.d"
+  "redis_test"
+  "redis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

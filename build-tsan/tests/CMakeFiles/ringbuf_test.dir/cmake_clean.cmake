@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringbuf_test.dir/ringbuf_test.cc.o"
+  "CMakeFiles/ringbuf_test.dir/ringbuf_test.cc.o.d"
+  "ringbuf_test"
+  "ringbuf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringbuf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

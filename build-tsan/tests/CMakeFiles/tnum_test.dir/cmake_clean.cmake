@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnum_test.dir/tnum_test.cc.o"
+  "CMakeFiles/tnum_test.dir/tnum_test.cc.o.d"
+  "tnum_test"
+  "tnum_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracer_test.dir/tracer_test.cc.o"
+  "CMakeFiles/tracer_test.dir/tracer_test.cc.o.d"
+  "tracer_test"
+  "tracer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uapi_test.dir/uapi_test.cc.o"
+  "CMakeFiles/uapi_test.dir/uapi_test.cc.o.d"
+  "uapi_test"
+  "uapi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uapi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verifier2_test.dir/verifier2_test.cc.o"
+  "CMakeFiles/verifier2_test.dir/verifier2_test.cc.o.d"
+  "verifier2_test"
+  "verifier2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verifier2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

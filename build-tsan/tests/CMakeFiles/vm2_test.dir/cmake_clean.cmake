@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm2_test.dir/vm2_test.cc.o"
+  "CMakeFiles/vm2_test.dir/vm2_test.cc.o.d"
+  "vm2_test"
+  "vm2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/kflex_lint.cc" "tools/CMakeFiles/kflex_lint.dir/kflex_lint.cc.o" "gcc" "tools/CMakeFiles/kflex_lint.dir/kflex_lint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/audit/CMakeFiles/kflex_audit.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/verifier/CMakeFiles/kflex_verifier.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/kie/CMakeFiles/kflex_kie.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ebpf/CMakeFiles/kflex_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/kernel/CMakeFiles/kflex_kernel.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/runtime/CMakeFiles/kflex_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fault/CMakeFiles/kflex_fault.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/obs/CMakeFiles/kflex_obs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/base/CMakeFiles/kflex_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

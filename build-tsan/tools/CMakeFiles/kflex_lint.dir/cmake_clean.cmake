@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kflex_lint.dir/kflex_lint.cc.o"
+  "CMakeFiles/kflex_lint.dir/kflex_lint.cc.o.d"
+  "kflex-lint"
+  "kflex-lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kflex_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kflex_run.dir/kflex_run.cc.o"
+  "CMakeFiles/kflex_run.dir/kflex_run.cc.o.d"
+  "kflex_run"
+  "kflex_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kflex_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

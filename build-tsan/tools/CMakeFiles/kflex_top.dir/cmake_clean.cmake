@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kflex_top.dir/kflex_top.cc.o"
+  "CMakeFiles/kflex_top.dir/kflex_top.cc.o.d"
+  "kflex-top"
+  "kflex-top.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kflex_top.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

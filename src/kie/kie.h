@@ -32,6 +32,7 @@
 #include "src/ebpf/program.h"
 #include "src/runtime/layout.h"
 #include "src/verifier/analysis.h"
+#include "src/verifier/concurrency.h"
 #include "src/verifier/opt.h"
 
 namespace kflex {
@@ -122,6 +123,10 @@ struct InstrumentedProgram {
   std::vector<uint8_t> region_hints;
   KieStats stats;
   HeapLayout heap;
+  // Shard-safety certificate (concurrency.h), filled in by Runtime::Load
+  // from the verified program: the load-time gate the sharded dispatcher
+  // (ROADMAP item 1) consults before running invocations concurrently.
+  ConcurrencyReport concurrency;
 };
 
 // Instruments `program` using the verifier's `analysis`. `heap` must describe

@@ -55,6 +55,8 @@ const std::vector<ObsEventDef>& ObsEventCatalog() {
       {ObsEvent::kAllocCarve, "alloc.carve", "size_class", "objects_per_page"},
       {ObsEvent::kAllocFail, "alloc.fail", "bytes", "unused"},
       {ObsEvent::kLockContended, "lock.contended", "owner_tag", "rounds"},
+      {ObsEvent::kLockOrderEdge, "lock.order_edge", "outer_off", "inner_off"},
+      {ObsEvent::kLockCycle, "lock.cycle", "edges", "programs"},
       {ObsEvent::kHelperCall, "helper.call", "helper_id", "ret"},
       {ObsEvent::kCancelRequested, "cancel.requested", "obs_ext_id", "unused"},
       {ObsEvent::kCancelUnwound, "cancel.unwound", "fault_pc", "released"},

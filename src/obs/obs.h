@@ -87,6 +87,8 @@ enum class ObsEvent : uint16_t {
   kAllocFail = (5 << 8) | 3,        // a0 = requested bytes, a1 = 0
   // spin locks.
   kLockContended = (6 << 8) | 1,    // a0 = acquirer owner tag, a1 = spin rounds
+  kLockOrderEdge = (6 << 8) | 2,    // a0 = outer lock heap off, a1 = inner lock heap off
+  kLockCycle = (6 << 8) | 3,        // a0 = cycle edge count, a1 = distinct programs
   // helpers (emitted in VmCallHelper, shared by both engines).
   kHelperCall = (7 << 8) | 1,       // a0 = helper id, a1 = return value
   // cancellation / watchdog.

@@ -129,6 +129,16 @@ StatusOr<ExtensionId> Runtime::Load(const Program& program, const LoadOptions& o
   }
   ext->iprog = std::move(iprog.value());
 
+  // Step 2.5: shard-safety certificate (concurrency.h), computed over the
+  // same verified (and possibly optimized) program the analysis describes.
+  // The certificate is the load-time gate the sharded dispatcher (ROADMAP
+  // item 1) consults; its lock-order edges also feed the cross-extension
+  // deadlock audit (LockOrderAudit) and the trace stream.
+  ext->iprog.concurrency = AnalyzeConcurrency(*to_instrument, &ext->analysis);
+  for (const LockOrderEdge& edge : ext->iprog.concurrency.edges) {
+    KFLEX_TRACE(ObsEvent::kLockOrderEdge, edge.from, edge.to);
+  }
+
   // Step 3: native compilation, if requested. Fallback is silent at load
   // time (recorded in engine_info): the interpreter runs the identical
   // instrumented stream, so the choice is purely an execution-speed one.
@@ -354,7 +364,36 @@ EngineInfo Runtime::engine_info(ExtensionId id) const {
   if (ext->jit != nullptr) {
     info.stats = ext->jit->stats;
   }
+  info.shard_safety = ext->iprog.concurrency.safety;
   return info;
+}
+
+std::vector<LockOrderGraph::Cycle> Runtime::LockOrderAudit() const {
+  // Lock identities are heap offsets, so two extensions can only contend on
+  // the same lock when they share an extension heap (LoadOptions::
+  // share_heap_with). Build one acquisition graph per heap from the per-
+  // extension certificate edges and collect cycles across all of them.
+  std::map<const ExtensionHeap*, LockOrderGraph> graphs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& ext : extensions_) {
+      if (ext->heap == nullptr || ext->unloaded.load(std::memory_order_acquire)) {
+        continue;
+      }
+      const std::string& name = ext->iprog.program.name.empty()
+                                    ? std::string("extension")
+                                    : ext->iprog.program.name;
+      graphs[ext->heap.get()].AddEdges(name, ext->iprog.concurrency.edges);
+    }
+  }
+  std::vector<LockOrderGraph::Cycle> cycles;
+  for (auto& [heap, graph] : graphs) {
+    for (LockOrderGraph::Cycle& cycle : graph.FindCycles()) {
+      KFLEX_TRACE(ObsEvent::kLockCycle, cycle.edges.size(), cycle.programs.size());
+      cycles.push_back(std::move(cycle));
+    }
+  }
+  return cycles;
 }
 
 void Runtime::SetCancellationCallback(ExtensionId id, std::function<int64_t(int64_t)> cb) {

@@ -96,6 +96,10 @@ struct EngineInfo {
   ExecEngine used = ExecEngine::kInterp;
   std::string fallback_reason;  // set when requested == kJit but used != kJit
   JitCompileStats stats;        // meaningful when used == kJit
+  // Shard-safety certificate distilled at load (concurrency.h): the sharded
+  // dispatcher's gate for running invocations of this extension
+  // concurrently. Full report: Runtime::instrumented(id).concurrency.
+  ShardSafety shard_safety = ShardSafety::kRaceFree;
 };
 
 // Result of Runtime::SweepInvariants: human-readable violations of the
@@ -156,6 +160,14 @@ class Runtime {
   const InstrumentedProgram& instrumented(ExtensionId id) const;
   const Analysis& analysis(ExtensionId id) const;
   EngineInfo engine_info(ExtensionId id) const;
+
+  // Static lock-acquisition audit across all live extensions (concurrency.h):
+  // one LockOrderGraph per shared extension heap (lock identities are heap
+  // offsets, so only extensions sharing a heap can contend on the same
+  // lock), merged from each extension's certificate edges. A reported cycle
+  // is a potential cross-extension AB/BA deadlock; each detection emits a
+  // lock.cycle trace event.
+  std::vector<LockOrderGraph::Cycle> LockOrderAudit() const;
 
   // §4.3: user-attached callback adjusting the verdict returned after a
   // cancellation (restricted: plain function of the default verdict).

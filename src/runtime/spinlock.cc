@@ -16,8 +16,12 @@ const std::atomic<uint64_t>* Word(const void* p) {
 
 bool SpinLockOps::TryAcquire(void* word, uint64_t owner_tag) {
   uint64_t expected = kFree;
-  return Word(word)->compare_exchange_strong(expected, owner_tag, std::memory_order_acquire,
-                                             std::memory_order_relaxed);
+  if (Word(word)->compare_exchange_strong(expected, owner_tag, std::memory_order_acquire,
+                                          std::memory_order_relaxed)) {
+    KFLEX_TSAN_ACQUIRE(word);
+    return true;
+  }
+  return false;
 }
 
 bool SpinLockOps::Acquire(void* word, uint64_t owner_tag, const std::atomic<bool>* cancel) {
@@ -65,7 +69,10 @@ bool SpinLockOps::Acquire(void* word, uint64_t owner_tag, const std::atomic<bool
   }
 }
 
-void SpinLockOps::Release(void* word) { Word(word)->store(kFree, std::memory_order_release); }
+void SpinLockOps::Release(void* word) {
+  KFLEX_TSAN_RELEASE(word);
+  Word(word)->store(kFree, std::memory_order_release);
+}
 
 bool SpinLockOps::IsHeld(const void* word) {
   return Word(word)->load(std::memory_order_acquire) != kFree;

@@ -18,6 +18,30 @@
 #include <atomic>
 #include <cstdint>
 
+// ThreadSanitizer annotations (see docs/concurrency.md and the `tsan` CMake
+// preset). The lock is built on std::atomic, whose acquire/release ordering
+// TSan models natively; the explicit annotations keep the lock word's
+// happens-before edges visible to TSan even if the implementation moves to
+// fences or raw __atomic builtins, and mark the word as a synchronization
+// address in race reports. No-ops outside TSan builds.
+#if defined(__SANITIZE_THREAD__)
+#define KFLEX_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define KFLEX_TSAN_ENABLED 1
+#endif
+#endif
+
+#if defined(KFLEX_TSAN_ENABLED)
+extern "C" void __tsan_acquire(void* addr);
+extern "C" void __tsan_release(void* addr);
+#define KFLEX_TSAN_ACQUIRE(addr) __tsan_acquire(addr)
+#define KFLEX_TSAN_RELEASE(addr) __tsan_release(addr)
+#else
+#define KFLEX_TSAN_ACQUIRE(addr) ((void)0)
+#define KFLEX_TSAN_RELEASE(addr) ((void)0)
+#endif
+
 namespace kflex {
 
 class SpinLockOps {

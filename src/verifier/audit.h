@@ -63,6 +63,8 @@ const std::vector<ContractClause>& HelperContractTable();
 struct WitnessStep {
   size_t pc = 0;
   int branch = -1;
+
+  bool operator==(const WitnessStep& other) const = default;
 };
 
 // A resource whose obligation is open at some point of the witness path,

@@ -10,6 +10,7 @@
 #include "src/ebpf/helper_ids.h"
 #include "src/verifier/absval.h"
 #include "src/verifier/audit.h"
+#include "src/verifier/concurrency.h"
 #include "src/verifier/opt.h"
 
 namespace kflex {
@@ -507,6 +508,76 @@ void ContractCheckPass(const LintContext& ctx, std::vector<Finding>& out) {
   ContractAuditFindings(ctx, ObligationKind::kCheck, out);
 }
 
+// ---- Passes: lockset / atomicity / lock-cycle -------------------------------
+//
+// Front ends for the concurrency-safety analysis (concurrency.h) that backs
+// the shard-safety certificate. Severity mapping (docs/concurrency.md):
+// an unprotected or non-atomic-RMW access to a *map value* is an error —
+// maps are shared across extensions and CPUs today, so the race is real. The
+// same pattern on the *extension heap* is NOT a lint finding: the heap is
+// only shared with user space and with future concurrent invocations of the
+// same extension, so an unlocked heap access merely downgrades the
+// certificate to serial-only (ConcurrencyReport, `kflex_run
+// --concurrency-report`) and the shipped single-threaded examples stay
+// lint-clean, preserving the zero-false-positive contract. A
+// lock-acquisition cycle is a warning: a deadlock needs the cross-order
+// paths to actually interleave.
+
+void ConcurrencyFindingsFor(const LintContext& ctx,
+                            std::initializer_list<ConcurrencyFinding::Kind> kinds,
+                            const char* pass, std::vector<Finding>& out) {
+  ConcurrencyReport report = AnalyzeConcurrency(ctx.program, ctx.cfg, ctx.analysis);
+  for (ConcurrencyFinding& f : report.findings) {
+    bool wanted = false;
+    for (ConcurrencyFinding::Kind k : kinds) {
+      wanted |= f.kind == k;
+    }
+    if (!wanted) {
+      continue;
+    }
+    LintSeverity severity;
+    switch (f.kind) {
+      case ConcurrencyFinding::Kind::kUnlockedMapAccess:
+      case ConcurrencyFinding::Kind::kNonAtomicMapRmw:
+        severity = LintSeverity::kError;
+        break;
+      case ConcurrencyFinding::Kind::kLockCycle:
+        severity = LintSeverity::kWarning;
+        break;
+      default:
+        severity = LintSeverity::kNote;
+        break;
+    }
+    out.push_back({f.pc, severity, pass, std::move(f.message), std::move(f.path)});
+  }
+}
+
+void LocksetPass(const LintContext& ctx, std::vector<Finding>& out) {
+  ConcurrencyFindingsFor(ctx, {ConcurrencyFinding::Kind::kUnlockedMapAccess}, "lockset", out);
+}
+
+void AtomicityPass(const LintContext& ctx, std::vector<Finding>& out) {
+  ConcurrencyFindingsFor(ctx, {ConcurrencyFinding::Kind::kNonAtomicMapRmw}, "atomicity", out);
+}
+
+// Generalizes the pairwise lock-order inversion check: build the full
+// acquisition graph (with lock identities carried ACROSS blocks, which the
+// block-local lock-order pass cannot see) and report every elementary
+// cycle, each edge carrying a pc+path witness.
+void LockCyclePass(const LintContext& ctx, std::vector<Finding>& out) {
+  ConcurrencyReport report = AnalyzeConcurrency(ctx.program, ctx.cfg, ctx.analysis);
+  if (report.edges.empty()) {
+    return;
+  }
+  LockOrderGraph graph;
+  graph.AddEdges(ctx.program.name.empty() ? "program" : ctx.program.name, report.edges);
+  for (const LockOrderGraph::Cycle& cycle : graph.FindCycles()) {
+    const LockOrderEdge& first = cycle.edges.front().edge;
+    out.push_back({first.pc, LintSeverity::kWarning, "lock-cycle", cycle.Describe(),
+                   first.path});
+  }
+}
+
 // ---- Registry ---------------------------------------------------------------
 
 std::vector<LintPass>& MutablePasses() {
@@ -522,6 +593,9 @@ std::vector<LintPass>& MutablePasses() {
        ContractReleasePass},
       {"contract-check", "nullable helper results dereferenced without a NULL check",
        ContractCheckPass},
+      {"lockset", "map-value accesses reachable with an empty lockset", LocksetPass},
+      {"atomicity", "non-atomic unlocked read-modify-write of map values", AtomicityPass},
+      {"lock-cycle", "cycles in the static lock-acquisition graph", LockCyclePass},
   };
   return *passes;
 }

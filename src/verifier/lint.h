@@ -16,6 +16,7 @@
 #include "src/ebpf/program.h"
 #include "src/verifier/analysis.h"
 #include "src/verifier/cfg.h"
+#include "src/verifier/concurrency.h"
 #include "src/verifier/dataflow.h"
 
 namespace kflex {
@@ -30,6 +31,9 @@ struct Finding {
   LintSeverity severity = LintSeverity::kWarning;
   std::string pass;     // registry name of the emitting pass
   std::string message;  // human-readable description
+  // Optional entry-to-anchor pc+path witness (concurrency passes; same
+  // encoding as the contract audit). Empty for classic passes.
+  std::vector<WitnessStep> path;
 
   bool operator==(const Finding& other) const = default;
 };
@@ -53,10 +57,12 @@ struct LintPass {
 };
 
 // All registered passes, built-ins first. Built-ins: "dead-code",
-// "lock-order", "ref-leak", "helper-contract", "redundant-guard", plus the
+// "lock-order", "ref-leak", "helper-contract", "redundant-guard", the
 // speculative contract-audit passes "contract-release" and "contract-check"
 // (audit.h) whose findings are path witnesses meant to be confirmed or
-// pruned by chaos replay (`kflex-lint --audit`).
+// pruned by chaos replay (`kflex-lint --audit`), plus the concurrency
+// passes "lockset", "atomicity" and "lock-cycle" (concurrency.h) backing
+// the shard-safety certificate (docs/concurrency.md).
 const std::vector<LintPass>& LintPasses();
 
 // Registers an additional pass (e.g. from a tool or test). Returns false if

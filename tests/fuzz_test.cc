@@ -204,6 +204,63 @@ TEST(FuzzLintConsistency, RejectedProgramsLintWithoutAnalysis) {
   EXPECT_GT(rejected, 20u) << "generator drifted: corpus slice has too few rejected programs";
 }
 
+// The concurrency passes (lockset, atomicity, lock-cycle) replayed alone over
+// the fuzz corpus — accepted and rejected programs alike, with and without
+// verifier analysis. Asserts no crash, that only the selected passes emit
+// findings with the documented severity mapping (map-value races are errors,
+// lock cycles are warnings; heap-class findings are certificate-only and must
+// never appear as lint findings), deterministic finding order across repeated
+// runs, and that the full-registry dedupe contract still holds with the
+// concurrency passes in the mix.
+TEST(FuzzLintConcurrency, ConcurrencyPassesSurviveTheCorpus) {
+  Rng rng(0x10C5);
+  LintRunOptions options;
+  options.passes = {"lockset", "atomicity", "lock-cycle"};
+  size_t programs_with_findings = 0;
+  for (int n = 0; n < 300; n++) {
+    const bool resources = (n % 2) == 0;
+    ProgramGenerator gen(rng, /*kflex=*/true, resources);
+    Program p = gen.Generate();
+    auto analysis = Verify(p, VerifyOptions{});
+    const Analysis* analysis_ptr = analysis.ok() ? &*analysis : nullptr;
+    auto lint = RunLint(p, analysis_ptr, options);
+    ASSERT_TRUE(lint.ok()) << lint.status().ToString() << "\n" << ProgramToString(p);
+    auto again = RunLint(p, analysis_ptr, options);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(*lint, *again) << "unstable finding order:\n" << ProgramToString(p);
+    if (!lint->empty()) {
+      programs_with_findings++;
+    }
+    for (const Finding& f : *lint) {
+      EXPECT_TRUE(f.pass == "lockset" || f.pass == "atomicity" || f.pass == "lock-cycle")
+          << "unselected pass '" << f.pass << "' emitted a finding:\n" << ProgramToString(p);
+      if (f.pass == "lock-cycle") {
+        EXPECT_EQ(f.severity, LintSeverity::kWarning) << ProgramToString(p);
+      } else {
+        EXPECT_EQ(f.severity, LintSeverity::kError)
+            << "[" << f.pass << "] " << f.message << "\n" << ProgramToString(p);
+        EXPECT_NE(f.message.find("map"), std::string::npos)
+            << "heap-class finding leaked into lint (certificate-only contract): ["
+            << f.pass << "] " << f.message << "\n" << ProgramToString(p);
+      }
+    }
+    // Full registry with the concurrency passes in the mix: dedupe must leave
+    // no two findings with identical (pc, severity, message).
+    auto all = RunLint(p, analysis_ptr);
+    ASSERT_TRUE(all.ok()) << all.status().ToString() << "\n" << ProgramToString(p);
+    for (size_t i = 0; i + 1 < all->size(); i++) {
+      const Finding& a = (*all)[i];
+      for (size_t j = i + 1; j < all->size(); j++) {
+        const Finding& b = (*all)[j];
+        EXPECT_FALSE(a.pc == b.pc && a.severity == b.severity && a.message == b.message)
+            << "duplicate finding survived dedupe ([" << a.pass << "] vs [" << b.pass
+            << "] at pc " << a.pc << "): " << a.message << "\n"
+            << ProgramToString(p);
+      }
+    }
+  }
+}
+
 // ---- Differential fuzzing: optimizer + JIT equivalence ----------------------
 //
 // Every generated program is loaded three ways — reference interpreter

@@ -30,8 +30,9 @@ constexpr const char* kCoveredEvents[] = {
     "runtime.load",     "runtime.unload",    "verifier.accept", "verifier.reject",
     "kie.instrument",   "jit.compile",       "jit.fallback",    "heap.pagein",
     "heap.guard_trip",  "alloc.refill",      "alloc.carve",     "alloc.fail",
-    "lock.contended",   "helper.call",       "cancel.requested", "cancel.unwound",
-    "cancel.watchdog",  "fault.fired",       "sim.progress",
+    "lock.contended",   "lock.order_edge",   "lock.cycle",      "helper.call",
+    "cancel.requested", "cancel.unwound",    "cancel.watchdog", "fault.fired",
+    "sim.progress",
 };
 
 TEST(ObsSelfCheck, AllCatalogEventsCovered) {

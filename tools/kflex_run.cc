@@ -17,6 +17,10 @@
 //   --metrics=json  enable the metrics registry for the whole run and print
 //                the observability snapshot as JSON after the invocations
 //                (the stable schema kflex-top consumes; docs/observability.md)
+//   --concurrency-report  print the shard-safety certificate computed at
+//                load (docs/concurrency.md): the safety class gating
+//                concurrent dispatch, the shared-state access counters, each
+//                concurrency finding, and the lock-acquisition edges
 //   --trace=FILE  enable the trace rings and write the resident events as
 //                text to FILE after the run ("-" = stdout)
 //
@@ -43,7 +47,7 @@ int Usage() {
                "usage: kflex_run FILE.kasm [--dump] [--invoke N] [--ctx HEX]\n"
                "                 [--engine interp|jit] [--jit-stats]\n"
                "                 [--fault point:spec | --fault list]...\n"
-               "                 [--metrics=json] [--trace=FILE]\n");
+               "                 [--metrics=json] [--trace=FILE] [--concurrency-report]\n");
   return 1;
 }
 
@@ -88,6 +92,7 @@ int main(int argc, char** argv) {
   ExecEngine engine = ExecEngine::kInterp;
   std::vector<std::string> fault_specs;
   bool metrics_json = false;
+  bool concurrency_report = false;
   bool trace_on = false;
   std::string trace_path;
   for (int i = 2; i < argc; i++) {
@@ -137,6 +142,8 @@ int main(int argc, char** argv) {
       jit_stats = true;
     } else if (arg == "--metrics" || arg == "--metrics=json") {
       metrics_json = true;
+    } else if (arg == "--concurrency-report") {
+      concurrency_report = true;
     } else if (arg == "--trace" || arg.rfind("--trace=", 0) == 0) {
       if (arg == "--trace") {
         if (i + 1 >= argc) {
@@ -222,6 +229,27 @@ int main(int argc, char** argv) {
       std::printf("jit: fell back to interpreter: %s\n", ei.fallback_reason.c_str());
     } else {
       std::printf("jit: not requested\n");
+    }
+  }
+  if (concurrency_report) {
+    // The certificate computed at load (docs/concurrency.md): what the
+    // sharded dispatcher consults before running invocations concurrently.
+    const ConcurrencyReport& c = ip.concurrency;
+    std::printf("concurrency: certificate=%s (engine_info: %s)\n", ShardSafetyName(c.safety),
+                ShardSafetyName(ei.shard_safety));
+    std::printf(
+        "concurrency: %zu map access(es) (%zu unprotected), %zu heap access(es) "
+        "(%zu unprotected), %zu atomic, %zu lock-protected, %zu lock-order edge(s)\n",
+        c.map_accesses, c.unprotected_map_accesses, c.heap_accesses,
+        c.unprotected_heap_accesses, c.atomic_accesses, c.locked_accesses, c.edges.size());
+    for (const ConcurrencyFinding& f : c.findings) {
+      std::printf("concurrency: pc %zu: [%s] %s\n", f.pc, ConcurrencyFindingKindName(f.kind),
+                  f.message.c_str());
+    }
+    for (const LockOrderEdge& e : c.edges) {
+      std::printf("concurrency: lock-order edge: heap offset %llu -> %llu (insn %zu)\n",
+                  static_cast<unsigned long long>(e.from),
+                  static_cast<unsigned long long>(e.to), e.pc);
     }
   }
   if (dump) {
