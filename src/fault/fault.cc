@@ -24,6 +24,7 @@ constexpr const char* kCatalog[] = {
     "map.update",      // Map::Update: -ENOMEM
     "helper.ret_err",  // helper dispatch: documented error, body skipped
     "lock.delay",      // SpinLockOps::Acquire: deterministic waiter delay
+    "shard.enqueue",   // ShardedRuntime::Submit: ingress treated as full
 };
 
 uint64_t SplitMix64(uint64_t x) {

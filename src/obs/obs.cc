@@ -35,6 +35,7 @@ const char* ObsSubsystemName(ObsSubsystem s) {
     case ObsSubsystem::kCancel: return "cancel";
     case ObsSubsystem::kFault: return "fault";
     case ObsSubsystem::kSim: return "sim";
+    case ObsSubsystem::kShard: return "shard";
     case ObsSubsystem::kCount: break;
   }
   return "?";
@@ -63,6 +64,12 @@ const std::vector<ObsEventDef>& ObsEventCatalog() {
       {ObsEvent::kWatchdogFired, "cancel.watchdog", "obs_ext_id", "overrun_ns"},
       {ObsEvent::kFaultFired, "fault.fired", "point_index", "hit"},
       {ObsEvent::kSimProgress, "sim.progress", "completed", "in_flight"},
+      {ObsEvent::kShardStart, "shard.start", "shard", "num_shards"},
+      {ObsEvent::kShardBatch, "shard.batch", "shard", "occupancy"},
+      {ObsEvent::kShardForward, "shard.forward", "steered_shard", "home_shard"},
+      {ObsEvent::kShardDrop, "shard.drop", "shard", "capacity"},
+      {ObsEvent::kShardSteal, "shard.steal", "thief_shard", "victim_shard"},
+      {ObsEvent::kShardQuiesce, "shard.quiesce", "shard", "drained"},
   };
   return kCatalog;
 }

@@ -61,7 +61,8 @@ enum class ObsSubsystem : uint8_t {
   kCancel = 8,
   kFault = 9,
   kSim = 10,
-  kCount = 11,
+  kShard = 11,
+  kCount = 12,
 };
 
 const char* ObsSubsystemName(ObsSubsystem s);
@@ -99,6 +100,13 @@ enum class ObsEvent : uint16_t {
   kFaultFired = (9 << 8) | 1,       // a0 = fault point index, a1 = hit number
   // sim.
   kSimProgress = (10 << 8) | 1,     // a0 = completed requests, a1 = in flight
+  // sharded dispatcher (src/shard, docs/sharding.md).
+  kShardStart = (11 << 8) | 1,      // a0 = shard index, a1 = num shards
+  kShardBatch = (11 << 8) | 2,      // a0 = shard index, a1 = batch occupancy
+  kShardForward = (11 << 8) | 3,    // a0 = steered shard, a1 = home shard
+  kShardDrop = (11 << 8) | 4,       // a0 = shard index, a1 = queue capacity
+  kShardSteal = (11 << 8) | 5,      // a0 = thief shard, a1 = victim shard
+  kShardQuiesce = (11 << 8) | 6,    // a0 = shard index, a1 = drained invocations
 };
 
 struct ObsEventDef {

@@ -48,6 +48,10 @@ class HeapAllocator {
   static int ClassForSize(uint64_t size);
   static uint64_t ClassSize(int cls) { return kMinClass << cls; }
 
+  // Number of per-CPU cache arenas. Runtime::Invoke bounds its `cpu`
+  // argument by this (the shard dispatcher computes cpu = shard index).
+  int num_cpu_slots() const { return static_cast<int>(cpus_.size()); }
+
   struct Stats {
     uint64_t allocs = 0;
     uint64_t frees = 0;

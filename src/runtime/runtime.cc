@@ -41,19 +41,21 @@ Runtime::Runtime(const RuntimeOptions& options) : options_(options) {
 Runtime::~Runtime() { StopWatchdog(); }
 
 Runtime::Extension* Runtime::Get(ExtensionId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (id == 0 || id > extensions_.size()) {
+  std::shared_ptr<const std::vector<Extension*>> index =
+      index_.load(std::memory_order_acquire);
+  if (index == nullptr || id == 0 || id > index->size()) {
     return nullptr;
   }
-  return extensions_[id - 1].get();
+  return (*index)[id - 1];
 }
 
 const Runtime::Extension* Runtime::Get(ExtensionId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (id == 0 || id > extensions_.size()) {
+  std::shared_ptr<const std::vector<Extension*>> index =
+      index_.load(std::memory_order_acquire);
+  if (index == nullptr || id == 0 || id > index->size()) {
     return nullptr;
   }
-  return extensions_[id - 1].get();
+  return (*index)[id - 1];
 }
 
 StatusOr<ExtensionId> Runtime::Load(const Program& program, const LoadOptions& options) {
@@ -160,8 +162,19 @@ StatusOr<ExtensionId> Runtime::Load(const Program& program, const LoadOptions& o
   ext->obs_metrics = Obs::Instance().Metrics(obs_id);
   KFLEX_TRACE(ObsEvent::kRuntimeLoad, obs_id, ext->iprog.program.insns.size());
 
+  // The allocator arena count is the Invoke-side bound for `cpu`; a shared
+  // allocator always comes from this runtime, so the counts must agree.
+  KFLEX_CHECK(ext->allocator == nullptr ||
+              ext->allocator->num_cpu_slots() == options_.num_cpus);
+
   std::lock_guard<std::mutex> lock(mu_);
   extensions_.push_back(std::move(ext));
+  auto index = std::make_shared<std::vector<Extension*>>();
+  index->reserve(extensions_.size());
+  for (const auto& e : extensions_) {
+    index->push_back(e.get());
+  }
+  index_.store(std::move(index), std::memory_order_release);
   return static_cast<ExtensionId>(extensions_.size());
 }
 
@@ -221,8 +234,18 @@ InvokeResult Runtime::Invoke(ExtensionId id, int cpu, uint8_t* ctx, uint32_t ctx
                              std::vector<std::pair<int32_t, uint64_t>>* helper_trace) {
   InvokeResult result;
   Extension* ext = Get(id);
-  if (ext == nullptr || ext->unloaded.load(std::memory_order_acquire) || cpu < 0 ||
-      cpu >= options_.num_cpus) {
+  if (ext == nullptr || ext->unloaded.load(std::memory_order_acquire)) {
+    result.attached = false;
+    return result;
+  }
+  // `cpu` picks the per-CPU allocator arena and watchdog slot; shard workers
+  // compute it from their shard index, so an out-of-range value is a caller
+  // bug, not input to trust. Bound it by the extension allocator's actual
+  // slot count when it has one (the Load-time check pinned that to
+  // num_cpus), falling back to the runtime option for heap-less extensions.
+  const int cpu_slots = ext->allocator != nullptr ? ext->allocator->num_cpu_slots()
+                                                  : options_.num_cpus;
+  if (cpu < 0 || cpu >= cpu_slots || cpu >= options_.num_cpus) {
     result.attached = false;
     return result;
   }
@@ -323,6 +346,20 @@ void Runtime::Reset(ExtensionId id) {
   if (ext->heap != nullptr) {
     ext->heap->ResetTerminate();
   }
+}
+
+void Runtime::Unload(ExtensionId id) {
+  Extension* ext = Get(id);
+  if (ext == nullptr) {
+    return;
+  }
+  ext->unloaded.store(true, std::memory_order_release);
+  uint64_t cancellations;
+  {
+    std::lock_guard<std::mutex> lock(ext->stats_mu);
+    cancellations = ext->stats.cancellations;
+  }
+  KFLEX_TRACE(ObsEvent::kRuntimeUnload, ext->obs_id, cancellations);
 }
 
 bool Runtime::IsUnloaded(ExtensionId id) const {

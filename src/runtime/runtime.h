@@ -141,6 +141,12 @@ class Runtime {
 
   // Runs one invocation of the extension on `cpu` with the given context
   // object (the hook input). ctx must stay valid for the call.
+  //
+  // `cpu` selects the per-CPU allocator arena and watchdog slot and must lie
+  // in [0, num_cpus); the sharded dispatcher (src/shard) computes it from the
+  // shard index. Out-of-range values are rejected (attached=false) after a
+  // consistency check against the extension allocator's per-CPU slot count —
+  // the runtime no longer trusts callers to have picked a valid arena.
   InvokeResult Invoke(ExtensionId id, int cpu, uint8_t* ctx, uint32_t ctx_size);
   // As above, additionally recording every helper call as (id, return value)
   // into `helper_trace` (may be null). Used by differential tests.
@@ -153,6 +159,14 @@ class Runtime {
 
   // Re-arms a cancelled extension (tests / repeated-cancellation benches).
   void Reset(ExtensionId id);
+
+  // Quiesced detach: marks the extension unloaded without the cancellation
+  // machinery (no unwind, no cancellation stats). The caller must have
+  // drained all in-flight invocations first — the sharded dispatcher's
+  // per-shard quiesce (ShardedRuntime::UnloadQuiesced) is the intended
+  // caller. Subsequent Invokes return attached=false; the heap survives
+  // until the owner closes it, as with cancellation (§3.4).
+  void Unload(ExtensionId id);
 
   bool IsUnloaded(ExtensionId id) const;
   ExtensionHeap* heap(ExtensionId id);
@@ -235,8 +249,12 @@ class Runtime {
   ObjectRegistry objects_;
   HelperTable helpers_;
 
+  // Writers (Load) take mu_ and republish index_; readers (Invoke and every
+  // per-extension accessor) only load the immutable snapshot, so concurrent
+  // shard workers never serialize on the registry lock in the invoke path.
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Extension>> extensions_;
+  std::atomic<std::shared_ptr<const std::vector<Extension*>>> index_;
 
   std::thread watchdog_;
   std::atomic<bool> watchdog_running_{false};

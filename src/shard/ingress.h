@@ -1,0 +1,112 @@
+// Lock-free bounded ingress queue (Vyukov MPMC ring).
+//
+// Producers are the steering front end (any thread calling
+// ShardedRuntime::Submit); the primary consumer is the owning shard's worker,
+// with other workers popping occasionally to steal. Multi-consumer safety is
+// what makes stealing free — the ring does not care who pops.
+//
+// Each cell carries a sequence number. A producer claims a cell when
+// seq == pos (CAS on the enqueue cursor), writes the value, then publishes
+// seq = pos + 1; a consumer waits for seq == pos + 1 and releases the cell
+// at seq = pos + capacity. Full/empty are detected without locks, and a
+// full queue fails the push immediately (the caller drop-counts — ingress
+// never blocks, mirroring a NIC RX ring).
+#ifndef SRC_SHARD_INGRESS_H_
+#define SRC_SHARD_INGRESS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "src/base/logging.h"
+
+namespace kflex {
+
+template <typename T>
+class IngressQueue {
+ public:
+  explicit IngressQueue(size_t capacity) : mask_(capacity - 1) {
+    KFLEX_CHECK(capacity >= 2 && (capacity & (capacity - 1)) == 0);
+    cells_ = std::make_unique<Cell[]>(capacity);
+    for (size_t i = 0; i < capacity; i++) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  IngressQueue(const IngressQueue&) = delete;
+  IngressQueue& operator=(const IngressQueue&) = delete;
+
+  // False when the queue is full (never blocks).
+  bool Push(const T& value) {
+    Cell* cell;
+    uint64_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      uint64_t seq = cell->seq.load(std::memory_order_acquire);
+      int64_t dif = static_cast<int64_t>(seq) - static_cast<int64_t>(pos);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // full
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = value;
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  // False when the queue is empty.
+  bool Pop(T* out) {
+    Cell* cell;
+    uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      uint64_t seq = cell->seq.load(std::memory_order_acquire);
+      int64_t dif = static_cast<int64_t>(seq) - static_cast<int64_t>(pos + 1);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // empty
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    *out = cell->value;
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Racy snapshot for metrics/polling only.
+  size_t SizeApprox() const {
+    uint64_t head = head_.load(std::memory_order_relaxed);
+    uint64_t tail = tail_.load(std::memory_order_relaxed);
+    return head > tail ? static_cast<size_t>(head - tail) : 0;
+  }
+
+  bool EmptyApprox() const { return SizeApprox() == 0; }
+
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  struct Cell {
+    std::atomic<uint64_t> seq{0};
+    T value{};
+  };
+
+  // Cursors on separate cache lines from each other and the cell array.
+  alignas(64) std::atomic<uint64_t> head_{0};  // enqueue cursor
+  alignas(64) std::atomic<uint64_t> tail_{0};  // dequeue cursor
+  alignas(64) size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+};
+
+}  // namespace kflex
+
+#endif  // SRC_SHARD_INGRESS_H_

@@ -1,0 +1,88 @@
+// Open-loop burst load generation against the sharded dispatcher
+// (docs/sharding.md; the scaling experiments behind BENCH_scale.json).
+//
+// Unlike the closed loop (closedloop.h), arrivals here are independent of
+// completions: a population of 10^5-10^6 clients emits bursts on an
+// exponential schedule, so queueing delay is visible (the open-loop property
+// the tail-at-scale literature insists on). Every request is *actually
+// executed* through the real threaded ShardedRuntime — steering decisions,
+// ingress rings, batches, forward/steal counters are all real — and its
+// measured instruction count prices the request in simulated time, the same
+// single currency the closed-loop sims use (CostModel::ns_per_insn). The
+// host has however many cores it has (often one); throughput and latency
+// come from the discrete-event replay over per-shard virtual clocks, so the
+// reported scaling reflects the dispatcher's steering balance and the
+// workload's shard-parallelism, not the build machine.
+//
+// Two phases per run:
+//   1. capacity: execute all requests, accumulate per-shard busy time;
+//      saturated throughput = requests / busiest-shard-busy-ns (the
+//      bottleneck shard governs, which is what pins serial-only extensions
+//      to the single-shard figure).
+//   2. latency replay: re-run arithmetic only, with the burst arrival
+//      schedule offered at `offered_load` x the measured capacity, giving
+//      the latency distribution at a sane operating point.
+#ifndef SRC_SIM_OPENLOOP_H_
+#define SRC_SIM_OPENLOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/base/histogram.h"
+#include "src/shard/shard.h"
+
+namespace kflex {
+
+struct OpenLoopConfig {
+  // Distinct clients (flows). Steering sees this many different 5-tuples;
+  // the scale bench runs 10^5 (smoke) to 10^6 (full).
+  uint64_t clients = 1'000'000;
+  uint64_t total_requests = 100'000;
+  // Requests arrive in bursts of this size (one burst = one arrival event),
+  // modelling coalesced NIC RX and the bursty arrivals of many independent
+  // clients.
+  int burst_size = 8;
+  // Offered load for the latency replay, as a fraction of measured capacity.
+  double offered_load = 0.7;
+  // Heavy-tailed key popularity (paper: Zipf s = 0.99).
+  uint64_t key_space = 100'000;
+  double zipf_theta = 0.99;
+  uint64_t seed = 42;
+  // Fraction (percent) of leading samples discarded as warm-up.
+  int warmup_pct = 10;
+  // Execution window: requests submitted to the dispatcher before each
+  // drain barrier. Bounded so a million-request run needs O(window) memory.
+  uint64_t window = 2048;
+  // Simulated-time pricing: fixed per-request kernel-path cost plus the
+  // measured instructions at ns_per_insn (CostModel currency).
+  uint64_t fixed_ns = 550;  // driver_rx + xdp_tx
+  double ns_per_insn = 2.5;
+  double instrumentation_cost_factor = 0.25;
+};
+
+// Fills the ctx buffer for request i and returns its flow hash (what the
+// caller would pass to ShardedRuntime::Submit).
+using RequestBuilder = std::function<uint64_t(uint64_t i, uint64_t key, uint64_t client,
+                                              uint8_t* ctx, uint32_t ctx_size)>;
+
+struct OpenLoopResult {
+  // Saturated capacity (million requests per simulated second): the scaling
+  // figure (Fig. 8/9 analogue).
+  double throughput_mops = 0;
+  // Latency distribution at offered_load x capacity (simulated ns).
+  Histogram latency;
+  uint64_t measured_requests = 0;
+  uint64_t simulated_busy_ns = 0;  // busiest shard's busy time
+  uint64_t total_insns = 0;
+  // Dispatcher counters after the run (forward/steal/drop/batch occupancy).
+  std::vector<ShardStats> shard_stats;
+};
+
+OpenLoopResult RunOpenLoop(ShardedRuntime& sharded, ShardExtId ext,
+                           const OpenLoopConfig& config, uint32_t ctx_size,
+                           const RequestBuilder& build);
+
+}  // namespace kflex
+
+#endif  // SRC_SIM_OPENLOOP_H_

@@ -21,6 +21,7 @@
 #include "src/fault/fault.h"
 #include "src/jit/codegen.h"
 #include "src/kernel/kernel.h"
+#include "src/shard/shard.h"
 
 namespace kflex {
 namespace {
@@ -44,6 +45,7 @@ constexpr PointSpec kCoveredPoints[] = {
     {"map.update", "map.update:every=2"},
     {"helper.ret_err", "helper.ret_err:prob=0.25,seed=1234"},
     {"lock.delay", "lock.delay:every=1"},
+    {"shard.enqueue", "shard.enqueue:every=3"},
 };
 
 struct EngineConfig {
@@ -310,6 +312,87 @@ TEST(ChaosMatrix, RbTreeDataStructure) {
     for (const PointSpec& point : kCoveredPoints) {
       SCOPED_TRACE(std::string("--fault=") + point.spec + " engine=" + engine.name);
       RunRbTree(point, engine);
+      if (::testing::Test::HasFatalFailure()) {
+        return;
+      }
+    }
+  }
+}
+
+// ---- workload 4: sharded dispatch -------------------------------------------
+
+// The scatter workload through ShardedRuntime: steering + ingress ring +
+// worker batches. shard.enqueue surfaces as a counted drop (Submit returns
+// false, never blocks), and SweepInvariants must stay green through drain,
+// quiesced unload and shard shutdown.
+void RunShardedScatter(const PointSpec& point, const EngineConfig& engine) {
+  ShardedRuntimeOptions sopts;
+  sopts.num_shards = 2;
+  sopts.batch_size = 4;
+  sopts.queue_capacity = 64;
+  sopts.runtime.num_cpus = 2;
+  sopts.runtime.quantum_ns = 500'000'000ULL;
+  ShardedRuntime sharded{sopts};
+  auto desc = sharded.runtime().maps().CreateArray(4, 8, 8);
+  ASSERT_TRUE(desc.ok());
+
+  ScopedFaultInjection faults{point.spec};
+  LoadOptions lo;
+  lo.heap_static_bytes = 128;
+  lo.optimize = engine.choice.optimize;
+  lo.engine = engine.choice.engine;
+  lo.jit = engine.choice.jit;
+  auto id = sharded.Load(ScatterProgram(desc->id), lo);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  const ShardPlacement& place = sharded.placement(*id);
+
+  uint8_t ctx[64] = {0};
+  int dropped_submits = 0;
+  for (int i = 0; i < 12; i++) {
+    for (ExtensionId rid : place.replicas) {
+      if (sharded.runtime().IsUnloaded(rid)) {
+        sharded.runtime().Reset(rid);
+      }
+    }
+    InvokeResult r = sharded.InvokeSync(*id, /*flow_hash=*/i, ctx, sizeof(ctx));
+    if (!r.attached) {
+      dropped_submits++;
+      continue;
+    }
+    ExpectCleanResult(r);
+  }
+  sharded.Flush();
+  for (ExtensionId rid : place.replicas) {
+    InvariantReport sweep = sharded.runtime().SweepInvariants(rid);
+    EXPECT_TRUE(sweep.ok()) << sweep.ToString();
+  }
+
+  std::string p = point.point;
+  if (p == "shard.enqueue") {
+    EXPECT_GT(FailsOf(point.point), 0u) << point.spec << " never fired";
+    EXPECT_GT(dropped_submits, 0) << "injected queue-full never dropped a submit";
+    uint64_t counted = 0;
+    for (const ShardStats& s : sharded.SnapshotStats()) {
+      counted += s.dropped;
+    }
+    EXPECT_GE(counted, static_cast<uint64_t>(dropped_submits));
+  }
+
+  // Quiesced unload with workers still live, then sweep again: shutdown must
+  // not perturb heap/allocator/object-table invariants.
+  sharded.UnloadQuiesced(*id);
+  for (ExtensionId rid : place.replicas) {
+    EXPECT_TRUE(sharded.runtime().IsUnloaded(rid));
+    InvariantReport sweep = sharded.runtime().SweepInvariants(rid);
+    EXPECT_TRUE(sweep.ok()) << sweep.ToString();
+  }
+}
+
+TEST(ChaosMatrix, ShardedScatter) {
+  for (const EngineConfig& engine : Engines()) {
+    for (const PointSpec& point : kCoveredPoints) {
+      SCOPED_TRACE(std::string("--fault=") + point.spec + " engine=" + engine.name);
+      RunShardedScatter(point, engine);
       if (::testing::Test::HasFatalFailure()) {
         return;
       }

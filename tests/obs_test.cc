@@ -32,7 +32,8 @@ constexpr const char* kCoveredEvents[] = {
     "heap.guard_trip",  "alloc.refill",      "alloc.carve",     "alloc.fail",
     "lock.contended",   "lock.order_edge",   "lock.cycle",      "helper.call",
     "cancel.requested", "cancel.unwound",    "cancel.watchdog", "fault.fired",
-    "sim.progress",
+    "sim.progress",     "shard.start",       "shard.batch",     "shard.forward",
+    "shard.drop",       "shard.steal",       "shard.quiesce",
 };
 
 TEST(ObsSelfCheck, AllCatalogEventsCovered) {

@@ -51,6 +51,66 @@ TEST(RuntimeE2E, HeapGlobalRoundTrip) {
   EXPECT_EQ(stored, 4242u);
 }
 
+// Invoke's cpu argument selects a per-CPU allocator arena and watchdog slot;
+// out-of-range values must be rejected (attached=false), not trusted — shard
+// workers compute it, and a bad index would corrupt a foreign arena.
+TEST(RuntimeE2E, InvokeRejectsOutOfRangeCpu) {
+  RuntimeOptions opts;
+  opts.num_cpus = 2;
+  Runtime runtime{opts};
+  Assembler a;
+  a.LoadHeapAddr(R2, 64);
+  a.StImm(BPF_DW, R2, 0, 1);
+  a.MovImm(R0, 0);
+  a.Exit();
+  LoadOptions lo;
+  lo.heap_static_bytes = 128;
+  auto id = runtime.Load(MustBuild(a), lo);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  uint8_t ctx[64] = {0};
+  EXPECT_TRUE(runtime.Invoke(*id, 0, ctx, sizeof(ctx)).attached);
+  EXPECT_TRUE(runtime.Invoke(*id, 1, ctx, sizeof(ctx)).attached);
+  EXPECT_FALSE(runtime.Invoke(*id, 2, ctx, sizeof(ctx)).attached)
+      << "cpu == num_cpus is out of range";
+  EXPECT_FALSE(runtime.Invoke(*id, -1, ctx, sizeof(ctx)).attached);
+  EXPECT_FALSE(runtime.Invoke(*id, 1 << 20, ctx, sizeof(ctx)).attached);
+  // Rejected invocations leave no trace in the stats or invariants.
+  EXPECT_EQ(runtime.GetStats(*id).invocations, 2u);
+  InvariantReport sweep = runtime.SweepInvariants(*id);
+  EXPECT_TRUE(sweep.ok()) << sweep.ToString();
+}
+
+// Quiesced detach (Runtime::Unload): subsequent Invokes bounce, the heap
+// survives, and Reset re-arms — the sharded dispatcher's unload primitive.
+TEST(RuntimeE2E, UnloadDetachesWithoutCancellation) {
+  Runtime runtime;
+  Assembler a;
+  a.LoadHeapAddr(R2, 64);
+  a.StImm(BPF_DW, R2, 0, 7);
+  a.MovImm(R0, 0);
+  a.Exit();
+  LoadOptions lo;
+  lo.heap_static_bytes = 128;
+  auto id = runtime.Load(MustBuild(a), lo);
+  ASSERT_TRUE(id.ok());
+  uint8_t ctx[64] = {0};
+  ASSERT_TRUE(runtime.Invoke(*id, 0, ctx, sizeof(ctx)).attached);
+
+  runtime.Unload(*id);
+  EXPECT_TRUE(runtime.IsUnloaded(*id));
+  EXPECT_FALSE(runtime.Invoke(*id, 0, ctx, sizeof(ctx)).attached);
+  EXPECT_EQ(runtime.GetStats(*id).cancellations, 0u)
+      << "quiesced unload is not a cancellation";
+  ASSERT_NE(runtime.heap(*id), nullptr);
+  uint64_t stored;
+  std::memcpy(&stored, runtime.heap(*id)->HostAt(64), 8);
+  EXPECT_EQ(stored, 7u) << "the heap survives the detach (§3.4)";
+
+  runtime.Reset(*id);
+  EXPECT_TRUE(runtime.Invoke(*id, 0, ctx, sizeof(ctx)).attached);
+}
+
 TEST(RuntimeE2E, OutOfBoundsWriteIsContainedBySfi) {
   MockKernel kernel;
   Assembler a;

@@ -23,11 +23,18 @@
 //                concurrency finding, and the lock-acquisition edges
 //   --trace=FILE  enable the trace rings and write the resident events as
 //                text to FILE after the run ("-" = stdout)
+//   --shards=N   dispatch the invocations through the sharded runtime
+//                (docs/sharding.md) with N worker shards instead of the mock
+//                kernel: placement is gated by the shard-safety certificate,
+//                requests are steered by the ctx flow hash, and
+//                --metrics=json grows a "shards" array with the per-shard
+//                dispatcher counters (rendered by kflex-top)
 //
 // Exit code: 0 on success, 1 on load/verification failure.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -37,6 +44,8 @@
 #include "src/kernel/kernel.h"
 #include "src/kernel/packet.h"
 #include "src/obs/obs.h"
+#include "src/shard/shard.h"
+#include "src/shard/steering.h"
 
 using namespace kflex;
 
@@ -47,7 +56,8 @@ int Usage() {
                "usage: kflex_run FILE.kasm [--dump] [--invoke N] [--ctx HEX]\n"
                "                 [--engine interp|jit] [--jit-stats]\n"
                "                 [--fault point:spec | --fault list]...\n"
-               "                 [--metrics=json] [--trace=FILE] [--concurrency-report]\n");
+               "                 [--metrics=json] [--trace=FILE] [--concurrency-report]\n"
+               "                 [--shards N]\n");
   return 1;
 }
 
@@ -94,6 +104,7 @@ int main(int argc, char** argv) {
   bool metrics_json = false;
   bool concurrency_report = false;
   bool trace_on = false;
+  int num_shards = 0;  // 0: classic mock-kernel path
   std::string trace_path;
   for (int i = 2; i < argc; i++) {
     std::string arg = argv[i];
@@ -140,6 +151,21 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--jit-stats") {
       jit_stats = true;
+    } else if (arg == "--shards" || arg.rfind("--shards=", 0) == 0) {
+      std::string n;
+      if (arg == "--shards") {
+        if (i + 1 >= argc) {
+          return Usage();
+        }
+        n = argv[++i];
+      } else {
+        n = arg.substr(std::strlen("--shards="));
+      }
+      num_shards = std::atoi(n.c_str());
+      if (num_shards < 1) {
+        std::fprintf(stderr, "kflex_run: bad --shards '%s'\n", n.c_str());
+        return Usage();
+      }
     } else if (arg == "--metrics" || arg == "--metrics=json") {
       metrics_json = true;
     } else if (arg == "--concurrency-report") {
@@ -197,21 +223,51 @@ int main(int argc, char** argv) {
     }
     runtime_options.fault_specs.push_back(spec);
   }
-  MockKernel kernel(runtime_options);
   LoadOptions load_options;
   load_options.engine = engine;
-  auto id = kernel.runtime().Load(*program, load_options);
-  if (!id.ok()) {
-    std::fprintf(stderr, "kflex_run: load rejected: %s\n", id.status().ToString().c_str());
-    return 1;
+
+  std::unique_ptr<MockKernel> kernel;
+  std::unique_ptr<ShardedRuntime> sharded;
+  Runtime* rt = nullptr;
+  ExtensionId id = 0;     // the loaded extension (home replica when sharded)
+  ShardExtId sharded_id = 0;
+  if (num_shards > 0) {
+    ShardedRuntimeOptions shard_options;
+    shard_options.num_shards = num_shards;
+    shard_options.runtime = runtime_options;
+    sharded = std::make_unique<ShardedRuntime>(shard_options);
+    rt = &sharded->runtime();
+    auto sid = sharded->Load(*program, load_options);
+    if (!sid.ok()) {
+      std::fprintf(stderr, "kflex_run: load rejected: %s\n",
+                   sid.status().ToString().c_str());
+      return 1;
+    }
+    sharded_id = *sid;
+    const ShardPlacement& place = sharded->placement(sharded_id);
+    id = place.replicas[place.replicated ? static_cast<size_t>(place.home_shard) : 0];
+    std::printf("sharded: %d shard(s), certificate=%s, %s (home shard %d, %zu replica%s)\n",
+                num_shards, ShardSafetyName(place.safety),
+                place.replicated ? "replicated" : "pinned", place.home_shard,
+                place.replicas.size(), place.replicas.size() == 1 ? "" : "s");
+  } else {
+    kernel = std::make_unique<MockKernel>(runtime_options);
+    rt = &kernel->runtime();
+    auto loaded = rt->Load(*program, load_options);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "kflex_run: load rejected: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    id = *loaded;
   }
-  const InstrumentedProgram& ip = kernel.runtime().instrumented(*id);
+  const InstrumentedProgram& ip = rt->instrumented(id);
   std::printf(
       "verified + instrumented: %zu insns out, %zu guards (%zu elided), %zu formation, "
       "%zu cancellation points\n",
       ip.stats.insns_out, ip.stats.guards_emitted, ip.stats.guards_elided,
       ip.stats.formation_guards, ip.stats.cancellation_points);
-  EngineInfo ei = kernel.runtime().engine_info(*id);
+  EngineInfo ei = rt->engine_info(id);
   std::printf("engine: requested=%s used=%s\n", ExecEngineName(ei.requested),
               ExecEngineName(ei.used));
   if (jit_stats) {
@@ -256,14 +312,22 @@ int main(int argc, char** argv) {
     std::printf("---- verified program ----\n%s", ProgramToString(*program).c_str());
     std::printf("---- instrumented program ----\n%s", ProgramToString(ip.program).c_str());
   }
-  if (kernel.Attach(*id).ok()) {
+  if (sharded != nullptr || kernel->Attach(id).ok()) {
     uint8_t ctx[kCtxSize] = {0};
     if (!ctx_hex.empty() && !ParseHex(ctx_hex, ctx, sizeof(ctx))) {
       std::fprintf(stderr, "kflex_run: bad --ctx hex\n");
       return 1;
     }
     for (int i = 0; i < invocations; i++) {
-      InvokeResult r = kernel.Deliver(program->hook, 0, ctx, sizeof(ctx));
+      InvokeResult r;
+      if (sharded != nullptr) {
+        // Steer the way the dispatcher would: by the ctx flow hash (KV key
+        // bytes when present, else the packet 5-tuple).
+        r = sharded->InvokeSync(sharded_id, ShardHashKvCtx(ctx, sizeof(ctx)), ctx,
+                                sizeof(ctx));
+      } else {
+        r = kernel->Deliver(program->hook, 0, ctx, sizeof(ctx));
+      }
       std::printf("invocation %d: verdict=%lld insns=%llu%s\n", i + 1,
                   static_cast<long long>(r.verdict), static_cast<unsigned long long>(r.insns),
                   r.cancelled ? " (CANCELLED)" : "");
@@ -281,7 +345,7 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(ps.hits),
                   static_cast<unsigned long long>(ps.fails));
     }
-    InvariantReport sweep = kernel.runtime().SweepInvariants(*id);
+    InvariantReport sweep = rt->SweepInvariants(id);
     std::printf("invariant sweep: %s\n", sweep.ToString().c_str());
   }
   if (trace_on) {
@@ -313,7 +377,16 @@ int main(int argc, char** argv) {
   if (metrics_json) {
     // The JSON document starts at the first line that is exactly "{";
     // kflex-top skips any leading human-readable lines.
-    std::printf("%s", ObsSnapshotToJson(kernel.runtime().SnapshotMetrics()).c_str());
+    std::string doc = ObsSnapshotToJson(rt->SnapshotMetrics());
+    if (sharded != nullptr) {
+      // Splice the per-shard dispatcher counters in as a top-level "shards"
+      // array (additive: the kflex-top schema check treats it as optional).
+      size_t brace = doc.rfind('}');
+      if (brace != std::string::npos) {
+        doc.insert(brace, ",\n  \"shards\": " + sharded->StatsJson() + "\n");
+      }
+    }
+    std::printf("%s", doc.c_str());
   }
   return 0;
 }

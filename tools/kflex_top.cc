@@ -108,6 +108,24 @@ bool CheckSchema(const JsonValue& root, std::string* err) {
     *err = "missing or empty 'extensions' array";
     return false;
   }
+  // Optional: kflex_run --shards=N splices the per-shard dispatcher counters
+  // in (docs/sharding.md). Absent on the classic path; validated if present.
+  const JsonValue* shards = root.Find("shards");
+  if (shards != nullptr) {
+    if (!shards->is_array() || shards->array.empty()) {
+      *err = "'shards' present but not a non-empty array";
+      return false;
+    }
+    for (const JsonValue& s : shards->array) {
+      for (const char* key : {"shard", "enqueued", "dropped", "invoked", "batches",
+                              "forwarded", "stolen", "queue_depth"}) {
+        if (!RequireU64(&s, key, err)) {
+          *err = "shards: " + *err;
+          return false;
+        }
+      }
+    }
+  }
   for (const JsonValue& ext : extensions->array) {
     if (!ext.is_object() || !RequireU64(&ext, "id", err)) {
       *err = "extension entry: " + *err;
@@ -186,6 +204,22 @@ void Render(const JsonValue& root) {
                   static_cast<unsigned long long>(
                       lat != nullptr ? lat->Find("max")->AsU64() : 0),
                   static_cast<unsigned long long>(cancels));
+    }
+  }
+  const JsonValue* shards = root.Find("shards");
+  if (shards != nullptr && shards->is_array()) {
+    std::printf("\n%-6s %10s %10s %10s %10s %8s %10s %10s %10s\n", "shard", "enqueued",
+                "invoked", "dropped", "batches", "occ", "forwarded", "stolen", "depth");
+    for (const JsonValue& s : shards->array) {
+      auto u64 = [&s](const char* key) -> unsigned long long {
+        const JsonValue* v = s.Find(key);
+        return v != nullptr ? static_cast<unsigned long long>(v->AsU64()) : 0;
+      };
+      const JsonValue* occ = s.Find("mean_batch_occupancy");
+      std::printf("%-6llu %10llu %10llu %10llu %10llu %8.2f %10llu %10llu %10llu\n",
+                  u64("shard"), u64("enqueued"), u64("invoked"), u64("dropped"),
+                  u64("batches"), occ != nullptr ? occ->number : 0.0, u64("forwarded"),
+                  u64("stolen"), u64("queue_depth"));
     }
   }
 }
